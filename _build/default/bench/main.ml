@@ -1,0 +1,256 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Sec. IV) at the scale given by REPRO_CASES (default 2000 test cases
+   per topology per kind; the paper used 10000 — set REPRO_CASES=10000
+   for a full run).
+
+   Part 2 runs Bechamel microbenchmarks: one Test.make per
+   table/figure kernel, plus ablations of the design choices DESIGN.md
+   calls out (incremental vs from-scratch SPT repair, MRC configuration
+   construction, route-table computation). *)
+
+module Experiments = Rtr_sim.Experiments
+module Report = Rtr_sim.Report
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+
+let line = String.make 78 '='
+let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures *)
+
+let reproduce () =
+  let config = Experiments.default_config () in
+  section
+    (Printf.sprintf
+       "Paper reproduction (%d recoverable + %d irrecoverable cases per \
+        topology)"
+       config.Experiments.recoverable_per_topo
+       config.Experiments.irrecoverable_per_topo);
+  let log s = Printf.printf "# %s\n%!" s in
+  let data = Experiments.collect ~log config in
+  let tbl t =
+    print_string (Report.render_table t);
+    print_newline ()
+  in
+  let fig f =
+    print_string (Report.render_figure f);
+    print_newline ()
+  in
+  tbl (Experiments.table2 config);
+  fig (Experiments.fig7 data);
+  tbl (Experiments.table3 data);
+  fig (Experiments.fig8 data);
+  fig (Experiments.fig9 data);
+  fig (Experiments.fig10 data);
+  fig (Experiments.fig11 ~log config);
+  fig (Experiments.fig12 data);
+  fig (Experiments.fig13 data);
+  tbl (Experiments.table4 data);
+  (* Beyond the paper: quantify what Constraints 1 & 2 buy. *)
+  tbl
+    (Experiments.ablation_constraints
+       ~cases:(min 500 config.Experiments.recoverable_per_topo)
+       config)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel microbenchmarks *)
+
+open Bechamel
+open Toolkit
+
+(* Shared fixtures, built once. *)
+let topo = lazy (Rtr_topo.Isp.load_by_name "AS209")
+let graph_of t = Rtr_topo.Topology.graph t
+let table = lazy (Rtr_routing.Route_table.compute (graph_of (Lazy.force topo)))
+
+let damage =
+  lazy
+    (let rng = Rtr_util.Rng.make 99 in
+     let area = Rtr_failure.Area.random_disc rng ~r_min:150. ~r_max:250. () in
+     Damage.apply (Lazy.force topo) area)
+
+(* One recovery situation: a detector, its trigger, and a reachable
+   destination. *)
+let a_case =
+  lazy
+    (let t = Lazy.force topo and d = Lazy.force damage in
+     let g = graph_of t in
+     let rec find v =
+       if v >= Graph.n_nodes g then failwith "bench: no detector"
+       else if Damage.node_ok d v then
+         match Damage.unreachable_neighbors d g v with
+         | (trigger, _) :: _ ->
+             let rec pick c =
+               if
+                 c <> v
+                 && Damage.node_ok d c
+                 && Rtr_graph.Bfs.reachable g ~node_ok:(Damage.node_ok d)
+                      ~link_ok:(Damage.link_ok d) v c
+               then c
+               else pick ((c + 1) mod Graph.n_nodes g)
+             in
+             (v, trigger, pick ((v + 1) mod Graph.n_nodes g))
+         | [] -> find (v + 1)
+       else find (v + 1)
+     in
+     find 0)
+
+let spt = lazy (Rtr_graph.Dijkstra.spt (graph_of (Lazy.force topo)) ~root:0 ())
+let mrc = lazy (Rtr_baselines.Mrc.build_auto (graph_of (Lazy.force topo)))
+
+let bench_tests () =
+  let t = Lazy.force topo in
+  let g = graph_of t in
+  let d = Lazy.force damage in
+  let initiator, trigger, dst = Lazy.force a_case in
+  let tbl = Lazy.force table in
+  let base_spt = Lazy.force spt in
+  let dead = Damage.failed_links d in
+  let link_ok id = Damage.link_ok d id in
+  let mrc = Lazy.force mrc in
+  [
+    (* Table II: building a calibrated topology (generation plus
+       crossing precomputation). *)
+    Test.make ~name:"table2/generate-AS209"
+      (Staged.stage (fun () ->
+           let rng = Rtr_util.Rng.make 20903 in
+           ignore
+             (Rtr_topo.Generator.generate rng ~name:"bench" ~n:58 ~m:108 ())));
+    (* Fig. 7 kernel: one phase-1 walk around a failure area. *)
+    Test.make ~name:"fig7/phase1-walk"
+      (Staged.stage (fun () ->
+           ignore (Rtr_core.Phase1.run t d ~initiator ~trigger ())));
+    (* Table III kernels: one full recovery per scheme. *)
+    Test.make ~name:"table3/rtr-session"
+      (Staged.stage (fun () ->
+           let s = Rtr_core.Rtr.start t d ~initiator ~trigger in
+           ignore (Rtr_core.Rtr.recover s ~dst)));
+    Test.make ~name:"table3/fcp-recovery"
+      (Staged.stage (fun () ->
+           ignore (Rtr_baselines.Fcp.run t d ~initiator ~dst)));
+    Test.make ~name:"table3/mrc-recovery"
+      (Staged.stage (fun () ->
+           ignore (Rtr_baselines.Mrc.recover mrc d ~initiator ~trigger ~dst)));
+    (* Fig. 10 kernel: header byte accounting. *)
+    Test.make ~name:"fig10/header-pricing"
+      (Staged.stage (fun () ->
+           ignore (Rtr_routing.Header.rtr_phase1 ~n_failed:8 ~n_cross:3);
+           ignore (Rtr_routing.Header.fcp ~n_failed:8 ~route_hops:6)));
+    (* Fig. 11 kernel: classifying every failed routing path of one
+       scenario. *)
+    Test.make ~name:"fig11/classify-failed-paths"
+      (Staged.stage (fun () ->
+           ignore (Rtr_sim.Scenario.count_failed_paths t tbl d)));
+    (* Figs. 8/9/12/13 kernel: reducing samples to a CDF. *)
+    Test.make ~name:"figs/cdf-of-2000"
+      (Staged.stage
+         (let xs =
+            List.init 2000 (fun i -> float_of_int (i * 7919 mod 663))
+          in
+          fun () -> ignore (Rtr_sim.Cdf.of_values xs)));
+    (* Ablation: phase 2's incremental SPT repair vs a full SPF. *)
+    Test.make ~name:"ablation/spt-scratch"
+      (Staged.stage (fun () ->
+           ignore (Rtr_graph.Dijkstra.spt g ~root:0 ~link_ok ())));
+    Test.make ~name:"ablation/spt-incremental"
+      (Staged.stage (fun () ->
+           let c = Rtr_graph.Spt.copy base_spt in
+           ignore
+             (Rtr_graph.Incremental_spt.remove c ~dead_links:dead
+                ~node_ok:(fun _ -> true)
+                ~link_ok ())));
+    (* Ablation: the routing substrate itself. *)
+    Test.make ~name:"ablation/route-table-58"
+      (Staged.stage (fun () -> ignore (Rtr_routing.Route_table.compute g)));
+    Test.make ~name:"ablation/mrc-build"
+      (Staged.stage (fun () -> ignore (Rtr_baselines.Mrc.build g ~k:6)));
+    Test.make ~name:"ablation/igp-convergence"
+      (Staged.stage (fun () ->
+           ignore (Rtr_igp.Convergence.compute Rtr_igp.Igp_config.classic g d)));
+  ]
+
+let run_benchmarks () =
+  section "Bechamel microbenchmarks (one Test.make per table/figure kernel)";
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = ref [] in
+  List.iter
+    (fun tst ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let est = Analyze.one ols instance raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ x ] -> x
+            | _ -> Float.nan
+          in
+          results := (Test.Elt.name elt, ns) :: !results)
+        (Test.elements tst))
+    (bench_tests ());
+  let pretty ns =
+    if Float.is_nan ns then "       n/a"
+    else if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.0f ns" ns
+  in
+  Printf.printf "%-36s %10s\n%s\n" "benchmark" "time/run"
+    (String.make 48 '-');
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-36s %s\n" name (pretty ns))
+    (List.rev !results)
+
+(* A packet-level coda: the Sec. I motivation quantified by the
+   discrete-event simulator (see examples/live_recovery.ml for the
+   narrated version). *)
+let motivation () =
+  section "Packet-level motivation (DES): drops during convergence, RTR off/on";
+  let topo = Lazy.force topo in
+  let g = graph_of topo in
+  let d = Lazy.force damage in
+  let rng = Rtr_util.Rng.make 4242 in
+  let n = Graph.n_nodes g in
+  let flows =
+    List.init 60 (fun _ ->
+        {
+          Rtr_des.Netsim.src = Rtr_util.Rng.int rng n;
+          dst = Rtr_util.Rng.int rng n;
+          rate_pps = 40.0;
+        })
+    |> List.filter (fun f -> f.Rtr_des.Netsim.src <> f.Rtr_des.Netsim.dst)
+  in
+  let run rtr_enabled =
+    Rtr_des.Netsim.run topo d
+      {
+        Rtr_des.Netsim.igp = Rtr_igp.Igp_config.classic;
+        rtr_enabled;
+        t_fail = 1.0;
+        t_end = 9.0;
+        flows;
+      }
+  in
+  List.iter
+    (fun (name, s) ->
+      Printf.printf "%-10s generated %6d  delivered %6d (%5.1f%%)  dropped %6d\n"
+        name s.Rtr_des.Netsim.generated s.Rtr_des.Netsim.delivered
+        (100.0
+        *. float_of_int s.Rtr_des.Netsim.delivered
+        /. float_of_int s.Rtr_des.Netsim.generated)
+        s.Rtr_des.Netsim.dropped)
+    [ ("RTR off", run false); ("RTR on", run true) ]
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  reproduce ();
+  motivation ();
+  run_benchmarks ();
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,388 @@
+(* rtr_sim: command-line driver regenerating every table and figure of
+   the paper's evaluation, plus single-scenario inspection. *)
+
+open Cmdliner
+module Experiments = Rtr_sim.Experiments
+module Report = Rtr_sim.Report
+module Isp = Rtr_topo.Isp
+
+let log_line s =
+  prerr_string ("# " ^ s ^ "\n");
+  flush stderr
+
+(* ------------------------------------------------------------------ *)
+(* Common options *)
+
+let cases_arg =
+  let doc =
+    "Recoverable and irrecoverable test cases per topology (the paper used \
+     10000)."
+  in
+  Arg.(value & opt (some int) None & info [ "cases" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Base random seed." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let topos_arg =
+  let doc =
+    "Comma-separated AS names (default: the eight ASes of Table II)."
+  in
+  Arg.(value & opt (some string) None & info [ "topos" ] ~docv:"AS,..." ~doc)
+
+let out_arg =
+  let doc = "Also write CSV artifacts into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+
+let mrc_k_arg =
+  let doc = "Number of MRC configurations (default: smallest feasible)." in
+  Arg.(value & opt (some int) None & info [ "mrc-k" ] ~docv:"K" ~doc)
+
+let config_of ~cases ~seed ~topos ~mrc_k =
+  let base = Experiments.default_config () in
+  let presets =
+    match topos with
+    | None -> base.Experiments.presets
+    | Some names ->
+        String.split_on_char ',' names
+        |> List.map String.trim
+        |> List.map (fun n ->
+               match Isp.find n with
+               | Some p -> p
+               | None -> failwith (Printf.sprintf "unknown topology %S" n))
+  in
+  let quota q = Option.value cases ~default:q in
+  {
+    Experiments.presets;
+    recoverable_per_topo = quota base.Experiments.recoverable_per_topo;
+    irrecoverable_per_topo = quota base.Experiments.irrecoverable_per_topo;
+    seed;
+    mrc_k;
+  }
+
+let emit ?out ~csv_name text csv =
+  print_string text;
+  print_newline ();
+  match out with
+  | None -> ()
+  | Some dir ->
+      Report.save ~dir ~name:csv_name csv;
+      log_line (Printf.sprintf "wrote %s/%s" dir csv_name)
+
+(* Figures additionally get a rendered SVG chart next to their CSV. *)
+let emit_figure ?out (f : Experiments.figure) =
+  emit ?out
+    ~csv_name:(f.Experiments.id ^ ".csv")
+    (Report.render_figure f) (Report.figure_to_csv f);
+  match out with
+  | None -> ()
+  | Some dir ->
+      let name = f.Experiments.id ^ ".svg" in
+      Rtr_viz.Chart.save ~title:f.Experiments.title
+        ~x_label:f.Experiments.x_label ~y_label:f.Experiments.y_label
+        ~series:
+          (List.map
+             (fun (s : Experiments.series) ->
+               (s.Experiments.label, s.Experiments.points))
+             f.Experiments.series)
+        (Filename.concat dir name);
+      log_line (Printf.sprintf "wrote %s/%s" dir name)
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands *)
+
+let topologies_cmd =
+  let run () =
+    let config = Experiments.default_config () in
+    let t = Experiments.table2 { config with Experiments.presets = Isp.all } in
+    print_string (Report.render_table t);
+    print_newline ();
+    List.iter
+      (fun p ->
+        let topo = Isp.load p in
+        Format.printf "%a@." Rtr_topo.Topology.pp topo)
+      Isp.all
+  in
+  Cmd.v
+    (Cmd.info "topologies" ~doc:"Table II plus generated-topology details")
+    Term.(const run $ const ())
+
+type which =
+  | Fig7
+  | Table3
+  | Fig8
+  | Fig9
+  | Fig10
+  | Fig12
+  | Fig13
+  | Table4
+  | All
+
+let needs_data_cmd which name doc =
+  let run cases seed topos mrc_k out =
+    let config = config_of ~cases ~seed ~topos ~mrc_k in
+    let data = Experiments.collect ~log:log_line config in
+    let fig (f : Experiments.figure) = emit_figure ?out f in
+    let tbl (t : Experiments.table) =
+      emit ?out ~csv_name:(t.Experiments.id ^ ".csv") (Report.render_table t)
+        (Report.table_to_csv t)
+    in
+    (match which with
+    | Fig7 -> fig (Experiments.fig7 data)
+    | Table3 -> tbl (Experiments.table3 data)
+    | Fig8 -> fig (Experiments.fig8 data)
+    | Fig9 -> fig (Experiments.fig9 data)
+    | Fig10 -> fig (Experiments.fig10 data)
+    | Fig12 -> fig (Experiments.fig12 data)
+    | Fig13 -> fig (Experiments.fig13 data)
+    | Table4 -> tbl (Experiments.table4 data)
+    | All ->
+        tbl (Experiments.table2 config);
+        fig (Experiments.fig7 data);
+        tbl (Experiments.table3 data);
+        fig (Experiments.fig8 data);
+        fig (Experiments.fig9 data);
+        fig (Experiments.fig10 data);
+        fig (Experiments.fig11 ~log:log_line config);
+        fig (Experiments.fig12 data);
+        fig (Experiments.fig13 data);
+        tbl (Experiments.table4 data))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ cases_arg $ seed_arg $ topos_arg $ mrc_k_arg $ out_arg)
+
+let ablation_cmd =
+  let cases_arg =
+    let doc = "Recoverable cases per topology." in
+    Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let run seed topos cases out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+    let t = Experiments.ablation_constraints ~cases config in
+    emit ?out ~csv_name:"ablation_constraints.csv" (Report.render_table t)
+      (Report.table_to_csv t)
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Constraints 1&2 on/off ablation (not in the paper)")
+    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+
+let mrc_k_sweep_cmd =
+  let cases_arg =
+    let doc = "Recoverable cases per topology." in
+    Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let run seed topos cases out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+    let t = Experiments.ablation_mrc_k ~cases config in
+    emit ?out ~csv_name:"ablation_mrc_k.csv" (Report.render_table t)
+      (Report.table_to_csv t)
+  in
+  Cmd.v
+    (Cmd.info "mrc-k" ~doc:"MRC recovery rate vs configuration count")
+    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+
+let variance_cmd =
+  let cases_arg =
+    let doc = "Recoverable cases per instance." in
+    Arg.(value & opt int 400 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let instances_arg =
+    let doc = "Regenerated instances per AS." in
+    Arg.(value & opt int 5 & info [ "instances" ] ~docv:"K" ~doc)
+  in
+  let run seed topos cases instances out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+    let t = Experiments.instance_variance ~cases ~instances config in
+    emit ?out ~csv_name:"instance_variance.csv" (Report.render_table t)
+      (Report.table_to_csv t)
+  in
+  Cmd.v
+    (Cmd.info "variance"
+       ~doc:"RTR recovery-rate spread across regenerated topology instances")
+    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ instances_arg $ out_arg)
+
+let bidir_cmd =
+  let cases_arg =
+    let doc = "Recoverable cases per topology." in
+    Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let run seed topos cases out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+    let t = Experiments.extension_bidir ~cases config in
+    emit ?out ~csv_name:"extension_bidir.csv" (Report.render_table t)
+      (Report.table_to_csv t)
+  in
+  Cmd.v
+    (Cmd.info "bidir"
+       ~doc:"Bidirectional-walk extension measurements (not in the paper)")
+    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+
+let fig11_cmd =
+  let areas_arg =
+    let doc = "Failure areas per radius (the paper used 1000)." in
+    Arg.(value & opt int 200 & info [ "areas" ] ~docv:"N" ~doc)
+  in
+  let run seed topos areas out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+    let f = Experiments.fig11 ~log:log_line ~areas_per_radius:areas config in
+    emit_figure ?out f
+  in
+  Cmd.v
+    (Cmd.info "fig11"
+       ~doc:"Percentage of irrecoverable failed paths vs failure radius")
+    Term.(const run $ seed_arg $ topos_arg $ areas_arg $ out_arg)
+
+let run_cmd =
+  let topo_arg =
+    let doc = "Topology name." in
+    Arg.(value & opt string "AS209" & info [ "topo" ] ~docv:"AS" ~doc)
+  in
+  let run topo_name seed =
+    let topo = Isp.load_by_name topo_name in
+    let g = Rtr_topo.Topology.graph topo in
+    let table = Rtr_routing.Route_table.compute g in
+    let rng = Rtr_util.Rng.make seed in
+    let scenario = Rtr_sim.Scenario.generate topo table rng () in
+    Format.printf "topology: %a@." Rtr_topo.Topology.pp topo;
+    Format.printf "failure:  %a -> %a@." Rtr_failure.Area.pp
+      scenario.Rtr_sim.Scenario.area Rtr_failure.Damage.pp
+      scenario.Rtr_sim.Scenario.damage;
+    let cases = scenario.Rtr_sim.Scenario.cases in
+    Format.printf "test cases: %d@." (List.length cases);
+    let igp =
+      Rtr_igp.Convergence.compute Rtr_igp.Igp_config.classic g
+        scenario.Rtr_sim.Scenario.damage
+    in
+    Format.printf "IGP convergence would finish at %.2f s@."
+      (Rtr_igp.Convergence.finished_at igp);
+    match cases with
+    | [] -> Format.printf "nothing to recover.@."
+    | case :: _ ->
+        let open Rtr_sim.Scenario in
+        Format.printf "@.first case: initiator v%d, trigger v%d, dst v%d (%s)@."
+          case.initiator case.trigger case.dst
+          (match case.kind with
+          | Recoverable -> "recoverable"
+          | Irrecoverable -> "irrecoverable");
+        let session =
+          Rtr_core.Rtr.start topo scenario.damage ~initiator:case.initiator
+            ~trigger:case.trigger
+        in
+        let p1 = Rtr_core.Rtr.phase1 session in
+        Format.printf "phase 1 walk (%d hops, %.1f ms): %s@."
+          p1.Rtr_core.Phase1.hops
+          (Rtr_routing.Delay.ms (Rtr_core.Phase1.duration_s p1))
+          (String.concat " -> "
+             (List.map (Printf.sprintf "v%d") p1.Rtr_core.Phase1.walk));
+        Format.printf "collected failed links: %s@."
+          (String.concat ", "
+             (List.map (Rtr_graph.Graph.link_name g)
+                p1.Rtr_core.Phase1.failed_links));
+        Format.printf "cross links: %s@."
+          (String.concat ", "
+             (List.map (Rtr_graph.Graph.link_name g)
+                p1.Rtr_core.Phase1.cross_links));
+        (match Rtr_core.Rtr.recover session ~dst:case.dst with
+        | Rtr_core.Rtr.Recovered path ->
+            Format.printf "recovered over %a@." Rtr_graph.Path.pp path
+        | Rtr_core.Rtr.Unreachable_in_view ->
+            Format.printf "destination unreachable; packets discarded@."
+        | Rtr_core.Rtr.False_path { dropped_at; _ } ->
+            Format.printf "missed failure; packet dropped at v%d@." dropped_at)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Inspect one random failure scenario in detail")
+    Term.(const run $ topo_arg $ seed_arg)
+
+let draw_cmd =
+  let topo_arg =
+    let doc = "Topology name, or 'paper' for the Fig. 6 example." in
+    Arg.(value & opt string "paper" & info [ "topo" ] ~docv:"AS" ~doc)
+  in
+  let file_arg =
+    let doc = "Output SVG file." in
+    Arg.(value & opt string "scenario.svg" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run topo_name seed file =
+    let topo, damage, case =
+      if topo_name = "paper" then begin
+        let module PE = Rtr_topo.Paper_example in
+        let topo = PE.topology () in
+        let g = Rtr_topo.Topology.graph topo in
+        let damage =
+          Rtr_failure.Damage.of_failed g ~nodes:[ PE.failed_router ]
+            ~links:(PE.cut_links ())
+        in
+        ( topo,
+          damage,
+          Some (PE.initiator, PE.trigger, PE.destination, None) )
+      end
+      else begin
+        let topo = Isp.load_by_name topo_name in
+        let g = Rtr_topo.Topology.graph topo in
+        let table = Rtr_routing.Route_table.compute g in
+        let rng = Rtr_util.Rng.make seed in
+        let scenario = Rtr_sim.Scenario.generate topo table rng () in
+        let case =
+          List.find_opt
+            (fun (c : Rtr_sim.Scenario.case) ->
+              c.Rtr_sim.Scenario.kind = Rtr_sim.Scenario.Recoverable)
+            scenario.Rtr_sim.Scenario.cases
+          |> Option.map (fun (c : Rtr_sim.Scenario.case) ->
+                 ( c.Rtr_sim.Scenario.initiator,
+                   c.Rtr_sim.Scenario.trigger,
+                   c.Rtr_sim.Scenario.dst,
+                   Some scenario.Rtr_sim.Scenario.area ))
+        in
+        (topo, scenario.Rtr_sim.Scenario.damage, case)
+      end
+    in
+    let overlays, area =
+      match case with
+      | None -> ([], None)
+      | Some (initiator, trigger, dst, area) -> (
+          let session = Rtr_core.Rtr.start topo damage ~initiator ~trigger in
+          let p1 = Rtr_core.Rtr.phase1 session in
+          let walk = Rtr_viz.Svg.Walk p1.Rtr_core.Phase1.walk in
+          match Rtr_core.Rtr.recover session ~dst with
+          | Rtr_core.Rtr.Recovered path ->
+              ([ walk; Rtr_viz.Svg.Route ("recovery path", "#26c", path) ], area)
+          | _ -> ([ walk ], area))
+    in
+    Rtr_viz.Svg.save topo ~damage ?area ~overlays file;
+    Format.printf "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "draw" ~doc:"Render a failure scenario and recovery to SVG")
+    Term.(const run $ topo_arg $ seed_arg $ file_arg)
+
+let cmds =
+  [
+    topologies_cmd;
+    needs_data_cmd Fig7 "fig7" "CDF of phase-1 duration";
+    needs_data_cmd Table3 "table3" "Recoverable-case comparison (RTR/FCP/MRC)";
+    needs_data_cmd Fig8 "fig8" "CDF of recovery-path stretch";
+    needs_data_cmd Fig9 "fig9" "CDF of shortest-path calculations";
+    needs_data_cmd Fig10 "fig10" "Transmission overhead over time";
+    fig11_cmd;
+    ablation_cmd;
+    bidir_cmd;
+    mrc_k_sweep_cmd;
+    variance_cmd;
+    needs_data_cmd Fig12 "fig12" "CDF of wasted computation (irrecoverable)";
+    needs_data_cmd Fig13 "fig13" "CDF of wasted transmission (irrecoverable)";
+    needs_data_cmd Table4 "table4" "Irrecoverable-case waste summary";
+    needs_data_cmd All "all" "Every table and figure of the evaluation";
+    run_cmd;
+    draw_cmd;
+  ]
+
+let () =
+  let info =
+    Cmd.info "rtr_sim" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Optimal Recovery from Large-Scale Failures in IP \
+         Networks' (ICDCS 2012)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

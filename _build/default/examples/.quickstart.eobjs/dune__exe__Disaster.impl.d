@@ -1,0 +1,1 @@
+examples/disaster.ml: Array Format List Rtr_baselines Rtr_failure Rtr_geom Rtr_graph Rtr_routing Rtr_sim Rtr_topo Sys

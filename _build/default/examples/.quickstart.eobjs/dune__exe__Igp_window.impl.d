@@ -1,0 +1,1 @@
+examples/igp_window.ml: Format List Rtr_baselines Rtr_failure Rtr_igp Rtr_routing Rtr_sim Rtr_topo Rtr_util

@@ -1,0 +1,1 @@
+examples/igp_window.mli:

@@ -1,0 +1,1 @@
+examples/live_recovery.ml: Array Format List Rtr_des Rtr_failure Rtr_graph Rtr_igp Rtr_topo Rtr_util Sys

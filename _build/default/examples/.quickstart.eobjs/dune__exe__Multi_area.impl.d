@@ -1,0 +1,1 @@
+examples/multi_area.ml: Format List Printf Rtr_core Rtr_failure Rtr_graph Rtr_routing Rtr_sim Rtr_topo Rtr_util

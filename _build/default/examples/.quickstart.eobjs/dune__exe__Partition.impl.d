@@ -1,0 +1,1 @@
+examples/partition.ml: Array Format List Rtr_baselines Rtr_core Rtr_failure Rtr_graph Rtr_routing Rtr_sim Rtr_topo Rtr_util String

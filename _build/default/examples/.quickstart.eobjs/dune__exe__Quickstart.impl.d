@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Option Printf Rtr_core Rtr_failure Rtr_graph Rtr_routing Rtr_topo String

@@ -1,0 +1,77 @@
+(* Disaster drill: a hurricane-sized failure area on an ISP backbone,
+   with RTR, FCP and MRC recovering side by side.
+
+   Run with: dune exec examples/disaster.exe [-- AS209 [radius]] *)
+
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Scenario = Rtr_sim.Scenario
+
+let () =
+  let as_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "AS209" in
+  let radius =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 280.0
+  in
+  let topo = Rtr_topo.Isp.load_by_name as_name in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute g in
+  let mrc = Rtr_baselines.Mrc.build_auto g in
+  Format.printf "Backbone: %a@." Rtr_topo.Topology.pp topo;
+  Format.printf "MRC precomputed %d routing configurations (%d routers \
+                 unprotectable)@.@."
+    (Rtr_baselines.Mrc.n_configs mrc)
+    (List.length (Rtr_baselines.Mrc.unprotected mrc));
+
+  (* The hurricane: a big disc in the middle of the plane. *)
+  let area =
+    Rtr_failure.Area.disc
+      ~center:(Rtr_geom.Point.make 1000.0 1000.0)
+      ~radius
+  in
+  let scenario = Scenario.of_area topo table area in
+  Format.printf "Hurricane: %a@.Damage:    %a@." Rtr_failure.Area.pp area
+    Damage.pp scenario.Scenario.damage;
+  let recoverable, irrecoverable =
+    List.partition
+      (fun (c : Scenario.case) -> c.Scenario.kind = Scenario.Recoverable)
+      scenario.Scenario.cases
+  in
+  Format.printf "Test cases: %d recoverable, %d irrecoverable@.@."
+    (List.length recoverable)
+    (List.length irrecoverable);
+
+  let results = Rtr_sim.Runner.run_scenario ~mrc scenario in
+  let rec_results =
+    List.filter
+      (fun (r : Rtr_sim.Runner.result) ->
+        r.Rtr_sim.Runner.case.Scenario.kind = Scenario.Recoverable)
+      results
+  in
+  let n = List.length rec_results in
+  let count f = List.length (List.filter f rec_results) in
+  let pct k = 100.0 *. Rtr_sim.Stats.ratio k n in
+  if n = 0 then Format.printf "Nothing to recover; try another radius.@."
+  else begin
+    Format.printf "Recoverable cases recovered:@.";
+    Format.printf "  RTR  %5.1f%%  (every recovery is a shortest path)@."
+      (pct (count (fun r -> r.Rtr_sim.Runner.rtr_recovered)));
+    Format.printf "  FCP  %5.1f%%  (always delivers, but wanders)@."
+      (pct (count (fun r -> r.Rtr_sim.Runner.fcp_delivered)));
+    Format.printf "  MRC  %5.1f%%  (one configuration switch only)@."
+      (pct (count (fun r -> r.Rtr_sim.Runner.mrc_delivered)));
+    let fcp_stretches =
+      List.filter_map (fun r -> r.Rtr_sim.Runner.fcp_stretch) rec_results
+    in
+    if fcp_stretches <> [] then
+      Format.printf "@.FCP path stretch: mean %.2f, worst %.2f (RTR: 1.00 \
+                     by Theorem 2)@."
+        (Rtr_sim.Stats.mean fcp_stretches)
+        (Rtr_sim.Stats.maximum fcp_stretches);
+    let fcp_calcs =
+      List.map (fun r -> r.Rtr_sim.Runner.fcp_calcs) rec_results
+    in
+    Format.printf "FCP shortest-path calculations: mean %.1f, worst %d \
+                   (RTR: exactly 1)@."
+      (Rtr_sim.Stats.mean_int fcp_calcs)
+      (Rtr_sim.Stats.max_int_list fcp_calcs)
+  end

@@ -1,0 +1,73 @@
+(* The IGP convergence window: how long the network is on its own
+   after a large-scale failure, and what RTR saves during it.
+
+   Run with: dune exec examples/igp_window.exe *)
+
+module Damage = Rtr_failure.Damage
+module Convergence = Rtr_igp.Convergence
+module Igp_config = Rtr_igp.Igp_config
+module Scenario = Rtr_sim.Scenario
+
+let () =
+  let topo = Rtr_topo.Isp.load_by_name "AS3320" in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute g in
+  let rng = Rtr_util.Rng.make 7 in
+  let scenario = Scenario.generate topo table rng () in
+  Format.printf "Failure: %a on %s -> %a@.@." Rtr_failure.Area.pp
+    scenario.Scenario.area
+    (Rtr_topo.Topology.name topo)
+    Damage.pp scenario.Scenario.damage;
+
+  List.iter
+    (fun (name, cfg) ->
+      let c = Convergence.compute cfg g scenario.Scenario.damage in
+      Format.printf "%-8s %a@." name Igp_config.pp cfg;
+      Format.printf "  %d routers detect the failure; last FIB update at \
+                     %.2f s@."
+        (List.length (Convergence.detectors c))
+        (Convergence.finished_at c);
+      (* An OC-192 class flow: ~1.25 Mpps of 1000-byte packets. *)
+      let flows =
+        List.length
+          (List.filter
+             (fun (cs : Scenario.case) ->
+               cs.Scenario.kind = Scenario.Recoverable)
+             scenario.Scenario.cases)
+      in
+      Format.printf
+        "  without recovery: ~%.1f M packets dropped across %d broken \
+         router pairs@.@."
+        (Convergence.packets_lost_without_recovery c ~rate_pps:10_000.0
+           ~affected_flows:flows
+        /. 1e6)
+        flows)
+    [ ("classic", Igp_config.classic); ("tuned", Igp_config.tuned) ];
+
+  (* RTR bridges the window: phase 1 costs milliseconds, after which
+     every recoverable flow rides a shortest detour. *)
+  let mrc = Rtr_baselines.Mrc.build_auto g in
+  let results = Rtr_sim.Runner.run_scenario ~mrc scenario in
+  let rec_results =
+    List.filter
+      (fun (r : Rtr_sim.Runner.result) ->
+        r.Rtr_sim.Runner.case.Scenario.kind = Scenario.Recoverable)
+      results
+  in
+  match rec_results with
+  | [] -> Format.printf "No recoverable flows this time.@."
+  | _ ->
+      let durations =
+        List.map
+          (fun r ->
+            Rtr_routing.Delay.ms
+              (Rtr_routing.Delay.of_hops r.Rtr_sim.Runner.rtr_p1_hops))
+          rec_results
+      in
+      Format.printf
+        "RTR's phase 1 across %d recovery sessions: mean %.1f ms, worst \
+         %.1f ms —@.three orders of magnitude inside the classic \
+         convergence window.@."
+        (List.length rec_results)
+        (Rtr_sim.Stats.mean durations)
+        (Rtr_sim.Stats.maximum durations)

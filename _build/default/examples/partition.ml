@@ -1,0 +1,82 @@
+(* Partition: when the failure slices the network in two, destinations
+   on the far side are unreachable.  RTR identifies them after a single
+   computation and discards early; FCP keeps probing link after link.
+
+   Run with: dune exec examples/partition.exe *)
+
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Scenario = Rtr_sim.Scenario
+
+let () =
+  let topo = Rtr_topo.Isp.load_by_name "AS1239" in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute g in
+  let rng = Rtr_util.Rng.make 2012 in
+  (* Search for a scenario that actually partitions the live graph. *)
+  let rec find tries =
+    if tries > 500 then failwith "no partitioning scenario found"
+    else
+      let s = Scenario.generate topo table rng ~r_min:250.0 ~r_max:300.0 () in
+      let comps =
+        Rtr_graph.Components.compute g
+          ~node_ok:(Damage.node_ok s.Scenario.damage)
+          ~link_ok:(Damage.link_ok s.Scenario.damage)
+          ()
+      in
+      let irr =
+        List.filter
+          (fun (c : Scenario.case) -> c.Scenario.kind = Scenario.Irrecoverable)
+          s.Scenario.cases
+      in
+      if Rtr_graph.Components.count comps >= 2 && List.length irr >= 5 then
+        (s, comps, irr)
+      else find (tries + 1)
+  in
+  let scenario, comps, irrecoverable = find 0 in
+  Format.printf "Failure %a partitions %s into %d islands (sizes: %s)@.@."
+    Rtr_failure.Area.pp scenario.Scenario.area
+    (Rtr_topo.Topology.name topo)
+    (Rtr_graph.Components.count comps)
+    (String.concat ", "
+       (Array.to_list
+          (Array.map string_of_int (Rtr_graph.Components.sizes comps))));
+  Format.printf "%d (initiator, destination) pairs are irrecoverable.@.@."
+    (List.length irrecoverable);
+
+  let rtr_calcs = ref 0 and rtr_tx = ref 0 in
+  let fcp_calcs = ref 0 and fcp_tx = ref 0 in
+  List.iter
+    (fun (c : Scenario.case) ->
+      let session =
+        Rtr_core.Rtr.start topo scenario.Scenario.damage
+          ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger
+      in
+      incr rtr_calcs;
+      (match Rtr_core.Rtr.recover session ~dst:c.Scenario.dst with
+      | Rtr_core.Rtr.Unreachable_in_view -> ()
+      | Rtr_core.Rtr.False_path { path; hops_done; _ } ->
+          let hdr =
+            Rtr_routing.Header.rtr_phase2 ~hops:(Rtr_graph.Path.hops path)
+          in
+          rtr_tx := !rtr_tx + (hops_done * (Rtr_routing.Header.payload_bytes + hdr))
+      | Rtr_core.Rtr.Recovered _ -> assert false);
+      let f =
+        Rtr_baselines.Fcp.run topo scenario.Scenario.damage
+          ~initiator:c.Scenario.initiator ~dst:c.Scenario.dst
+      in
+      fcp_calcs := !fcp_calcs + f.Rtr_baselines.Fcp.sp_calculations;
+      fcp_tx := !fcp_tx + Rtr_baselines.Fcp.wasted_transmission f)
+    irrecoverable;
+
+  let n = List.length irrecoverable in
+  let avg x = float_of_int x /. float_of_int n in
+  Format.printf "Wasted per irrecoverable destination (avg):@.";
+  Format.printf "  computation   RTR %.1f calc   FCP %.1f calcs@."
+    (avg !rtr_calcs) (avg !fcp_calcs);
+  Format.printf "  transmission  RTR %.0f B·hop  FCP %.0f B·hop@."
+    (avg !rtr_tx) (avg !fcp_tx);
+  Format.printf
+    "@.RTR computes once, learns the destination is gone, and discards at \
+     the initiator;@.FCP must exhaust every apparent detour before giving \
+     up.@."

@@ -1,0 +1,89 @@
+(* Quickstart: RTR on the paper's own 18-router example (Figs. 1-6).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module PE = Rtr_topo.Paper_example
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Phase1 = Rtr_core.Phase1
+
+let pv ppf v = Format.fprintf ppf "v%d" (v + 1)
+
+let lname g id =
+  let u, v = Graph.endpoints g id in
+  Printf.sprintf "e%d,%d" (u + 1) (v + 1)
+
+(* Paths printed with the paper's 1-indexed router names. *)
+let ppath ppf p =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+    pv ppf
+    (Rtr_graph.Path.nodes p)
+
+let () =
+  let topo = PE.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  Format.printf "Topology: %a@.@." Rtr_topo.Topology.pp topo;
+
+  (* 1. Steady state: the IGP's default route from v7 to v17. *)
+  let table = Rtr_routing.Route_table.compute g in
+  let default =
+    Option.get
+      (Rtr_routing.Route_table.default_path table ~src:PE.source
+         ~dst:PE.destination)
+  in
+  Format.printf "Default route %a -> %a:  %a@." pv PE.source pv PE.destination
+    ppath default;
+
+  (* 2. A large-scale failure: router v10 is destroyed and the links
+     e6,11 / e4,11 are cut (the shaded area of Fig. 1). *)
+  let damage =
+    Damage.of_failed g ~nodes:[ PE.failed_router ] ~links:(PE.cut_links ())
+  in
+  Format.printf "@.Failure: %a plus %d cut links -> %a@." pv PE.failed_router
+    (List.length (PE.cut_links ()))
+    Damage.pp damage;
+
+  (* 3. v6 notices its next hop v11 is unreachable and becomes the
+     recovery initiator. *)
+  (match Rtr_routing.Source_route.first_failure g damage default with
+  | Some (at, link) ->
+      Format.printf "Route broken at %a (link %s): %a invokes RTR@." pv at
+        (lname g link) pv at
+  | None -> assert false);
+
+  let session =
+    Rtr_core.Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger
+  in
+
+  (* 4. Phase 1: the packet circles the failure area collecting failed
+     link ids in its header (Table I of the paper). *)
+  let p1 = Rtr_core.Rtr.phase1 session in
+  Format.printf "@.Phase 1 walk (%d hops, %.1f ms):@.  %a@." p1.Phase1.hops
+    (Rtr_routing.Delay.ms (Phase1.duration_s p1))
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ") pv)
+    p1.Phase1.walk;
+  Format.printf "  failed_link: %s@."
+    (String.concat ", " (List.map (lname g) p1.Phase1.failed_links));
+  Format.printf "  cross_link:  %s@."
+    (String.concat ", " (List.map (lname g) p1.Phase1.cross_links));
+
+  (* 5. Phase 2: remove the collected links, recompute, source-route. *)
+  (match Rtr_core.Rtr.recover session ~dst:PE.destination with
+  | Rtr_core.Rtr.Recovered path ->
+      Format.printf "@.Recovered %a -> %a over:  %a  (%d hops)@." pv
+        PE.initiator pv PE.destination ppath path
+        (Rtr_graph.Path.hops path);
+      let best =
+        Option.get
+          (Rtr_graph.Dijkstra.distance g ~src:PE.initiator ~dst:PE.destination
+             ~node_ok:(Damage.node_ok damage)
+             ~link_ok:(Damage.link_ok damage)
+             ())
+      in
+      Format.printf "Shortest possible after the failure: %d hops -> %s@." best
+        (if best = Rtr_graph.Path.hops path then "optimal (Theorem 2 holds)"
+         else "NOT optimal (bug!)")
+  | _ -> Format.printf "recovery failed (unexpected on this example)@.");
+  Format.printf "Shortest-path calculations used: %d@."
+    (Rtr_core.Rtr.sp_calculations session)

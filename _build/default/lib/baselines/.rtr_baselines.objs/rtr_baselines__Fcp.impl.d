@@ -1,0 +1,1 @@
+lib/baselines/fcp.ml: Array List Rtr_failure Rtr_graph Rtr_routing Rtr_topo

@@ -1,0 +1,1 @@
+lib/baselines/fcp.mli: Rtr_failure Rtr_graph Rtr_topo

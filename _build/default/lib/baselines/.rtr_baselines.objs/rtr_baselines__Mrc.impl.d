@@ -1,0 +1,1 @@
+lib/baselines/mrc.ml: Array Fun List Printf Queue Rtr_failure Rtr_graph

@@ -1,0 +1,1 @@
+lib/baselines/mrc.mli: Rtr_failure Rtr_graph

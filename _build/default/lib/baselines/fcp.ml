@@ -1,0 +1,90 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Path = Rtr_graph.Path
+module Dijkstra = Rtr_graph.Dijkstra
+module Spt = Rtr_graph.Spt
+module Header = Rtr_routing.Header
+
+type hop_record = { from_ : Graph.node; to_ : Graph.node; header_bytes : int }
+
+type result = {
+  delivered : bool;
+  journey : Path.t;
+  sp_calculations : int;
+  carried_links : Graph.link_id list;
+  hops : hop_record list;
+  discarded_at : Graph.node option;
+}
+
+let run topo damage ~initiator ~dst =
+  if initiator = dst then invalid_arg "Fcp.run: initiator equals destination";
+  if not (Damage.node_ok damage initiator) then
+    invalid_arg "Fcp.run: initiator failed";
+  let g = Rtr_topo.Topology.graph topo in
+  let carried = Array.make (Graph.n_links g) false in
+  let carried_rev = ref [] in
+  let carry id =
+    if not carried.(id) then begin
+      carried.(id) <- true;
+      carried_rev := id :: !carried_rev
+    end
+  in
+  let journey_rev = ref [ initiator ] in
+  let hops_rev = ref [] in
+  let sp_calcs = ref 0 in
+  let finish ~delivered ~discarded_at =
+    {
+      delivered;
+      journey = Path.of_nodes (List.rev !journey_rev);
+      sp_calculations = !sp_calcs;
+      carried_links = List.rev !carried_rev;
+      hops = List.rev !hops_rev;
+      discarded_at;
+    }
+  in
+  (* One recomputation round at [current]: the router's view is the
+     pre-failure map minus carried failures minus what it can see on
+     its own links. *)
+  let rec round current =
+    (* The recomputing router contributes everything it can see to the
+       header: FCP packets carry the failure knowledge of the nodes
+       they visit. *)
+    Graph.iter_neighbors g current (fun v id ->
+        if Damage.neighbor_unreachable damage v id then carry id);
+    let link_ok id = not carried.(id) in
+    incr sp_calcs;
+    let spt = Dijkstra.spt g ~root:current ~link_ok () in
+    match Spt.path spt dst with
+    | None -> finish ~delivered:false ~discarded_at:(Some current)
+    | Some path -> follow path
+  and follow path =
+    let total = Path.hops path in
+    let n_failed = List.length !carried_rev in
+    let rec walk idx = function
+      | u :: v :: rest -> (
+          match Graph.find_link g u v with
+          | None -> assert false
+          | Some id ->
+              if Damage.neighbor_unreachable damage v id then
+                (* A failure not in the header: recompute from here
+                   (the failed link joins the header in [round]). *)
+                round u
+              else begin
+                let header_bytes =
+                  Header.fcp ~n_failed ~route_hops:(total - idx)
+                in
+                hops_rev := { from_ = u; to_ = v; header_bytes } :: !hops_rev;
+                journey_rev := v :: !journey_rev;
+                if v = dst then finish ~delivered:true ~discarded_at:None
+                else walk (idx + 1) (v :: rest)
+              end)
+      | [ _ ] | [] -> finish ~delivered:true ~discarded_at:None
+    in
+    walk 0 (Path.nodes path)
+  in
+  round initiator
+
+let wasted_transmission r =
+  List.fold_left
+    (fun acc h -> acc + Header.payload_bytes + h.header_bytes)
+    0 r.hops

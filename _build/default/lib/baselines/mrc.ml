@@ -1,0 +1,258 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Path = Rtr_graph.Path
+module Dijkstra = Rtr_graph.Dijkstra
+module Spt = Rtr_graph.Spt
+
+type t = {
+  graph : Graph.t;
+  k : int;
+  config_of : int array;
+  isolated : Graph.node list array;
+  restricted_link : int array;
+      (* per isolated node, its single usable (restricted) link in the
+         configuration isolating it; -1 for unprotected nodes *)
+  (* next.(c).(dst).(src) / dist.(c).(dst).(src) *)
+  next : int array array array;
+  dist : int array array array;
+  restricted_cost : int;
+}
+
+(* Backbone connectivity: the non-isolated nodes must form one
+   connected component, and every isolated node must keep a live
+   attachment into it. *)
+let feasible g iso_in_c v =
+  let n = Graph.n_nodes g in
+  let isolated = Array.make n false in
+  List.iter (fun u -> isolated.(u) <- true) iso_in_c;
+  isolated.(v) <- true;
+  let backbone u = not isolated.(u) in
+  let start = ref (-1) in
+  for u = n - 1 downto 0 do
+    if backbone u then start := u
+  done;
+  if !start = -1 then false
+  else begin
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    seen.(!start) <- true;
+    Queue.push !start q;
+    let count = ref 1 in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Graph.iter_neighbors g u (fun w _ ->
+          if backbone w && not seen.(w) then begin
+            seen.(w) <- true;
+            incr count;
+            Queue.push w q
+          end)
+    done;
+    let backbone_size = ref 0 in
+    for u = 0 to n - 1 do
+      if backbone u then incr backbone_size
+    done;
+    !count = !backbone_size
+    (* every isolated node needs an attachment point in the backbone *)
+    && List.for_all
+         (fun u ->
+           Graph.fold_neighbors g u ~init:false ~f:(fun acc w _ ->
+               acc || backbone w))
+         (v :: iso_in_c)
+  end
+
+let assign g k =
+  let n = Graph.n_nodes g in
+  let config_of = Array.make n (-1) in
+  let isolated = Array.make k [] in
+  (* Higher-degree nodes are harder to isolate; place them first while
+     configurations are still empty. *)
+  let order =
+    List.sort
+      (fun a b ->
+        let c = compare (Graph.degree g b) (Graph.degree g a) in
+        if c <> 0 then c else compare a b)
+      (List.init n Fun.id)
+  in
+  let ok =
+    List.for_all
+      (fun v ->
+        let by_load =
+          List.sort
+            (fun a b -> compare (List.length isolated.(a), a) (List.length isolated.(b), b))
+            (List.init k Fun.id)
+        in
+        match List.find_opt (fun c -> feasible g isolated.(c) v) by_load with
+        | Some c ->
+            config_of.(v) <- c;
+            isolated.(c) <- v :: isolated.(c);
+            true
+        | None ->
+            (* An articulation point (or a node with no possible
+               backbone attachment) cannot be isolated at all: MRC
+               leaves it unprotected, as the original paper notes for
+               non-biconnected networks.  Only report failure when the
+               node could have been isolated in an empty configuration
+               — that is a capacity problem more configurations fix. *)
+            not (feasible g [] v))
+      order
+  in
+  if ok then Some (config_of, isolated) else None
+
+(* In the configuration isolating v, exactly one of v's links — the
+   restricted link, chosen as the smallest-id link to a non-isolated
+   neighbour — remains usable (at prohibitive weight, so only as a
+   first or last hop); every other link of v is isolated outright.
+   This is the original scheme's link treatment and what lets MRC
+   reroute around a failed last-hop link that the configuration
+   isolates.
+
+   A link restricted at both its endpoints would be isolated in no
+   configuration, leaving its failure unprotected; the chooser below
+   avoids re-picking a link the other endpoint already restricted
+   whenever an alternative exists. *)
+let choose_restricted g config_of restricted v =
+  let c = config_of.(v) in
+  let candidates =
+    Graph.fold_neighbors g v ~init:[] ~f:(fun acc w id ->
+        if config_of.(w) <> c then (id, w) :: acc else acc)
+    |> List.rev
+  in
+  let fresh (id, w) = restricted.(w) <> id in
+  match List.find_opt fresh candidates with
+  | Some (id, _) -> id
+  | None -> ( match candidates with (id, _) :: _ -> id | [] -> -1)
+
+let build g ~k =
+  if k < 2 then invalid_arg "Mrc.build: need k >= 2";
+  match assign g k with
+  | None -> None
+  | Some (config_of, isolated) ->
+      let n = Graph.n_nodes g in
+      let max_cost =
+        Graph.fold_links g ~init:1 ~f:(fun acc id u _ ->
+            max acc (Graph.cost g id ~src:u))
+      in
+      let restricted_cost = (n * max_cost) + 1 in
+      let restricted_link = Array.make n (-1) in
+      for v = 0 to n - 1 do
+        if config_of.(v) <> -1 then
+          restricted_link.(v) <- choose_restricted g config_of restricted_link v
+      done;
+      let iso v = config_of.(v) in
+      let usable c id =
+        let u, v = Graph.endpoints g id in
+        let u_iso = iso u = c and v_iso = iso v = c in
+        if u_iso && v_iso then false
+        else if u_iso then restricted_link.(u) = id
+        else if v_iso then restricted_link.(v) = id
+        else true
+      in
+      let config_cost c id ~src =
+        let u, v = Graph.endpoints g id in
+        if iso u = c || iso v = c then restricted_cost
+        else Graph.cost g id ~src
+      in
+      let next = Array.init k (fun _ -> [||])
+      and dist = Array.init k (fun _ -> [||]) in
+      for c = 0 to k - 1 do
+        let next_c = Array.make n [||] and dist_c = Array.make n [||] in
+        for dst = 0 to n - 1 do
+          let spt =
+            Dijkstra.spt g ~root:dst ~direction:Spt.To_root
+              ~link_ok:(usable c) ~cost:(config_cost c) ()
+          in
+          next_c.(dst) <- Array.init n (fun src -> Spt.parent_node spt src);
+          dist_c.(dst) <- Array.init n (fun src -> Spt.dist spt src)
+        done;
+        next.(c) <- next_c;
+        dist.(c) <- dist_c
+      done;
+      Some
+        {
+          graph = g;
+          k;
+          config_of;
+          isolated;
+          restricted_link;
+          next;
+          dist;
+          restricted_cost;
+        }
+
+let build_auto ?(k_start = 4) ?(k_max = 64) g =
+  let rec try_k k =
+    if k > k_max then
+      failwith
+        (Printf.sprintf "Mrc.build_auto: no valid configuration set with k <= %d" k_max)
+    else match build g ~k with Some t -> t | None -> try_k (k + 1)
+  in
+  try_k k_start
+
+let n_configs t = t.k
+
+let config_of t v =
+  let c = t.config_of.(v) in
+  if c = -1 then None else Some c
+
+let unprotected t =
+  let acc = ref [] in
+  for v = Array.length t.config_of - 1 downto 0 do
+    if t.config_of.(v) = -1 then acc := v :: !acc
+  done;
+  !acc
+
+let isolated_in t c = List.sort compare t.isolated.(c)
+
+let next_hop t ~config ~src ~dst =
+  if src = dst then None
+  else
+    let v = t.next.(config).(dst).(src) in
+    if v = -1 then None else Some v
+
+type outcome =
+  | Delivered of Path.t
+  | Dropped of { at : Graph.node; hops_done : int }
+
+let recover t damage ~initiator ~trigger ~dst =
+  let g = t.graph in
+  (* Configuration choice (Kvalbein et al.): for a failed next-hop
+     node, the configuration isolating that node.  When the next hop
+     IS the destination, the failure may be just the last-hop link;
+     use a configuration in which that link is isolated — the one
+     isolating [dst] unless the link is dst's restricted link there,
+     otherwise the one isolating the detecting router. *)
+  let c =
+    if trigger <> dst then t.config_of.(trigger)
+    else
+      match Graph.find_link g initiator dst with
+      | None -> -1
+      | Some failed ->
+          let c_dst = t.config_of.(dst) in
+          if c_dst <> -1 && t.restricted_link.(dst) <> failed then c_dst
+          else
+            let c_self = t.config_of.(initiator) in
+            if c_self <> -1 && t.restricted_link.(initiator) <> failed then
+              c_self
+            else -1
+  in
+  if c = -1 then Dropped { at = initiator; hops_done = 0 }
+  else
+  (* Plain per-configuration table forwarding: the backup configuration
+     guarantees the packet avoids the element it isolates, nothing
+     more.  Any further damage on the configuration's path drops the
+     packet — the scheme has no second switch. *)
+  let rec follow u journey_rev hops =
+    if u = dst then Delivered (Path.of_nodes (List.rev journey_rev))
+    else if hops > 4 * Graph.n_nodes g then Dropped { at = u; hops_done = hops }
+    else
+      let v = t.next.(c).(dst).(u) in
+      if v = -1 then Dropped { at = u; hops_done = hops }
+      else
+        match Graph.find_link g u v with
+        | None -> assert false
+        | Some id ->
+            if Damage.neighbor_unreachable damage v id then
+              Dropped { at = u; hops_done = hops }
+            else follow v (v :: journey_rev) (hops + 1)
+  in
+  follow initiator [ initiator ] 0

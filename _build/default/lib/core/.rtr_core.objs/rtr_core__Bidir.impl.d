@@ -1,0 +1,1 @@
+lib/core/bidir.ml: List Phase1 Phase2 Rtr_graph Sweep

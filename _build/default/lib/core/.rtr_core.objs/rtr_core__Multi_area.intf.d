@@ -1,0 +1,1 @@
+lib/core/multi_area.mli: Phase1 Rtr_failure Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+lib/core/phase1.ml: Hashtbl List Rtr_failure Rtr_graph Rtr_routing Rtr_topo Sweep

@@ -1,0 +1,1 @@
+lib/core/phase1.mli: Rtr_failure Rtr_graph Rtr_topo Sweep

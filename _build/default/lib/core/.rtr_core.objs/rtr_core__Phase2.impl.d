@@ -1,0 +1,1 @@
+lib/core/phase2.ml: Array Fun Hashtbl List Phase1 Rtr_failure Rtr_graph Rtr_topo

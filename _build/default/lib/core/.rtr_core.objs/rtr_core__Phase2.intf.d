@@ -1,0 +1,1 @@
+lib/core/phase2.mli: Phase1 Rtr_failure Rtr_graph Rtr_topo

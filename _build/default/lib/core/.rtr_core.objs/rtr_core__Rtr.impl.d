@@ -1,0 +1,1 @@
+lib/core/rtr.ml: Phase1 Phase2 Rtr_failure Rtr_graph Rtr_routing Rtr_topo

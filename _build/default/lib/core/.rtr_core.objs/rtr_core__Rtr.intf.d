@@ -1,0 +1,1 @@
+lib/core/rtr.mli: Phase1 Phase2 Rtr_failure Rtr_graph Rtr_topo

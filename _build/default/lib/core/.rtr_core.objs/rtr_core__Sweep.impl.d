@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Angle Float Int List Rtr_failure Rtr_geom Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Rtr_failure Rtr_graph Rtr_topo

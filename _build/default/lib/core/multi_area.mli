@@ -1,0 +1,41 @@
+(** Recovery across multiple failure areas (Sec. III-E).
+
+    A recovery path computed after bypassing one area can run into a
+    second one.  The router where the source route breaks becomes a new
+    recovery initiator; the packet header keeps carrying all failed
+    links learned so far, so each successive phase 2 removes the union
+    and the final path bypasses every area encountered. *)
+
+module Graph = Rtr_graph.Graph
+
+type leg = {
+  initiator : Graph.node;
+  phase1 : Phase1.result;
+  segment : Rtr_graph.Path.t option;
+      (** portion of the journey contributed by this initiator: its
+          recovery path up to where it broke (or to the destination);
+          [None] when this initiator saw no path at all *)
+}
+
+type result = {
+  legs : leg list;  (** in order of initiation *)
+  delivered : bool;
+  journey : Rtr_graph.Path.t option;
+      (** full node sequence actually travelled when delivered *)
+  sp_calculations : int;
+  phase1_hops : int;  (** total across all legs *)
+}
+
+val recover :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  initiator:Graph.node ->
+  trigger:Graph.node ->
+  dst:Graph.node ->
+  ?max_initiations:int ->
+  unit ->
+  result
+(** Runs the iterated recovery.  [max_initiations] (default 16) bounds
+    the number of legs; carried failure information guarantees each new
+    initiator knows strictly more, so the loop cannot revisit the same
+    dead end. *)

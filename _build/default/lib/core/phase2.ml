@@ -1,0 +1,68 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Dijkstra = Rtr_graph.Dijkstra
+module Spt = Rtr_graph.Spt
+module Incremental_spt = Rtr_graph.Incremental_spt
+
+type t = {
+  topo : Rtr_topo.Topology.t;
+  initiator : Graph.node;
+  removed : bool array;
+  removed_list : Graph.link_id list;
+  spt : Spt.t;
+  cache : (Graph.node, Rtr_graph.Path.t option) Hashtbl.t;
+  mutable sp_calcs : int;
+  repaired : int;
+}
+
+let create topo damage ?(extra_removed = []) ~phase1 () =
+  let g = Rtr_topo.Topology.graph topo in
+  let initiator = phase1.Phase1.initiator in
+  let removed = Array.make (Graph.n_links g) false in
+  List.iter (fun id -> removed.(id) <- true) phase1.Phase1.failed_links;
+  List.iter (fun id -> removed.(id) <- true) extra_removed;
+  List.iter
+    (fun (_, id) -> removed.(id) <- true)
+    (Damage.unreachable_neighbors damage g initiator);
+  let removed_list =
+    List.filter (fun id -> removed.(id)) (List.init (Graph.n_links g) Fun.id)
+  in
+  (* The initiator already holds its pre-failure SPF tree; phase 2 only
+     repairs it around the removed links. *)
+  let spt = Dijkstra.spt g ~root:initiator ~direction:Spt.From_root () in
+  let link_ok id = not removed.(id) in
+  let repaired =
+    Incremental_spt.remove spt ~dead_links:removed_list
+      ~node_ok:(fun _ -> true)
+      ~link_ok ()
+  in
+  {
+    topo;
+    initiator;
+    removed;
+    removed_list;
+    spt;
+    cache = Hashtbl.create 16;
+    sp_calcs = 0;
+    repaired;
+  }
+
+let initiator t = t.initiator
+let removed_links t = t.removed_list
+
+let recovery_path t ~dst =
+  match Hashtbl.find_opt t.cache dst with
+  | Some cached -> cached
+  | None ->
+      t.sp_calcs <- t.sp_calcs + 1;
+      let path = Spt.path t.spt dst in
+      Hashtbl.replace t.cache dst path;
+      path
+
+let recovery_distance t ~dst =
+  match recovery_path t ~dst with
+  | None -> None
+  | Some _ -> Some (Spt.dist t.spt dst)
+
+let sp_calculations t = t.sp_calcs
+let repaired_nodes t = t.repaired

@@ -1,0 +1,47 @@
+(** Phase 2: recomputation and rerouting (Sec. III-D).
+
+    The recovery initiator removes from its topology view the links
+    collected in phase 1 plus its own links to unreachable neighbours,
+    repairs its pre-failure shortest-path tree incrementally
+    ([Rtr_graph.Incremental_spt]), and source-routes packets along the
+    resulting paths.  Paths are cached: one shortest-path calculation
+    per affected destination, which is the paper's computational-
+    overhead accounting for RTR. *)
+
+module Graph = Rtr_graph.Graph
+
+type t
+
+val create :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  ?extra_removed:Graph.link_id list ->
+  phase1:Phase1.result ->
+  unit ->
+  t
+(** Builds the initiator's view.  [Damage] is consulted only for the
+    initiator's {e local} knowledge (its own unreachable neighbours) —
+    phase 2 never peeks at the global failure state.  [extra_removed]
+    carries failure information already in the packet header, used by
+    the multiple-failure-area extension (Sec. III-E). *)
+
+val initiator : t -> Graph.node
+
+val removed_links : t -> Graph.link_id list
+(** The links absent from the view: phase-1 collection plus
+    initiator-incident failures, deduplicated. *)
+
+val recovery_path : t -> dst:Graph.node -> Rtr_graph.Path.t option
+(** The shortest path from the initiator to [dst] in the view; [None]
+    means the destination looks unreachable and packets for it are
+    discarded immediately.  Cached per destination. *)
+
+val recovery_distance : t -> dst:Graph.node -> int option
+
+val sp_calculations : t -> int
+(** Number of distinct destinations for which a shortest path has been
+    calculated so far — the paper counts exactly 1 per test case. *)
+
+val repaired_nodes : t -> int
+(** Nodes the incremental repair had to touch (ablation metric: how
+    local phase 2's recomputation is compared to a full SPF). *)

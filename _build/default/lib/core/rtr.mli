@@ -1,0 +1,41 @@
+(** The RTR recovery engine: one recovery session per initiator.
+
+    Glues the two phases together and simulates the fate of rerouted
+    packets against the ground-truth damage (which the protocol itself
+    never reads — it is used only to find out whether the source-routed
+    packet survives, exactly as the network would).
+
+    Phase 1 runs once per initiator and serves every destination
+    (Sec. III-A); [recover] per destination then costs exactly one
+    shortest-path calculation. *)
+
+module Graph = Rtr_graph.Graph
+
+type outcome =
+  | Recovered of Rtr_graph.Path.t
+      (** delivered over this path — by Theorem 2 it is a shortest path
+          in the truly damaged topology *)
+  | Unreachable_in_view
+      (** the post-phase-1 view offers no path: RTR discards packets at
+          the initiator after its single calculation *)
+  | False_path of { path : Rtr_graph.Path.t; dropped_at : Graph.node; hops_done : int }
+      (** phase 1 missed a failure and the source route hit it; the
+          packet is discarded there (Sec. III-D) *)
+
+type t
+
+val start :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  initiator:Graph.node ->
+  trigger:Graph.node ->
+  t
+(** Runs phase 1 and prepares phase 2. *)
+
+val phase1 : t -> Phase1.result
+val phase2 : t -> Phase2.t
+
+val recover : t -> dst:Graph.node -> outcome
+
+val sp_calculations : t -> int
+(** Shortest-path calculations performed so far by this session. *)

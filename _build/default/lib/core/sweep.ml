@@ -1,0 +1,32 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Embedding = Rtr_topo.Embedding
+open Rtr_geom
+
+type hand = Right | Left
+
+let candidates topo damage ?(hand = Right) ~at ~reference ~excluded () =
+  if at = reference then invalid_arg "Sweep: reference equals current node";
+  let g = Rtr_topo.Topology.graph topo in
+  let emb = Rtr_topo.Topology.embedding topo in
+  let sweep_line = Embedding.direction emb ~from_:at ~to_:reference in
+  let rotation =
+    match hand with
+    | Right -> Angle.ccw_from ~reference:sweep_line
+    | Left -> Angle.cw_from ~reference:sweep_line
+  in
+  let eligible acc v id =
+    if Damage.neighbor_unreachable damage v id || excluded id then acc
+    else
+      let dir = Embedding.direction emb ~from_:at ~to_:v in
+      (rotation dir, v, id) :: acc
+  in
+  Graph.fold_neighbors g at ~init:[] ~f:eligible
+  |> List.sort (fun (a1, v1, _) (a2, v2, _) ->
+         let c = Float.compare a1 a2 in
+         if c <> 0 then c else Int.compare v1 v2)
+
+let select topo damage ?hand ~at ~reference ~excluded () =
+  match candidates topo damage ?hand ~at ~reference ~excluded () with
+  | (_, v, id) :: _ -> Some (v, id)
+  | [] -> None

@@ -1,0 +1,49 @@
+(** The right-hand rule of RTR's phase 1 (Sec. III-B).
+
+    A router forwarding a phase-1 packet takes the link to a reference
+    neighbour as the sweeping line — the unreachable default next hop
+    when it is the recovery initiator starting the walk, the previous
+    hop otherwise — and rotates it counterclockwise until it reaches an
+    eligible live neighbour.
+
+    Eligibility encodes both of the paper's constraints: a link
+    crossing any member of the packet's [cross_link] field must not be
+    selected.  The previous hop itself is always a candidate (its
+    rotation counts as a full turn), which is what makes backtracking
+    the selection of last resort and underpins the loop-freedom proof
+    of Theorem 1. *)
+
+module Graph = Rtr_graph.Graph
+
+type hand = Right | Left
+(** [Right] is the paper's rule (counterclockwise rotation); [Left] is
+    its mirror, used by the bidirectional-walk extension to send a
+    second packet the other way around the area. *)
+
+val select :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  ?hand:hand ->
+  at:Graph.node ->
+  reference:Graph.node ->
+  excluded:(Graph.link_id -> bool) ->
+  unit ->
+  (Graph.node * Graph.link_id) option
+(** The first eligible live neighbour met when rotating the sweeping
+    line [at -> reference] counterclockwise ([Right], the default) or
+    clockwise ([Left]), with its link.  [None] when no neighbour is
+    live and unexcluded.  Angle ties (collinear candidates) break
+    towards the smaller node id.  [reference] must be a neighbour of
+    [at] and distinct from it. *)
+
+val candidates :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  ?hand:hand ->
+  at:Graph.node ->
+  reference:Graph.node ->
+  excluded:(Graph.link_id -> bool) ->
+  unit ->
+  (float * Graph.node * Graph.link_id) list
+(** All eligible candidates with their rotation angles, ascending — the
+    full sweep order, exposed for tests and visualisation. *)

@@ -1,0 +1,1 @@
+lib/des/netsim.ml: Array Event_queue Float Format Hashtbl List Option Rtr_core Rtr_failure Rtr_graph Rtr_igp Rtr_routing Rtr_topo

@@ -1,0 +1,1 @@
+lib/des/netsim.mli: Format Rtr_failure Rtr_graph Rtr_igp Rtr_topo

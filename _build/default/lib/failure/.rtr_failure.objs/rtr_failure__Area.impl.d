@@ -1,0 +1,1 @@
+lib/failure/area.ml: Circle Point Polygon Rtr_geom Rtr_topo Rtr_util

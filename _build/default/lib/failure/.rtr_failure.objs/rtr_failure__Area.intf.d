@@ -1,0 +1,1 @@
+lib/failure/area.mli: Circle Format Point Polygon Rtr_geom Rtr_util Segment

@@ -1,0 +1,1 @@
+lib/failure/damage.ml: Area Array Format List Rtr_graph Rtr_topo

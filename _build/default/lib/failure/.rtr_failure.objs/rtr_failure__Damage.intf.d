@@ -1,0 +1,1 @@
+lib/failure/damage.mli: Area Format Rtr_graph Rtr_topo

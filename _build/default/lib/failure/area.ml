@@ -1,0 +1,27 @@
+open Rtr_geom
+
+type t = Disc of Circle.t | Poly of Polygon.t
+
+let disc ~center ~radius = Disc (Circle.make center radius)
+let poly p = Poly p
+
+let random_disc rng ?(width = Rtr_topo.Embedding.default_width)
+    ?(height = Rtr_topo.Embedding.default_height) ~r_min ~r_max () =
+  let center =
+    Point.make (Rtr_util.Rng.float rng width) (Rtr_util.Rng.float rng height)
+  in
+  Disc (Circle.make center (Rtr_util.Rng.float_range rng r_min r_max))
+
+let contains t p =
+  match t with
+  | Disc c -> Circle.contains_strict c p
+  | Poly poly -> Polygon.contains poly p
+
+let hits_segment t s =
+  match t with
+  | Disc c -> Circle.intersects_segment c s
+  | Poly poly -> Polygon.intersects_segment poly s
+
+let pp ppf = function
+  | Disc c -> Circle.pp ppf c
+  | Poly p -> Polygon.pp ppf p

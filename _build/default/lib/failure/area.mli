@@ -1,0 +1,33 @@
+(** Failure areas.
+
+    The paper's simulations use discs (centre uniform in the plane,
+    radius uniform in [100, 300]); RTR itself makes no shape assumption,
+    so polygonal areas are supported as well and exercised in tests. *)
+
+open Rtr_geom
+
+type t = Disc of Circle.t | Poly of Polygon.t
+
+val disc : center:Point.t -> radius:float -> t
+
+val poly : Polygon.t -> t
+
+val random_disc :
+  Rtr_util.Rng.t ->
+  ?width:float ->
+  ?height:float ->
+  r_min:float ->
+  r_max:float ->
+  unit ->
+  t
+(** Centre uniform in the area, radius uniform in [r_min, r_max) — the
+    paper's Sec. IV-A model with its default 2000x2000 plane. *)
+
+val contains : t -> Point.t -> bool
+(** Whether a router at this position fails. *)
+
+val hits_segment : t -> Segment.t -> bool
+(** Whether a link with this embedding fails ("links across it all
+    fail"). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/geom/polygon.ml: Angle Array Float Format List Point Segment

@@ -1,0 +1,1 @@
+lib/geom/polygon.mli: Format Point Segment

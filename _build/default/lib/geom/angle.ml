@@ -1,0 +1,26 @@
+let pi = 4.0 *. atan 1.0
+let two_pi = 2.0 *. pi
+
+let of_vec (v : Point.t) =
+  if Point.norm2 v = 0.0 then invalid_arg "Angle.of_vec: null vector";
+  atan2 v.Point.y v.Point.x
+
+let normalize a =
+  let a = Float.rem a two_pi in
+  if a < 0.0 then a +. two_pi else a
+
+(* Angles within [eps_zero] of a full turn collapse to "no rotation",
+   which the sweep must treat as a full turn: otherwise floating-point
+   noise could make a node re-select the direction it came from before
+   trying every other neighbour. *)
+let eps_zero = 1e-12
+
+let ccw_from ~reference v =
+  let a = normalize (of_vec v -. of_vec reference) in
+  if a <= eps_zero then two_pi else a
+
+let cw_from ~reference v =
+  let a = ccw_from ~reference v in
+  if a >= two_pi -. eps_zero then a else two_pi -. a
+
+let degrees a = a *. 180.0 /. pi

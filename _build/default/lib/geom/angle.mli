@@ -1,0 +1,34 @@
+(** Angles and the counterclockwise sweep used by RTR's phase 1.
+
+    The right-hand rule of the paper (Sec. III-B) takes the link to the
+    previous hop (or to the unreachable default next hop) as a sweeping
+    line and rotates it {e counterclockwise} until it reaches a live
+    neighbour.  Concretely that means: among candidate neighbour
+    directions, pick the one with the smallest strictly-positive
+    counterclockwise angle from the reference direction, where an angle
+    of zero is treated as a full turn so that backtracking to the
+    previous hop is the last resort. *)
+
+val pi : float
+val two_pi : float
+
+val of_vec : Point.t -> float
+(** Polar angle of a vector, in (-pi, pi], via [atan2]. *)
+
+val normalize : float -> float
+(** Maps any angle into the half-open interval [0, 2*pi). *)
+
+val ccw_from : reference:Point.t -> Point.t -> float
+(** [ccw_from ~reference v] is the counterclockwise rotation, in
+    (0, 2*pi], that carries the direction of [reference] onto the
+    direction of [v].  A zero rotation is reported as [2*pi]: in the
+    sweep, the direction we start from is the one we select last.
+    Raises [Invalid_argument] if either vector is (numerically) null. *)
+
+val cw_from : reference:Point.t -> Point.t -> float
+(** Clockwise counterpart of [ccw_from], in (0, 2*pi], zero again
+    reported as a full turn — the mirror sweep used by the
+    bidirectional-walk extension. *)
+
+val degrees : float -> float
+(** Radians to degrees, for display. *)

@@ -1,0 +1,16 @@
+type t = { center : Point.t; radius : float }
+
+let make center radius =
+  if radius < 0.0 then invalid_arg "Circle.make: negative radius";
+  { center; radius }
+
+let contains { center; radius } p = Point.dist center p <= radius
+let contains_strict { center; radius } p = Point.dist center p < radius
+
+let intersects_segment { center; radius } seg =
+  Segment.dist_to_point seg center <= radius
+
+let area { radius; _ } = Angle.pi *. radius *. radius
+
+let pp ppf { center; radius } =
+  Format.fprintf ppf "circle(%a, r=%g)" Point.pp center radius

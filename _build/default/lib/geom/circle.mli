@@ -1,0 +1,28 @@
+(** Discs: the paper's model of a large-scale failure area.
+
+    Section IV-A models the failure area as a circle placed uniformly at
+    random in the plane, with radius drawn from U(100, 300).  Routers
+    strictly inside the disc fail; links whose segment intersects the
+    disc fail (this includes links with a failed endpoint and links that
+    merely pass through the area). *)
+
+type t = { center : Point.t; radius : float }
+
+val make : Point.t -> float -> t
+(** [make c r] is the disc of radius [r] centred at [c].  Raises
+    [Invalid_argument] if [r < 0]. *)
+
+val contains : t -> Point.t -> bool
+(** Whether the point lies inside or on the boundary. *)
+
+val contains_strict : t -> Point.t -> bool
+(** Whether the point lies strictly inside. *)
+
+val intersects_segment : t -> Segment.t -> bool
+(** Whether the closed disc and the closed segment share a point, i.e.
+    the distance from the centre to the segment is at most the
+    radius. *)
+
+val area : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type t = { a : Point.t; b : Point.t }
+
+let make a b = { a; b }
+let length { a; b } = Point.dist a b
+
+let eps = 1e-9
+
+let orientation p q r =
+  let v = Point.cross (Point.sub q p) (Point.sub r p) in
+  if v > eps then 1 else if v < -.eps then -1 else 0
+
+let on_segment { a; b } p =
+  Float.min a.Point.x b.Point.x -. eps <= p.Point.x
+  && p.Point.x <= Float.max a.Point.x b.Point.x +. eps
+  && Float.min a.Point.y b.Point.y -. eps <= p.Point.y
+  && p.Point.y <= Float.max a.Point.y b.Point.y +. eps
+
+let intersects s1 s2 =
+  let o1 = orientation s1.a s1.b s2.a in
+  let o2 = orientation s1.a s1.b s2.b in
+  let o3 = orientation s2.a s2.b s1.a in
+  let o4 = orientation s2.a s2.b s1.b in
+  if o1 <> o2 && o3 <> o4 then true
+  else
+    (o1 = 0 && on_segment s1 s2.a)
+    || (o2 = 0 && on_segment s1 s2.b)
+    || (o3 = 0 && on_segment s2 s1.a)
+    || (o4 = 0 && on_segment s2 s1.b)
+
+let share_endpoint s1 s2 =
+  let eq = Point.equal ~eps in
+  eq s1.a s2.a || eq s1.a s2.b || eq s1.b s2.a || eq s1.b s2.b
+
+let crosses s1 s2 = (not (share_endpoint s1 s2)) && intersects s1 s2
+
+let dist_to_point { a; b } p =
+  let ab = Point.sub b a in
+  let len2 = Point.norm2 ab in
+  if len2 = 0.0 then Point.dist a p
+  else
+    let t = Point.dot (Point.sub p a) ab /. len2 in
+    let t = Float.max 0.0 (Float.min 1.0 t) in
+    Point.dist p (Point.lerp a b t)
+
+let pp ppf { a; b } = Format.fprintf ppf "[%a -- %a]" Point.pp a Point.pp b

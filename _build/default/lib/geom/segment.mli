@@ -1,0 +1,37 @@
+(** Line segments and the crossing predicate behind "cross links".
+
+    Constraint 2 of the paper forbids the phase-1 forwarding path from
+    containing {e cross links}: links whose straight-line embeddings
+    intersect.  Two links that merely share a router are not crossing.
+    The predicates here are the single source of truth for that notion;
+    [Rtr_topo.Crossings] precomputes them for every link pair. *)
+
+type t = { a : Point.t; b : Point.t }
+
+val make : Point.t -> Point.t -> t
+
+val length : t -> float
+
+val orientation : Point.t -> Point.t -> Point.t -> int
+(** [orientation p q r] is the turn direction of the path p->q->r:
+    [1] for counterclockwise, [-1] for clockwise, [0] for (numerically)
+    collinear. *)
+
+val on_segment : t -> Point.t -> bool
+(** Whether a point known to be collinear with the segment lies within
+    its bounding box (i.e. on the segment itself). *)
+
+val intersects : t -> t -> bool
+(** Whether the two closed segments share at least one point, including
+    touching at endpoints and collinear overlap. *)
+
+val crosses : t -> t -> bool
+(** The "cross link" relation: the segments intersect {e and} they do
+    not share an endpoint.  Sharing an endpoint models two links
+    incident to the same router, which never count as crossing. *)
+
+val dist_to_point : t -> Point.t -> float
+(** Euclidean distance from a point to the closest point of the
+    segment. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/graph/incremental_spt.ml: Array Graph Hashtbl List Pqueue Spt

@@ -1,0 +1,1 @@
+lib/graph/spt.ml: Array Graph List Path

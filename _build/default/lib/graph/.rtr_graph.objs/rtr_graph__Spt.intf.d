@@ -1,0 +1,1 @@
+lib/graph/spt.mli: Graph Path

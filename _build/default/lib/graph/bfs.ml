@@ -1,0 +1,31 @@
+type result = { dist : int array; parent : int array }
+
+let run g ~source ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true) () =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n max_int and parent = Array.make n (-1) in
+  if node_ok source then begin
+    dist.(source) <- 0;
+    let q = Queue.create () in
+    Queue.push source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Graph.iter_neighbors g u (fun v id ->
+          if link_ok id && node_ok v && dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            parent.(v) <- u;
+            Queue.push v q
+          end)
+    done
+  end;
+  { dist; parent }
+
+let reachable g ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true) s t =
+  let r = run g ~source:s ~node_ok ~link_ok () in
+  r.dist.(t) < max_int
+
+let path_to r t =
+  if r.dist.(t) = max_int then None
+  else begin
+    let rec walk acc v = if v = -1 then acc else walk (v :: acc) r.parent.(v) in
+    Some (Path.of_nodes (walk [] t))
+  end

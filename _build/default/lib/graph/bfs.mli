@@ -1,0 +1,34 @@
+(** Breadth-first search under liveness filters.
+
+    Used for hop-count distances, reachability classification of failed
+    routing paths, and as an independent oracle against which Dijkstra
+    is property-tested (on unit costs they must agree). *)
+
+type result = {
+  dist : int array;  (** hop distance from the source; [max_int] if unreachable *)
+  parent : int array;  (** predecessor node on a shortest hop path; [-1] at the source and for unreachable nodes *)
+}
+
+val run :
+  Graph.t ->
+  source:Graph.node ->
+  ?node_ok:(Graph.node -> bool) ->
+  ?link_ok:(Graph.link_id -> bool) ->
+  unit ->
+  result
+(** Nodes failing [node_ok] are never visited; links failing [link_ok]
+    are never traversed.  If the source itself fails [node_ok], every
+    distance is [max_int].  Ties resolve toward the smallest parent id
+    (neighbours are scanned in ascending order). *)
+
+val reachable :
+  Graph.t ->
+  ?node_ok:(Graph.node -> bool) ->
+  ?link_ok:(Graph.link_id -> bool) ->
+  Graph.node ->
+  Graph.node ->
+  bool
+
+val path_to : result -> Graph.node -> Path.t option
+(** Reconstructs the shortest hop path from the BFS source, if the node
+    was reached. *)

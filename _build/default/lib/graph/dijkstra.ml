@@ -1,0 +1,60 @@
+(* Traversal cost of a link in the metric direction of the tree: growing
+   a [From_root] tree crosses the link out of the settled node [u];
+   growing a [To_root] tree extends a path that will cross the link out
+   of the new node [v]. *)
+let step_cost cost ~direction ~settled ~next link =
+  match (direction : Spt.direction) with
+  | Spt.From_root -> cost link ~src:settled
+  | Spt.To_root ->
+      ignore settled;
+      cost link ~src:next
+
+let spt g ~root ?(direction = Spt.From_root) ?(node_ok = fun _ -> true)
+    ?(link_ok = fun _ -> true) ?cost () =
+  let cost =
+    match cost with Some c -> c | None -> fun id ~src -> Graph.cost g id ~src
+  in
+  let n = Graph.n_nodes g in
+  let dist = Array.make n max_int in
+  let parent_node = Array.make n (-1) in
+  let parent_link = Array.make n (-1) in
+  let settled = Array.make n false in
+  if node_ok root then begin
+    dist.(root) <- 0;
+    let heap = Pqueue.create () in
+    Pqueue.push heap ~prio:0 ~tag:root;
+    let rec drain () =
+      match Pqueue.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+          if not settled.(u) && d = dist.(u) then begin
+            settled.(u) <- true;
+            Graph.iter_neighbors g u (fun v id ->
+                if link_ok id && node_ok v && not settled.(v) then begin
+                  let cand = d + step_cost cost ~direction ~settled:u ~next:v id in
+                  if
+                    cand < dist.(v)
+                    || (cand = dist.(v) && u < parent_node.(v))
+                  then begin
+                    dist.(v) <- cand;
+                    parent_node.(v) <- u;
+                    parent_link.(v) <- id;
+                    Pqueue.push heap ~prio:cand ~tag:v
+                  end
+                end)
+          end;
+          drain ()
+    in
+    drain ()
+  end;
+  { Spt.graph = g; root; direction; dist; parent_node; parent_link }
+
+let shortest_path g ~src ~dst ?(node_ok = fun _ -> true)
+    ?(link_ok = fun _ -> true) () =
+  let t = spt g ~root:src ~direction:Spt.From_root ~node_ok ~link_ok () in
+  Spt.path t dst
+
+let distance g ~src ~dst ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true)
+    () =
+  let t = spt g ~root:src ~direction:Spt.From_root ~node_ok ~link_ok () in
+  if Spt.reached t dst then Some (Spt.dist t dst) else None

@@ -1,0 +1,44 @@
+(** Dijkstra's algorithm over filtered graphs.
+
+    All shortest-path computations in the reproduction go through this
+    module, so the experiment harness can count them (the paper's
+    "computational overhead" metric is the number of shortest-path
+    calculations).  Counting is the caller's concern; see
+    [Rtr_sim.Metrics]. *)
+
+val spt :
+  Graph.t ->
+  root:Graph.node ->
+  ?direction:Spt.direction ->
+  ?node_ok:(Graph.node -> bool) ->
+  ?link_ok:(Graph.link_id -> bool) ->
+  ?cost:(Graph.link_id -> src:Graph.node -> int) ->
+  unit ->
+  Spt.t
+(** Single-source shortest paths from/towards [root] (default
+    [From_root]), visiting only nodes and links that pass the filters.
+    Ties are broken deterministically: the heap orders equal distances
+    by node id, and among equal-cost predecessors the smallest node id
+    wins, so two runs over the same inputs yield the same tree.
+
+    [cost] overrides the graph's own link costs ([src] is the node the
+    link is crossed out of); MRC's restricted-link weights use this.
+    Costs must stay positive. *)
+
+val shortest_path :
+  Graph.t ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  ?node_ok:(Graph.node -> bool) ->
+  ?link_ok:(Graph.link_id -> bool) ->
+  unit ->
+  Path.t option
+
+val distance :
+  Graph.t ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  ?node_ok:(Graph.node -> bool) ->
+  ?link_ok:(Graph.link_id -> bool) ->
+  unit ->
+  int option

@@ -1,0 +1,116 @@
+type node = int
+type link_id = int
+
+type t = {
+  n : int;
+  (* Per link, endpoints with u < v and the two directional costs. *)
+  link_u : int array;
+  link_v : int array;
+  cost_uv : int array;
+  cost_vu : int array;
+  adj : (node * link_id) array array;
+}
+
+let n_nodes g = g.n
+let n_links g = Array.length g.link_u
+
+let check_node n u =
+  if u < 0 || u >= n then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range [0,%d)" u n)
+
+let build_weighted ~n ~edges =
+  if n <= 0 then invalid_arg "Graph.build: n must be positive";
+  let m = List.length edges in
+  let link_u = Array.make m 0
+  and link_v = Array.make m 0
+  and cost_uv = Array.make m 1
+  and cost_vu = Array.make m 1 in
+  let seen = Hashtbl.create (2 * m) in
+  List.iteri
+    (fun id (u, v, cuv, cvu) ->
+      check_node n u;
+      check_node n v;
+      if u = v then invalid_arg "Graph.build: self loop";
+      if cuv <= 0 || cvu <= 0 then invalid_arg "Graph.build: nonpositive cost";
+      let lo = min u v and hi = max u v in
+      if Hashtbl.mem seen (lo, hi) then
+        invalid_arg (Printf.sprintf "Graph.build: duplicate edge (%d,%d)" u v);
+      Hashtbl.add seen (lo, hi) ();
+      link_u.(id) <- lo;
+      link_v.(id) <- hi;
+      (* Store costs in the canonical (lo -> hi) orientation. *)
+      if u = lo then begin
+        cost_uv.(id) <- cuv;
+        cost_vu.(id) <- cvu
+      end
+      else begin
+        cost_uv.(id) <- cvu;
+        cost_vu.(id) <- cuv
+      end)
+    edges;
+  let deg = Array.make n 0 in
+  Array.iter (fun u -> deg.(u) <- deg.(u) + 1) link_u;
+  Array.iter (fun v -> deg.(v) <- deg.(v) + 1) link_v;
+  let adj = Array.init n (fun u -> Array.make deg.(u) (0, 0)) in
+  let fill = Array.make n 0 in
+  for id = 0 to m - 1 do
+    let u = link_u.(id) and v = link_v.(id) in
+    adj.(u).(fill.(u)) <- (v, id);
+    fill.(u) <- fill.(u) + 1;
+    adj.(v).(fill.(v)) <- (u, id);
+    fill.(v) <- fill.(v) + 1
+  done;
+  (* Sort adjacency by neighbour id: gives every iteration a canonical
+     deterministic order. *)
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; link_u; link_v; cost_uv; cost_vu; adj }
+
+let build ~n ~edges =
+  build_weighted ~n ~edges:(List.map (fun (u, v) -> (u, v, 1, 1)) edges)
+
+let endpoints g id = (g.link_u.(id), g.link_v.(id))
+
+let other_end g id u =
+  if g.link_u.(id) = u then g.link_v.(id)
+  else if g.link_v.(id) = u then g.link_u.(id)
+  else invalid_arg "Graph.other_end: node not an endpoint"
+
+let cost g id ~src =
+  if g.link_u.(id) = src then g.cost_uv.(id)
+  else if g.link_v.(id) = src then g.cost_vu.(id)
+  else invalid_arg "Graph.cost: node not an endpoint"
+
+let degree g u = Array.length g.adj.(u)
+let neighbors g u = g.adj.(u)
+
+let find_link g u v =
+  let a = g.adj.(u) in
+  let rec loop i =
+    if i >= Array.length a then None
+    else
+      let w, id = a.(i) in
+      if w = v then Some id else loop (i + 1)
+  in
+  loop 0
+
+let mem_edge g u v = Option.is_some (find_link g u v)
+
+let iter_neighbors g u f = Array.iter (fun (v, id) -> f v id) g.adj.(u)
+
+let fold_neighbors g u ~init ~f =
+  Array.fold_left (fun acc (v, id) -> f acc v id) init g.adj.(u)
+
+let iter_links g f =
+  for id = 0 to n_links g - 1 do
+    f id g.link_u.(id) g.link_v.(id)
+  done
+
+let fold_links g ~init ~f =
+  let acc = ref init in
+  iter_links g (fun id u v -> acc := f !acc id u v);
+  !acc
+
+let link_name g id = Printf.sprintf "e%d,%d" g.link_u.(id) g.link_v.(id)
+
+let pp ppf g =
+  Format.fprintf ppf "graph(%d nodes, %d links)" (n_nodes g) (n_links g)

@@ -1,0 +1,75 @@
+(** The network graph: routers, links, asymmetric costs.
+
+    The paper models the network as an undirected graph whose links
+    carry a cost per direction (c_ij may differ from c_ji, Sec. II-A).
+    Nodes are dense ints [0 .. n-1]; links carry dense ids
+    [0 .. m-1] so that per-link state (failed? crossing sets, header
+    contents) lives in flat arrays.
+
+    A graph is immutable after [build]; transient conditions (failures)
+    are expressed by the [node_ok]/[link_ok] filters that every
+    algorithm in this library accepts, so one graph value serves all
+    scenarios. *)
+
+type node = int
+type link_id = int
+
+type t
+
+(** {1 Construction} *)
+
+val build : n:int -> edges:(node * node) list -> t
+(** [build ~n ~edges] makes a graph with unit cost in both directions on
+    every link.  Self loops and duplicate edges (in either order) raise
+    [Invalid_argument], as do endpoints outside [0..n-1]. *)
+
+val build_weighted : n:int -> edges:(node * node * int * int) list -> t
+(** [(u, v, c_uv, c_vu)] per link; costs must be positive. *)
+
+(** {1 Sizes} *)
+
+val n_nodes : t -> int
+val n_links : t -> int
+
+(** {1 Links} *)
+
+val endpoints : t -> link_id -> node * node
+(** Endpoints with the smaller node first. *)
+
+val other_end : t -> link_id -> node -> node
+(** The endpoint that is not the given node.  Raises [Invalid_argument]
+    if the node is not an endpoint of the link. *)
+
+val cost : t -> link_id -> src:node -> int
+(** Cost of traversing the link out of [src]. *)
+
+val find_link : t -> node -> node -> link_id option
+(** The link between two nodes, if any. *)
+
+val mem_edge : t -> node -> node -> bool
+
+(** {1 Adjacency} *)
+
+val degree : t -> node -> int
+
+val neighbors : t -> node -> (node * link_id) array
+(** Physically shared array — callers must not mutate it. *)
+
+val iter_neighbors : t -> node -> (node -> link_id -> unit) -> unit
+
+val fold_neighbors : t -> node -> init:'a -> f:('a -> node -> link_id -> 'a) -> 'a
+
+val iter_links : t -> (link_id -> node -> node -> unit) -> unit
+
+val fold_links : t -> init:'a -> f:('a -> link_id -> node -> node -> 'a) -> 'a
+
+(** {1 Link-id sets}
+
+    Small helpers over [link_id] collections used all over the recovery
+    protocols (failed-link sets, cross-link sets). *)
+
+val link_name : t -> link_id -> string
+(** ["e4,11"]-style name, as in the paper's figures. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: node and link counts. *)

@@ -1,0 +1,156 @@
+let step_cost g ~direction ~settled ~next link =
+  match (direction : Spt.direction) with
+  | Spt.From_root -> Graph.cost g link ~src:settled
+  | Spt.To_root ->
+      ignore settled;
+      Graph.cost g link ~src:next
+
+(* Dijkstra restricted to the [affected] set, seeded from the frontier
+   of still-valid nodes.  Shared by [remove] (after invalidating
+   subtrees) and usable on any subset. *)
+let repair (t : Spt.t) ~affected ~node_ok ~link_ok =
+  let g = t.Spt.graph in
+  let n = Graph.n_nodes g in
+  let dist = t.Spt.dist
+  and parent_node = t.Spt.parent_node
+  and parent_link = t.Spt.parent_link in
+  let heap = Pqueue.create () in
+  let seed v =
+    if node_ok v then
+      Graph.iter_neighbors g v (fun u id ->
+          if link_ok id && node_ok u && (not affected.(u)) && dist.(u) < max_int
+          then begin
+            let cand =
+              dist.(u) + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id
+            in
+            if cand < dist.(v) || (cand = dist.(v) && u < parent_node.(v))
+            then begin
+              dist.(v) <- cand;
+              parent_node.(v) <- u;
+              parent_link.(v) <- id;
+              Pqueue.push heap ~prio:cand ~tag:v
+            end
+          end)
+  in
+  for v = 0 to n - 1 do
+    if affected.(v) then seed v
+  done;
+  let settled = Array.make n false in
+  let rec drain () =
+    match Pqueue.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if affected.(u) && (not settled.(u)) && d = dist.(u) then begin
+          settled.(u) <- true;
+          Graph.iter_neighbors g u (fun v id ->
+              if affected.(v) && (not settled.(v)) && link_ok id && node_ok v
+              then begin
+                let cand =
+                  d + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id
+                in
+                if cand < dist.(v) || (cand = dist.(v) && u < parent_node.(v))
+                then begin
+                  dist.(v) <- cand;
+                  parent_node.(v) <- u;
+                  parent_link.(v) <- id;
+                  Pqueue.push heap ~prio:cand ~tag:v
+                end
+              end)
+        end;
+        drain ()
+  in
+  drain ()
+
+let remove (t : Spt.t) ?(dead_nodes = []) ?(dead_links = []) ~node_ok ~link_ok
+    () =
+  let g = t.Spt.graph in
+  let n = Graph.n_nodes g in
+  let node_dead = Array.make n false in
+  List.iter (fun v -> node_dead.(v) <- true) dead_nodes;
+  let link_dead = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace link_dead l ()) dead_links;
+  let affected = Array.make n false in
+  (* A node is directly cut off when it, its tree parent, or its tree
+     link died; its whole subtree inherits the invalid distance. *)
+  let directly_cut v =
+    if v = t.Spt.root then node_dead.(v)
+    else
+      node_dead.(v)
+      || (t.Spt.parent_node.(v) >= 0 && node_dead.(t.Spt.parent_node.(v)))
+      || (t.Spt.parent_link.(v) >= 0 && Hashtbl.mem link_dead t.Spt.parent_link.(v))
+  in
+  let kids = Spt.children t in
+  let rec invalidate v =
+    if not affected.(v) then begin
+      affected.(v) <- true;
+      t.Spt.dist.(v) <- max_int;
+      t.Spt.parent_node.(v) <- -1;
+      t.Spt.parent_link.(v) <- -1;
+      List.iter invalidate kids.(v)
+    end
+  in
+  for v = 0 to n - 1 do
+    if t.Spt.dist.(v) < max_int && directly_cut v then invalidate v
+  done;
+  let count = ref 0 in
+  Array.iter (fun b -> if b then incr count) affected;
+  repair t ~affected ~node_ok ~link_ok;
+  !count
+
+let restore (t : Spt.t) ?(new_nodes = []) ?(new_links = []) ~node_ok ~link_ok
+    () =
+  let g = t.Spt.graph in
+  let dist = t.Spt.dist
+  and parent_node = t.Spt.parent_node
+  and parent_link = t.Spt.parent_link in
+  let heap = Pqueue.create () in
+  let improved = ref 0 in
+  let offer v cand parent link =
+    if cand < dist.(v) then begin
+      if dist.(v) = max_int then incr improved;
+      dist.(v) <- cand;
+      parent_node.(v) <- parent;
+      parent_link.(v) <- link;
+      Pqueue.push heap ~prio:cand ~tag:v
+    end
+  in
+  let try_link id =
+    let u, v = Graph.endpoints g id in
+    if link_ok id && node_ok u && node_ok v then begin
+      if dist.(u) < max_int then
+        offer v
+          (dist.(u) + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id)
+          u id;
+      if dist.(v) < max_int then
+        offer u
+          (dist.(v) + step_cost g ~direction:t.Spt.direction ~settled:v ~next:u id)
+          v id
+    end
+  in
+  List.iter try_link new_links;
+  List.iter
+    (fun v ->
+      if node_ok v then Graph.iter_neighbors g v (fun _ id -> try_link id))
+    new_nodes;
+  let rec drain () =
+    match Pqueue.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d = dist.(u) then
+          Graph.iter_neighbors g u (fun v id ->
+              if link_ok id && node_ok v then begin
+                let cand =
+                  d + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id
+                in
+                if cand < dist.(v) then begin
+                  if dist.(v) = max_int then incr improved;
+                  dist.(v) <- cand;
+                  parent_node.(v) <- u;
+                  parent_link.(v) <- id;
+                  Pqueue.push heap ~prio:cand ~tag:v
+                end
+              end);
+        drain ()
+  in
+  drain ();
+  !improved

@@ -1,0 +1,38 @@
+(** Incremental shortest-path-tree recomputation (Narvaez et al. style).
+
+    RTR's phase 2 "adopts incremental recomputation to calculate the
+    shortest path from the recovery initiator to the destination"
+    (Sec. III-D): after phase 1 the initiator removes the collected
+    failed links from its view and repairs its existing SPT instead of
+    rerunning Dijkstra from scratch.  Only the subtrees hanging below a
+    removed element are re-relaxed; the rest of the tree is untouched.
+
+    Both entry points mutate the tree in place.  Distances after a
+    repair are guaranteed equal to a from-scratch Dijkstra over the same
+    filters (property-tested); parent pointers may differ on ties. *)
+
+val remove :
+  Spt.t ->
+  ?dead_nodes:Graph.node list ->
+  ?dead_links:Graph.link_id list ->
+  node_ok:(Graph.node -> bool) ->
+  link_ok:(Graph.link_id -> bool) ->
+  unit ->
+  int
+(** Repairs the tree after the given nodes/links stop being usable.
+    [node_ok]/[link_ok] must describe liveness {e after} the removal
+    (i.e. they reject the dead elements).  Returns the number of nodes
+    whose distance had to be recomputed — the measure of how "local"
+    the failure was. *)
+
+val restore :
+  Spt.t ->
+  ?new_nodes:Graph.node list ->
+  ?new_links:Graph.link_id list ->
+  node_ok:(Graph.node -> bool) ->
+  link_ok:(Graph.link_id -> bool) ->
+  unit ->
+  int
+(** Dual operation: elements coming back up (e.g. after repair /
+    convergence).  Filters describe liveness after the restoration.
+    Returns the number of improved nodes. *)

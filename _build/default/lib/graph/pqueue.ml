@@ -1,0 +1,76 @@
+type t = {
+  mutable prio : int array;
+  mutable tag : int array;
+  mutable size : int;
+}
+
+let initial_capacity = 16
+
+let create () =
+  {
+    prio = Array.make initial_capacity 0;
+    tag = Array.make initial_capacity 0;
+    size = 0;
+  }
+
+let is_empty h = h.size = 0
+let length h = h.size
+
+let less h i j =
+  h.prio.(i) < h.prio.(j) || (h.prio.(i) = h.prio.(j) && h.tag.(i) < h.tag.(j))
+
+let swap h i j =
+  let p = h.prio.(i) and t = h.tag.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.tag.(i) <- h.tag.(j);
+  h.prio.(j) <- p;
+  h.tag.(j) <- t
+
+let grow h =
+  let cap = Array.length h.prio in
+  let prio = Array.make (2 * cap) 0 and tag = Array.make (2 * cap) 0 in
+  Array.blit h.prio 0 prio 0 h.size;
+  Array.blit h.tag 0 tag 0 h.size;
+  h.prio <- prio;
+  h.tag <- tag
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && less h l !smallest then smallest := l;
+  if r < h.size && less h r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~prio ~tag =
+  if h.size = Array.length h.prio then grow h;
+  h.prio.(h.size) <- prio;
+  h.tag.(h.size) <- tag;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let p = h.prio.(0) and t = h.tag.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.prio.(0) <- h.prio.(h.size);
+      h.tag.(0) <- h.tag.(h.size);
+      sift_down h 0
+    end;
+    Some (p, t)
+  end
+
+let clear h = h.size <- 0

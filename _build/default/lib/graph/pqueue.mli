@@ -1,0 +1,24 @@
+(** Minimal binary min-heap keyed by [(priority, tag)] pairs of ints.
+
+    Used by Dijkstra and the incremental SPT.  Decrease-key is handled
+    by lazy deletion: re-insert with the better priority and have the
+    caller skip stale pops (the classic idiom for dense relaxation
+    workloads; see [Dijkstra]).  The [tag] breaks priority ties
+    deterministically, which is what makes the routing tables — and
+    therefore every experiment — reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val push : t -> prio:int -> tag:int -> unit
+
+val pop : t -> (int * int) option
+(** Smallest [(prio, tag)] in lexicographic order, or [None] when
+    empty. *)
+
+val clear : t -> unit

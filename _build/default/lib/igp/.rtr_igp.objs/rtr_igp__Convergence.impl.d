@@ -1,0 +1,1 @@
+lib/igp/convergence.ml: Array Float Fun Igp_config List Queue Rtr_failure Rtr_graph

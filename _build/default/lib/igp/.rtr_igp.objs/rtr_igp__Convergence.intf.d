@@ -1,0 +1,1 @@
+lib/igp/convergence.mli: Igp_config Rtr_failure Rtr_graph

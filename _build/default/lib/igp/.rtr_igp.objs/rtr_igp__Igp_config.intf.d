@@ -1,0 +1,1 @@
+lib/igp/igp_config.mli: Format

@@ -1,0 +1,61 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+
+type t = {
+  detectors : Graph.node list;
+  converged : float array;
+  finished : float;
+}
+
+let compute (cfg : Igp_config.t) g damage =
+  let n = Graph.n_nodes g in
+  let detectors =
+    List.filter
+      (fun v ->
+        Damage.node_ok damage v
+        && Damage.unreachable_neighbors damage g v <> [])
+      (List.init n Fun.id)
+  in
+  (* Multi-source BFS over the surviving graph: flooding distance from
+     the nearest detector. *)
+  let flood_hops = Array.make n max_int in
+  let q = Queue.create () in
+  List.iter
+    (fun v ->
+      flood_hops.(v) <- 0;
+      Queue.push v q)
+    detectors;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v id ->
+        if
+          Damage.link_ok damage id
+          && Damage.node_ok damage v
+          && flood_hops.(v) = max_int
+        then begin
+          flood_hops.(v) <- flood_hops.(u) + 1;
+          Queue.push v q
+        end)
+  done;
+  let converged =
+    Array.init n (fun v ->
+        if (not (Damage.node_ok damage v)) || flood_hops.(v) = max_int then
+          infinity
+        else
+          cfg.detection_s
+          +. (float_of_int flood_hops.(v) *. cfg.flood_per_hop_s)
+          +. cfg.spf_delay_s +. cfg.spf_compute_s +. cfg.fib_update_s)
+  in
+  let finished =
+    Array.fold_left
+      (fun acc c -> if Float.is_finite c then Float.max acc c else acc)
+      0.0 converged
+  in
+  { detectors; converged; finished }
+
+let detectors t = t.detectors
+let converged_at t v = t.converged.(v)
+let finished_at t = t.finished
+
+let packets_lost_without_recovery t ~rate_pps ~affected_flows =
+  rate_pps *. t.finished *. float_of_int affected_flows

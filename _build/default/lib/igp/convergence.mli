@@ -1,0 +1,31 @@
+(** The IGP convergence timeline after a failure.
+
+    Routers adjacent to the failure detect it after the detection
+    delay, originate LSAs that flood hop by hop across the surviving
+    graph, and each live router reconverges (SPF + FIB) once the news
+    reaches it.  [finished_at] is the moment the paper calls "IGP
+    convergence finishes" — the end of RTR's operating window. *)
+
+module Graph = Rtr_graph.Graph
+
+type t
+
+val compute : Igp_config.t -> Graph.t -> Rtr_failure.Damage.t -> t
+
+val detectors : t -> Graph.node list
+(** Live routers with at least one unreachable neighbour — the LSA
+    originators. *)
+
+val converged_at : t -> Graph.node -> float
+(** Seconds after the failure at which this router has an updated FIB;
+    [infinity] for failed routers and for live routers that no LSA can
+    reach (their view never changes). *)
+
+val finished_at : t -> float
+(** Max of [converged_at] over routers that do receive updates; [0.] if
+    nothing detects the failure. *)
+
+val packets_lost_without_recovery :
+  t -> rate_pps:float -> affected_flows:int -> float
+(** Back-of-envelope packet loss if no recovery scheme ran: every
+    affected flow drops [rate_pps] packets/s until convergence ends. *)

@@ -1,0 +1,31 @@
+type t = {
+  detection_s : float;
+  flood_per_hop_s : float;
+  spf_delay_s : float;
+  spf_compute_s : float;
+  fib_update_s : float;
+}
+
+let classic =
+  {
+    detection_s = 1.0;
+    flood_per_hop_s = 0.03;
+    spf_delay_s = 5.5;
+    spf_compute_s = 0.1;
+    fib_update_s = 0.2;
+  }
+
+let tuned =
+  {
+    detection_s = 0.05;
+    flood_per_hop_s = 0.01;
+    spf_delay_s = 0.01;
+    spf_compute_s = 0.03;
+    fib_update_s = 0.1;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "igp(detect=%.3fs flood=%.3fs/hop spf_delay=%.3fs spf=%.3fs fib=%.3fs)"
+    t.detection_s t.flood_per_hop_s t.spf_delay_s t.spf_compute_s
+    t.fib_update_s

@@ -1,0 +1,29 @@
+(** Timing parameters of IGP (OSPF / IS-IS) convergence.
+
+    RTR exists because convergence is slow: detection hold-downs, LSA
+    flooding, SPF throttling and FIB updates add up to seconds
+    (Sec. I).  The parameters here bound the window during which RTR is
+    responsible for traffic on failed paths. *)
+
+type t = {
+  detection_s : float;
+      (** time for a router to declare an adjacent failure (hello
+          timers / BFD hold-down) *)
+  flood_per_hop_s : float;
+      (** per-hop LSA propagation + processing *)
+  spf_delay_s : float;  (** SPF throttle (initial wait) *)
+  spf_compute_s : float;  (** SPF run time *)
+  fib_update_s : float;  (** FIB/RIB download *)
+}
+
+val classic : t
+(** Conservative defaults in line with the multi-second convergence the
+    paper cites: 1 s detection, 30 ms/hop flooding, 5.5 s SPF delay,
+    100 ms SPF, 200 ms FIB. *)
+
+val tuned : t
+(** Aggressively tuned sub-second convergence (Francois et al., cited
+    as [10]): 50 ms detection, 10 ms/hop, 10 ms SPF delay, 30 ms SPF,
+    100 ms FIB. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/routing/header.ml: List

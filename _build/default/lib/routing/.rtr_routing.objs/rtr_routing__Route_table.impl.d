@@ -1,0 +1,1 @@
+lib/routing/route_table.ml: Array List Rtr_graph

@@ -1,0 +1,1 @@
+lib/routing/route_table.mli: Rtr_graph

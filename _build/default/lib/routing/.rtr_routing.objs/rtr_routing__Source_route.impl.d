@@ -1,0 +1,1 @@
+lib/routing/source_route.ml: Printf Rtr_failure Rtr_graph

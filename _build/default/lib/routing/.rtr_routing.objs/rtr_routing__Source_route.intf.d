@@ -1,0 +1,1 @@
+lib/routing/source_route.mli: Rtr_failure Rtr_graph

@@ -1,0 +1,5 @@
+let router_s = 100e-6
+let propagation_s = 1.7e-3
+let per_hop_s = router_s +. propagation_s
+let of_hops h = float_of_int h *. per_hop_s
+let ms s = s *. 1000.0

@@ -1,0 +1,55 @@
+(** Packet-header byte accounting.
+
+    The paper's transmission-overhead metric is "the number of bytes
+    used for recording information" in packet headers (Sec. IV-C).
+    Link and node ids are 16 bits (Sec. III-B).  This module is the
+    single place where header layouts are priced, shared by RTR and
+    FCP so the comparison is apples-to-apples. *)
+
+val link_id_bytes : int
+(** 2 — "the link id is represented by 16 bits". *)
+
+val node_id_bytes : int
+(** 2 — node ids in source routes use the same width. *)
+
+val mode_bytes : int
+(** 1 — the RTR mode flag, byte-aligned. *)
+
+val rec_init_bytes : int
+(** 2 — the recovery-initiator id. *)
+
+val payload_bytes : int
+(** 1000 — the paper's assumed packet size when pricing wasted
+    transmission (Sec. IV-D). *)
+
+val rtr_phase1 : n_failed:int -> n_cross:int -> int
+(** Bytes of recovery state carried by a phase-1 packet: mode +
+    rec_init + the two link-id lists. *)
+
+val source_route : hops:int -> int
+(** Bytes of a source route crossing [hops] links: one node id per hop
+    (the first hop's transmitting node needs no entry). *)
+
+val rtr_phase2 : hops:int -> int
+(** Phase-2 packets carry mode + the source route. *)
+
+val fcp : n_failed:int -> route_hops:int -> int
+(** FCP (source-routing variant) carries the accumulated failed-link
+    list and the current source route. *)
+
+(** {1 Compressed link lists}
+
+    Sec. III-E notes the header can borrow FCP's mapping technique to
+    shrink the failed-link field.  Every router shares the topology, so
+    a link-id {e set} can be sent as sorted deltas in LEB128 varints
+    instead of fixed 16-bit ids; these helpers price that encoding. *)
+
+val varint_bytes : int -> int
+(** Bytes LEB128 needs for a non-negative int (7 payload bits per
+    byte).  Raises [Invalid_argument] on negatives. *)
+
+val compressed_link_list : int list -> int
+(** Bytes for a link-id list encoded as count + sorted first id +
+    successive deltas, each as a varint.  Always at most
+    [2 + link_id_bytes * length] and usually far less once the ids
+    cluster around one failure area. *)

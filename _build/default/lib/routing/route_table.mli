@@ -1,0 +1,37 @@
+(** Link-state routing tables (the IGP's steady state before failures).
+
+    Every router runs SPF over the same topology view, so the table is
+    computed globally: for each destination, a [To_root] shortest-path
+    tree (correct under asymmetric costs), with the deterministic
+    tie-break "smallest next-hop id among equal-cost choices".  That
+    rule is consistent hop by hop — following [next_hop] from any
+    source traces a well-defined default routing path, the paper's
+    p_ij. *)
+
+module Graph = Rtr_graph.Graph
+
+type t
+
+val compute :
+  ?node_ok:(Graph.node -> bool) ->
+  ?link_ok:(Graph.link_id -> bool) ->
+  Graph.t ->
+  t
+(** O(n * Dijkstra).  Without filters this is the pre-failure routing
+    state; with filters it is the table the IGP converges to after the
+    filtered-out elements fail. *)
+
+val graph : t -> Graph.t
+
+val next_hop : t -> src:Graph.node -> dst:Graph.node -> Graph.node option
+(** The default next hop, [None] when [src = dst] or [dst] is
+    unreachable in the pre-failure topology. *)
+
+val next_link : t -> src:Graph.node -> dst:Graph.node -> Graph.link_id option
+
+val dist : t -> src:Graph.node -> dst:Graph.node -> int
+(** Cost of the default routing path; [max_int] if unreachable, [0] on
+    the diagonal. *)
+
+val default_path : t -> src:Graph.node -> dst:Graph.node -> Rtr_graph.Path.t option
+(** The full default routing path, by following [next_hop]. *)

@@ -1,0 +1,31 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+
+type outcome = Delivered | Dropped of { at : Graph.node; hops_done : int }
+
+let link_between g u v =
+  match Graph.find_link g u v with
+  | Some id -> id
+  | None ->
+      invalid_arg (Printf.sprintf "Source_route: %d and %d not adjacent" u v)
+
+let follow g damage path =
+  let rec walk hops_done = function
+    | u :: v :: rest ->
+        let id = link_between g u v in
+        if Damage.neighbor_unreachable damage v id then
+          Dropped { at = u; hops_done }
+        else walk (hops_done + 1) (v :: rest)
+    | [ _ ] | [] -> Delivered
+  in
+  walk 0 (Rtr_graph.Path.nodes path)
+
+let first_failure g damage path =
+  let rec walk = function
+    | u :: v :: rest ->
+        let id = link_between g u v in
+        if Damage.neighbor_unreachable damage v id then Some (u, id)
+        else walk (v :: rest)
+    | [ _ ] | [] -> None
+  in
+  walk (Rtr_graph.Path.nodes path)

@@ -1,0 +1,27 @@
+(** Source routing over a damaged network.
+
+    RTR's phase 2 and FCP both pin the whole path in the packet header;
+    intermediate routers follow it blindly until a hop turns out to be
+    locally unreachable. *)
+
+module Graph = Rtr_graph.Graph
+
+type outcome =
+  | Delivered
+  | Dropped of { at : Graph.node; hops_done : int }
+      (** [at] is the live router that discarded the packet (the next
+          hop was unreachable); [hops_done] is how many links the
+          packet had crossed when discarded. *)
+
+val follow : Graph.t -> Rtr_failure.Damage.t -> Rtr_graph.Path.t -> outcome
+(** Walks the path, checking local neighbour reachability at each hop —
+    the path's first node is assumed live.  Raises [Invalid_argument]
+    if consecutive path nodes are not adjacent. *)
+
+val first_failure :
+  Graph.t ->
+  Rtr_failure.Damage.t ->
+  Rtr_graph.Path.t ->
+  (Graph.node * Graph.link_id) option
+(** The first (node, outgoing failed/unreachable link) along the path,
+    if any — where a recovery initiator would sit. *)

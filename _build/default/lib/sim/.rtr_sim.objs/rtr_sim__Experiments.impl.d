@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Cdf Float Hashtbl List Printf Rtr_baselines Rtr_core Rtr_failure Rtr_graph Rtr_routing Rtr_topo Rtr_util Runner Scenario Stats String Sys

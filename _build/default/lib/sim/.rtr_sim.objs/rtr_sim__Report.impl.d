@@ -1,0 +1,1 @@
+lib/sim/report.ml: Experiments Filename Float Fun List Printf String Sys

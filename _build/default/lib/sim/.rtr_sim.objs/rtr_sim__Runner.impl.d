@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Hashtbl List Rtr_baselines Rtr_core Rtr_graph Rtr_routing Rtr_topo Scenario

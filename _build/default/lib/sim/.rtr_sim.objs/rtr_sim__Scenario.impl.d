@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Hashtbl Rtr_failure Rtr_graph Rtr_routing Rtr_topo

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Rtr_failure Rtr_graph Rtr_routing Rtr_topo Rtr_util

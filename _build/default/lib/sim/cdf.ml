@@ -1,0 +1,47 @@
+type t = { sorted : float array }
+
+let of_values = function
+  | [] -> invalid_arg "Cdf.of_values: empty"
+  | xs ->
+      let sorted = Array.of_list xs in
+      Array.sort Float.compare sorted;
+      { sorted }
+
+let of_ints xs = of_values (List.map float_of_int xs)
+
+let size t = Array.length t.sorted
+
+(* Number of samples <= x, by binary search for the rightmost such. *)
+let count_le t x =
+  let a = t.sorted in
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let eval t x = float_of_int (count_le t x) /. float_of_int (size t)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Cdf.quantile: out of range";
+  let n = size t in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  t.sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let minimum t = t.sorted.(0)
+let maximum t = t.sorted.(size t - 1)
+let mean t = Array.fold_left ( +. ) 0.0 t.sorted /. float_of_int (size t)
+
+let sample t ~xs = List.map (fun x -> (x, eval t x)) xs
+
+let steps t =
+  let n = size t in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    let x = t.sorted.(i) in
+    match !acc with
+    | (x', _) :: _ when x' = x -> ()
+    | _ -> acc := (x, float_of_int (i + 1) /. float_of_int n) :: !acc
+  done;
+  !acc

@@ -1,0 +1,30 @@
+(** Empirical cumulative distribution functions.
+
+    Half of the paper's figures are CDFs (Figs. 7, 8, 9, 12, 13); this
+    is the common representation the harness reduces samples into and
+    the reporters sample out of. *)
+
+type t
+
+val of_values : float list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val of_ints : int list -> t
+
+val size : t -> int
+
+val eval : t -> float -> float
+(** [eval t x] is the fraction of samples [<= x]. *)
+
+val quantile : t -> float -> float
+(** [quantile t q], [q] in [0, 1]: smallest x with [eval t x >= q]. *)
+
+val minimum : t -> float
+val maximum : t -> float
+val mean : t -> float
+
+val sample : t -> xs:float list -> (float * float) list
+(** The CDF evaluated at each requested x, for tabular rendering. *)
+
+val steps : t -> (float * float) list
+(** The (x, P(X <= x)) staircase at the distinct sample values. *)

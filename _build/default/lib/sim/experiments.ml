@@ -1,0 +1,842 @@
+module Isp = Rtr_topo.Isp
+module Delay = Rtr_routing.Delay
+
+type config = {
+  presets : Isp.preset list;
+  recoverable_per_topo : int;
+  irrecoverable_per_topo : int;
+  seed : int;
+  mrc_k : int option;
+}
+
+let default_config () =
+  let quota =
+    match Sys.getenv_opt "REPRO_CASES" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> 2000)
+    | None -> 2000
+  in
+  {
+    presets = Isp.table2;
+    recoverable_per_topo = quota;
+    irrecoverable_per_topo = quota;
+    seed = 7;
+    mrc_k = None;
+  }
+
+type topo_data = {
+  preset : Isp.preset;
+  topo : Rtr_topo.Topology.t;
+  mrc_configs : int;
+  recoverable : Runner.result list;
+  irrecoverable : Runner.result list;
+}
+
+let collect ?(log = fun _ -> ()) config =
+  List.map
+    (fun preset ->
+      let topo = Isp.load preset in
+      let g = Rtr_topo.Topology.graph topo in
+      let table = Rtr_routing.Route_table.compute g in
+      let mrc =
+        match config.mrc_k with
+        | Some k -> (
+            match Rtr_baselines.Mrc.build g ~k with
+            | Some m -> m
+            | None -> Rtr_baselines.Mrc.build_auto ~k_start:(k + 1) g)
+        | None -> Rtr_baselines.Mrc.build_auto g
+      in
+      let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed) in
+      let rec_acc = ref [] and irr_acc = ref [] in
+      let n_rec = ref 0 and n_irr = ref 0 in
+      let scenarios = ref 0 in
+      while
+        (!n_rec < config.recoverable_per_topo
+        || !n_irr < config.irrecoverable_per_topo)
+        && !scenarios < 100_000
+      do
+        incr scenarios;
+        let scenario = Scenario.generate topo table rng () in
+        let wanted (c : Scenario.case) =
+          match c.Scenario.kind with
+          | Scenario.Recoverable -> !n_rec < config.recoverable_per_topo
+          | Scenario.Irrecoverable -> !n_irr < config.irrecoverable_per_topo
+        in
+        (* Quota bookkeeping must happen before running, so count the
+           kept cases per kind as we filter. *)
+        let kept =
+          List.filter
+            (fun c ->
+              if wanted c then begin
+                (match c.Scenario.kind with
+                | Scenario.Recoverable -> incr n_rec
+                | Scenario.Irrecoverable -> incr n_irr);
+                true
+              end
+              else false)
+            scenario.Scenario.cases
+        in
+        if kept <> [] then begin
+          let results =
+            Runner.run_scenario ~mrc { scenario with Scenario.cases = kept }
+          in
+          List.iter
+            (fun (r : Runner.result) ->
+              match r.Runner.case.Scenario.kind with
+              | Scenario.Recoverable -> rec_acc := r :: !rec_acc
+              | Scenario.Irrecoverable -> irr_acc := r :: !irr_acc)
+            results
+        end
+      done;
+      log
+        (Printf.sprintf "%s: %d recoverable + %d irrecoverable cases (%d areas)"
+           preset.Isp.as_name !n_rec !n_irr !scenarios);
+      {
+        preset;
+        topo;
+        mrc_configs = Rtr_baselines.Mrc.n_configs mrc;
+        recoverable = List.rev !rec_acc;
+        irrecoverable = List.rev !irr_acc;
+      })
+    config.presets
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : series list;
+}
+
+type table = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+let pct x = Printf.sprintf "%.1f" (100.0 *. x)
+let f2 x = Printf.sprintf "%.1f" x
+
+(* ------------------------------------------------------------------ *)
+
+let table2 config =
+  {
+    id = "table2";
+    title = "Table II: summary of topologies used in simulation";
+    header = [ "Topology"; "# Nodes"; "# Links" ];
+    rows =
+      List.map
+        (fun (p : Isp.preset) ->
+          [
+            (p.Isp.as_name ^ if p.Isp.approx then " (approx)" else "");
+            string_of_int p.Isp.nodes;
+            string_of_int p.Isp.links;
+          ])
+        config.presets;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let range lo hi step =
+  let rec go acc x = if x > hi +. 1e-9 then List.rev acc else go (x :: acc) (x +. step) in
+  go [] lo
+
+let fig7 data =
+  let series =
+    List.map
+      (fun d ->
+        let durations =
+          List.map
+            (fun (r : Runner.result) ->
+              Delay.ms (Delay.of_hops r.Runner.rtr_p1_hops))
+            (d.recoverable @ d.irrecoverable)
+        in
+        let cdf = Cdf.of_values durations in
+        let xs = range 0.0 (Float.max 120.0 (Cdf.maximum cdf)) 10.0 in
+        { label = d.preset.Isp.as_name; points = Cdf.sample cdf ~xs })
+      data
+  in
+  {
+    id = "fig7";
+    title = "Fig. 7: CDF of the duration of the first phase";
+    x_label = "duration of the first phase (ms)";
+    y_label = "cumulative distribution";
+    series;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let optimal_eps = 1.0 +. 1e-9
+
+let rtr_optimal (r : Runner.result) =
+  r.Runner.rtr_recovered
+  &&
+  match r.Runner.rtr_stretch with Some s -> s <= optimal_eps | None -> false
+
+let fcp_optimal (r : Runner.result) =
+  r.Runner.fcp_delivered
+  &&
+  match r.Runner.fcp_stretch with Some s -> s <= optimal_eps | None -> false
+
+let mrc_optimal (r : Runner.result) =
+  r.Runner.mrc_delivered
+  &&
+  match r.Runner.mrc_stretch with Some s -> s <= optimal_eps | None -> false
+
+let count f xs = List.length (List.filter f xs)
+
+let max_stretch get xs =
+  List.filter_map get xs |> function [] -> 1.0 | l -> Stats.maximum l
+
+let table3 data =
+  let row_of name (cases : Runner.result list) =
+    let n = List.length cases in
+    let rr f = pct (Stats.ratio (count f cases) n) in
+    [
+      name;
+      rr (fun r -> r.Runner.rtr_recovered);
+      rr (fun r -> r.Runner.fcp_delivered);
+      rr (fun r -> r.Runner.mrc_delivered);
+      rr rtr_optimal;
+      rr fcp_optimal;
+      rr mrc_optimal;
+      f2 (max_stretch (fun r -> r.Runner.rtr_stretch) cases);
+      f2 (max_stretch (fun r -> r.Runner.fcp_stretch) cases);
+      f2 (max_stretch (fun r -> r.Runner.mrc_stretch) cases);
+      "1";
+      string_of_int
+        (Stats.max_int_list (List.map (fun r -> r.Runner.fcp_calcs) cases));
+    ]
+  in
+  let rows = List.map (fun d -> row_of d.preset.Isp.as_name d.recoverable) data in
+  let overall = row_of "Overall" (List.concat_map (fun d -> d.recoverable) data) in
+  {
+    id = "table3";
+    title =
+      "Table III: performance of RTR, FCP, and MRC in recoverable test cases";
+    header =
+      [
+        "Topology";
+        "Rec% RTR";
+        "Rec% FCP";
+        "Rec% MRC";
+        "Opt% RTR";
+        "Opt% FCP";
+        "Opt% MRC";
+        "MaxStretch RTR";
+        "MaxStretch FCP";
+        "MaxStretch MRC";
+        "MaxCalc RTR";
+        "MaxCalc FCP";
+      ];
+    rows = rows @ [ overall ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let fig8 data =
+  let xs = range 1.0 5.0 0.25 in
+  let rtr_stretches =
+    List.concat_map
+      (fun d -> List.filter_map (fun r -> r.Runner.rtr_stretch) d.recoverable)
+      data
+  in
+  let rtr_series =
+    match rtr_stretches with
+    | [] -> []
+    | l -> [ { label = "RTR"; points = Cdf.sample (Cdf.of_values l) ~xs } ]
+  in
+  let fcp_series =
+    List.filter_map
+      (fun d ->
+        match List.filter_map (fun r -> r.Runner.fcp_stretch) d.recoverable with
+        | [] -> None
+        | l ->
+            Some
+              {
+                label = "FCP " ^ d.preset.Isp.as_name;
+                points = Cdf.sample (Cdf.of_values l) ~xs;
+              })
+      data
+  in
+  {
+    id = "fig8";
+    title = "Fig. 8: CDF of stretch of recovery paths (recovered cases)";
+    x_label = "stretch";
+    y_label = "cumulative distribution";
+    series = rtr_series @ fcp_series;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let fig9 data =
+  let xs = range 1.0 11.0 1.0 in
+  let rtr =
+    { label = "RTR"; points = List.map (fun x -> (x, 1.0)) xs }
+    (* one calculation per case, always *)
+  in
+  let fcp =
+    List.map
+      (fun d ->
+        let cdf =
+          Cdf.of_ints (List.map (fun r -> r.Runner.fcp_calcs) d.recoverable)
+        in
+        { label = "FCP " ^ d.preset.Isp.as_name; points = Cdf.sample cdf ~xs })
+      data
+  in
+  {
+    id = "fig9";
+    title = "Fig. 9: CDF of computational overhead in recoverable test cases";
+    x_label = "number of shortest path calculations";
+    y_label = "cumulative distribution";
+    series = rtr :: fcp;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* The recovery-header bytes carried by the packet in flight at time t
+   for one case: while the phase-1 (or FCP journey) packet is between
+   hops, the header recorded for that hop; afterwards the steady state
+   (source-route header for RTR; journey average for FCP, since a
+   pipeline of identically-behaving packets fills the path). *)
+let bytes_at_time ~per_hop ~steady t =
+  let hop = int_of_float (t /. Delay.per_hop_s) in
+  let n = Array.length per_hop in
+  if hop < n then per_hop.(hop) else steady
+
+let fig10 data =
+  let times = range 0.0 1.0 0.01 in
+  let series_of d =
+    let rtr_cases =
+      List.map
+        (fun (r : Runner.result) ->
+          ( Array.of_list (List.map float_of_int r.Runner.rtr_p1_bytes),
+            float_of_int r.Runner.rtr_route_bytes ))
+        d.recoverable
+    in
+    let fcp_cases =
+      List.map
+        (fun (r : Runner.result) ->
+          let per_hop = Array.of_list (List.map float_of_int r.Runner.fcp_hop_bytes) in
+          let steady =
+            if Array.length per_hop = 0 then 0.0
+            else Array.fold_left ( +. ) 0.0 per_hop /. float_of_int (Array.length per_hop)
+          in
+          (per_hop, steady))
+        d.recoverable
+    in
+    let avg cases t =
+      match cases with
+      | [] -> 0.0
+      | _ ->
+          List.fold_left
+            (fun acc (per_hop, steady) -> acc +. bytes_at_time ~per_hop ~steady t)
+            0.0 cases
+          /. float_of_int (List.length cases)
+    in
+    [
+      {
+        label = "RTR " ^ d.preset.Isp.as_name;
+        points = List.map (fun t -> (t, avg rtr_cases t)) times;
+      };
+      {
+        label = "FCP " ^ d.preset.Isp.as_name;
+        points = List.map (fun t -> (t, avg fcp_cases t)) times;
+      };
+    ]
+  in
+  {
+    id = "fig10";
+    title =
+      "Fig. 10: average transmission overhead (header bytes per in-flight \
+       packet) over the first second, recoverable cases";
+    x_label = "time (s)";
+    y_label = "bytes";
+    series = List.concat_map series_of data;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let fig11 ?(log = fun _ -> ()) ?(areas_per_radius = 200) ?radii config =
+  let radii =
+    match radii with Some r -> r | None -> range 20.0 300.0 20.0
+  in
+  let series =
+    List.map
+      (fun (preset : Isp.preset) ->
+        let topo = Isp.load preset in
+        let table =
+          Rtr_routing.Route_table.compute (Rtr_topo.Topology.graph topo)
+        in
+        let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 11) in
+        let points =
+          List.map
+            (fun radius ->
+              let rec_total = ref 0 and irr_total = ref 0 in
+              for _ = 1 to areas_per_radius do
+                let area =
+                  Rtr_failure.Area.random_disc rng ~r_min:radius ~r_max:radius
+                    ()
+                in
+                let damage = Rtr_failure.Damage.apply topo area in
+                let r, i = Scenario.count_failed_paths topo table damage in
+                rec_total := !rec_total + r;
+                irr_total := !irr_total + i
+              done;
+              ( radius,
+                100.0 *. Stats.ratio !irr_total (!rec_total + !irr_total) ))
+            radii
+        in
+        log (Printf.sprintf "fig11: %s done" preset.Isp.as_name);
+        { label = preset.Isp.as_name; points })
+      config.presets
+  in
+  {
+    id = "fig11";
+    title =
+      "Fig. 11: percentage of failed routing paths that are irrecoverable vs \
+       failure radius";
+    x_label = "radius";
+    y_label = "percentage (%)";
+    series;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let fig12 data =
+  let xs = range 1.0 45.0 2.0 in
+  let rtr = { label = "RTR"; points = List.map (fun x -> (x, 1.0)) xs } in
+  let fcp =
+    List.map
+      (fun d ->
+        let cdf =
+          Cdf.of_ints (List.map (fun r -> r.Runner.fcp_calcs) d.irrecoverable)
+        in
+        { label = "FCP " ^ d.preset.Isp.as_name; points = Cdf.sample cdf ~xs })
+      data
+  in
+  {
+    id = "fig12";
+    title = "Fig. 12: CDF of wasted computation in irrecoverable test cases";
+    x_label = "number of shortest path calculations";
+    y_label = "cumulative distribution";
+    series = rtr :: fcp;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let fig13 data =
+  let xs = range 0.0 60000.0 2000.0 in
+  let series_of d =
+    [
+      {
+        label = "RTR " ^ d.preset.Isp.as_name;
+        points =
+          Cdf.sample
+            (Cdf.of_ints (List.map (fun r -> r.Runner.rtr_wasted_tx) d.irrecoverable))
+            ~xs;
+      };
+      {
+        label = "FCP " ^ d.preset.Isp.as_name;
+        points =
+          Cdf.sample
+            (Cdf.of_ints (List.map (fun r -> r.Runner.fcp_wasted_tx) d.irrecoverable))
+            ~xs;
+      };
+    ]
+  in
+  {
+    id = "fig13";
+    title = "Fig. 13: CDF of wasted transmission in irrecoverable test cases";
+    x_label = "wasted transmission (byte-hops)";
+    y_label = "cumulative distribution";
+    series = List.concat_map series_of data;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let table4 data =
+  let row d =
+    let irr = d.irrecoverable in
+    let fcp_calcs = List.map (fun r -> r.Runner.fcp_calcs) irr in
+    let rtr_tx = List.map (fun r -> r.Runner.rtr_wasted_tx) irr in
+    let fcp_tx = List.map (fun r -> r.Runner.fcp_wasted_tx) irr in
+    [
+      d.preset.Isp.as_name;
+      "1.0";
+      f2 (Stats.mean_int fcp_calcs);
+      "1";
+      string_of_int (Stats.max_int_list fcp_calcs);
+      f2 (Stats.mean_int rtr_tx);
+      f2 (Stats.mean_int fcp_tx);
+      string_of_int (Stats.max_int_list rtr_tx);
+      string_of_int (Stats.max_int_list fcp_tx);
+    ]
+  in
+  let all_irr = List.concat_map (fun d -> d.irrecoverable) data in
+  let overall =
+    let fcp_calcs = List.map (fun r -> r.Runner.fcp_calcs) all_irr in
+    let rtr_tx = List.map (fun r -> r.Runner.rtr_wasted_tx) all_irr in
+    let fcp_tx = List.map (fun r -> r.Runner.fcp_wasted_tx) all_irr in
+    [
+      "Overall";
+      "1.0";
+      f2 (Stats.mean_int fcp_calcs);
+      "1";
+      string_of_int (Stats.max_int_list fcp_calcs);
+      f2 (Stats.mean_int rtr_tx);
+      f2 (Stats.mean_int fcp_tx);
+      string_of_int (Stats.max_int_list rtr_tx);
+      string_of_int (Stats.max_int_list fcp_tx);
+    ]
+  in
+  let savings =
+    let fcp_calcs = Stats.mean_int (List.map (fun r -> r.Runner.fcp_calcs) all_irr) in
+    let rtr_tx = Stats.mean_int (List.map (fun r -> r.Runner.rtr_wasted_tx) all_irr) in
+    let fcp_tx = Stats.mean_int (List.map (fun r -> r.Runner.fcp_wasted_tx) all_irr) in
+    let save a b = if b > 0.0 then 100.0 *. (1.0 -. (a /. b)) else 0.0 in
+    [
+      "RTR saves";
+      Printf.sprintf "%.1f%% computation" (save 1.0 fcp_calcs);
+      "";
+      "";
+      "";
+      Printf.sprintf "%.1f%% transmission" (save rtr_tx fcp_tx);
+      "";
+      "";
+      "";
+    ]
+  in
+  {
+    id = "table4";
+    title =
+      "Table IV: wasted computation and transmission in irrecoverable test \
+       cases";
+    header =
+      [
+        "Topology";
+        "AvgCalc RTR";
+        "AvgCalc FCP";
+        "MaxCalc RTR";
+        "MaxCalc FCP";
+        "AvgTx RTR";
+        "AvgTx FCP";
+        "MaxTx RTR";
+        "MaxTx FCP";
+      ];
+    rows = List.map row data @ [ overall; savings ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* The Figs. 4/5 ablation: recoverable cases replayed with the
+   cross-link constraints off.  Recovery is re-derived from the raw
+   phases, since the engine proper has no reason to expose a broken
+   mode. *)
+let ablation_constraints ?(cases = 500) config =
+  let module Damage = Rtr_failure.Damage in
+  let module Graph = Rtr_graph.Graph in
+  let row (preset : Isp.preset) =
+    let topo = Isp.load preset in
+    let g = Rtr_topo.Topology.graph topo in
+    let table = Rtr_routing.Route_table.compute g in
+    let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 23) in
+    let n_done = ref 0 in
+    let ok_on = ref 0 and ok_off = ref 0 in
+    let links_on = ref 0 and links_off = ref 0 in
+    let hops_on = ref 0 and hops_off = ref 0 in
+    let clean_off = ref 0 in
+    while !n_done < cases do
+      let scenario = Scenario.generate topo table rng () in
+      List.iter
+        (fun (c : Scenario.case) ->
+          if c.Scenario.kind = Scenario.Recoverable && !n_done < cases then begin
+            incr n_done;
+            let attempt ~constraints =
+              let p1 =
+                Rtr_core.Phase1.run topo scenario.Scenario.damage ~constraints
+                  ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger
+                  ()
+              in
+              let p2 =
+                Rtr_core.Phase2.create topo scenario.Scenario.damage
+                  ~phase1:p1 ()
+              in
+              let delivered =
+                match Rtr_core.Phase2.recovery_path p2 ~dst:c.Scenario.dst with
+                | None -> false
+                | Some path -> (
+                    match
+                      Rtr_routing.Source_route.follow g
+                        scenario.Scenario.damage path
+                    with
+                    | Rtr_routing.Source_route.Delivered -> true
+                    | Rtr_routing.Source_route.Dropped _ -> false)
+              in
+              (delivered, p1)
+            in
+            let on, p1_on = attempt ~constraints:true in
+            let off, p1_off = attempt ~constraints:false in
+            if on then incr ok_on;
+            if off then incr ok_off;
+            links_on := !links_on + List.length p1_on.Rtr_core.Phase1.failed_links;
+            links_off := !links_off + List.length p1_off.Rtr_core.Phase1.failed_links;
+            hops_on := !hops_on + p1_on.Rtr_core.Phase1.hops;
+            hops_off := !hops_off + p1_off.Rtr_core.Phase1.hops;
+            (match p1_off.Rtr_core.Phase1.status with
+            | Rtr_core.Phase1.Completed | Rtr_core.Phase1.No_live_neighbor ->
+                incr clean_off
+            | Rtr_core.Phase1.Hop_limit | Rtr_core.Phase1.Stuck _ -> ())
+          end)
+        scenario.Scenario.cases
+    done;
+    let avg x = float_of_int x /. float_of_int cases in
+    [
+      preset.Isp.as_name;
+      pct (Stats.ratio !ok_on cases);
+      pct (Stats.ratio !ok_off cases);
+      f2 (avg !links_on);
+      f2 (avg !links_off);
+      f2 (avg !hops_on);
+      f2 (avg !hops_off);
+      pct (Stats.ratio !clean_off cases);
+    ]
+  in
+  {
+    id = "ablation_constraints";
+    title =
+      "Ablation (not in the paper): Constraints 1 & 2 on vs off, recoverable \
+       cases";
+    header =
+      [
+        "Topology";
+        "Rec% on";
+        "Rec% off";
+        "AvgE1 on";
+        "AvgE1 off";
+        "AvgHops on";
+        "AvgHops off";
+        "CleanTerm% off";
+      ];
+    rows = List.map row config.presets;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* The bidirectional-walk extension, measured: delay to first return
+   and recovery from the merged two-walk view. *)
+let extension_bidir ?(cases = 500) config =
+  let module Damage = Rtr_failure.Damage in
+  let row (preset : Isp.preset) =
+    let topo = Isp.load preset in
+    let g = Rtr_topo.Topology.graph topo in
+    let table = Rtr_routing.Route_table.compute g in
+    let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 31) in
+    let n_done = ref 0 in
+    let single_hops = ref 0 and first_hops = ref 0 and both_hops = ref 0 in
+    let single_links = ref 0 and merged_links = ref 0 in
+    let ok_single = ref 0 and ok_merged = ref 0 in
+    while !n_done < cases do
+      let scenario = Scenario.generate topo table rng () in
+      List.iter
+        (fun (c : Scenario.case) ->
+          if c.Scenario.kind = Scenario.Recoverable && !n_done < cases then begin
+            incr n_done;
+            let delivered p2 =
+              match
+                Rtr_core.Phase2.recovery_path p2 ~dst:c.Scenario.dst
+              with
+              | None -> false
+              | Some path -> (
+                  match
+                    Rtr_routing.Source_route.follow g scenario.Scenario.damage
+                      path
+                  with
+                  | Rtr_routing.Source_route.Delivered -> true
+                  | Rtr_routing.Source_route.Dropped _ -> false)
+            in
+            let bid =
+              Rtr_core.Bidir.run topo scenario.Scenario.damage
+                ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger ()
+            in
+            let p2_single =
+              Rtr_core.Phase2.create topo scenario.Scenario.damage
+                ~phase1:bid.Rtr_core.Bidir.right ()
+            in
+            let p2_merged =
+              Rtr_core.Bidir.phase2_of_merged topo scenario.Scenario.damage
+                bid
+            in
+            if delivered p2_single then incr ok_single;
+            if delivered p2_merged then incr ok_merged;
+            single_hops := !single_hops + bid.Rtr_core.Bidir.right.Rtr_core.Phase1.hops;
+            first_hops := !first_hops + bid.Rtr_core.Bidir.first_return_hops;
+            both_hops := !both_hops + bid.Rtr_core.Bidir.both_return_hops;
+            single_links :=
+              !single_links
+              + List.length bid.Rtr_core.Bidir.right.Rtr_core.Phase1.failed_links;
+            merged_links :=
+              !merged_links + List.length bid.Rtr_core.Bidir.merged_failed_links
+          end)
+        scenario.Scenario.cases
+    done;
+    let avg x = float_of_int x /. float_of_int cases in
+    let ms hops = Delay.ms (Delay.of_hops (int_of_float (Float.round (avg hops)))) in
+    [
+      preset.Isp.as_name;
+      f2 (ms !single_hops);
+      f2 (ms !first_hops);
+      f2 (ms !both_hops);
+      f2 (avg !single_links);
+      f2 (avg !merged_links);
+      pct (Stats.ratio !ok_single cases);
+      pct (Stats.ratio !ok_merged cases);
+    ]
+  in
+  {
+    id = "extension_bidir";
+    title =
+      "Extension (not in the paper): bidirectional phase-1 walks, recoverable \
+       cases";
+    header =
+      [
+        "Topology";
+        "P1 ms single";
+        "P1 ms first-of-2";
+        "P1 ms both";
+        "AvgE1 single";
+        "AvgE1 merged";
+        "Rec% single";
+        "Rec% merged";
+      ];
+    rows = List.map row config.presets;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* MRC recovery rate vs configuration count: fairness check on the
+   baseline. *)
+let ablation_mrc_k ?(cases = 500) ?(ks = [ 4; 6; 8; 12; 16 ]) config =
+  let module Damage = Rtr_failure.Damage in
+  let module Mrc = Rtr_baselines.Mrc in
+  let row (preset : Isp.preset) =
+    let topo = Isp.load preset in
+    let g = Rtr_topo.Topology.graph topo in
+    let table = Rtr_routing.Route_table.compute g in
+    let mrcs =
+      List.map
+        (fun k ->
+          match Mrc.build g ~k with
+          | Some m -> (k, Some m)
+          | None -> (k, None))
+        ks
+    in
+    let ok = Hashtbl.create 8 in
+    List.iter (fun k -> Hashtbl.replace ok k 0) ks;
+    let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 41) in
+    let n_done = ref 0 in
+    while !n_done < cases do
+      let scenario = Scenario.generate topo table rng () in
+      List.iter
+        (fun (c : Scenario.case) ->
+          if c.Scenario.kind = Scenario.Recoverable && !n_done < cases then begin
+            incr n_done;
+            List.iter
+              (fun (k, mrc) ->
+                match mrc with
+                | None -> ()
+                | Some mrc -> (
+                    match
+                      Mrc.recover mrc scenario.Scenario.damage
+                        ~initiator:c.Scenario.initiator
+                        ~trigger:c.Scenario.trigger ~dst:c.Scenario.dst
+                    with
+                    | Mrc.Delivered _ ->
+                        Hashtbl.replace ok k (Hashtbl.find ok k + 1)
+                    | Mrc.Dropped _ -> ()))
+              mrcs
+          end)
+        scenario.Scenario.cases
+    done;
+    preset.Isp.as_name
+    :: List.map
+         (fun (k, mrc) ->
+           match mrc with
+           | None -> "infeasible"
+           | Some _ -> pct (Stats.ratio (Hashtbl.find ok k) cases))
+         mrcs
+  in
+  {
+    id = "ablation_mrc_k";
+    title =
+      "Ablation (not in the paper): MRC recovery rate vs configuration count \
+       k, recoverable cases";
+    header = "Topology" :: List.map (fun k -> Printf.sprintf "k=%d" k) ks;
+    rows = List.map row config.presets;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* Topology-instance sensitivity: the error bars of the synthetic
+   substitution. *)
+let instance_variance ?(cases = 400) ?(instances = 5) config =
+  let module Damage = Rtr_failure.Damage in
+  let rate_on topo seed =
+    let g = Rtr_topo.Topology.graph topo in
+    let table = Rtr_routing.Route_table.compute g in
+    let rng = Rtr_util.Rng.make seed in
+    let n_done = ref 0 and ok = ref 0 in
+    while !n_done < cases do
+      let scenario = Scenario.generate topo table rng () in
+      List.iter
+        (fun (c : Scenario.case) ->
+          if c.Scenario.kind = Scenario.Recoverable && !n_done < cases then begin
+            incr n_done;
+            let session =
+              Rtr_core.Rtr.start topo scenario.Scenario.damage
+                ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger
+            in
+            match Rtr_core.Rtr.recover session ~dst:c.Scenario.dst with
+            | Rtr_core.Rtr.Recovered _ -> incr ok
+            | Rtr_core.Rtr.Unreachable_in_view | Rtr_core.Rtr.False_path _ ->
+                ()
+          end)
+        scenario.Scenario.cases
+    done;
+    100.0 *. Stats.ratio !ok cases
+  in
+  let row (preset : Isp.preset) =
+    let rates =
+      List.init instances (fun i ->
+          let rng = Rtr_util.Rng.make (preset.Isp.seed + (1000 * (i + 1))) in
+          let topo =
+            Rtr_topo.Generator.generate rng
+              ~name:(Printf.sprintf "%s#%d" preset.Isp.as_name i)
+              ~n:preset.Isp.nodes ~m:preset.Isp.links ~style:preset.Isp.style
+              ()
+          in
+          rate_on topo (config.seed + i))
+    in
+    [
+      preset.Isp.as_name;
+      f2 (Stats.mean rates);
+      f2 (Stats.minimum rates);
+      f2 (Stats.maximum rates);
+      f2 (Stats.maximum rates -. Stats.minimum rates);
+    ]
+  in
+  {
+    id = "instance_variance";
+    title =
+      Printf.sprintf
+        "Instance sensitivity (not in the paper): RTR recovery rate across %d \
+         regenerated instances per AS"
+        instances;
+    header = [ "Topology"; "Mean%"; "Min%"; "Max%"; "Spread" ];
+    rows = List.map row config.presets;
+  }

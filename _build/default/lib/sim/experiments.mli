@@ -1,0 +1,120 @@
+(** Reproduction of every table and figure in the paper's Sec. IV.
+
+    [collect] gathers the paper's workload — per topology, random disc
+    failures until quota many recoverable and irrecoverable test cases
+    have been evaluated — and the per-artifact functions reduce the
+    collected data to printable tables and figure series.  The paper
+    used 10,000 + 10,000 cases per topology; the default here is read
+    from the [REPRO_CASES] environment variable (falling back to 2,000)
+    so benches stay quick while a full run remains one env var away. *)
+
+type config = {
+  presets : Rtr_topo.Isp.preset list;
+  recoverable_per_topo : int;
+  irrecoverable_per_topo : int;
+  seed : int;
+  mrc_k : int option;  (** [None]: smallest feasible k *)
+}
+
+val default_config : unit -> config
+(** Table II presets, quotas from [REPRO_CASES] (default 2,000), seed
+    7, automatic MRC k. *)
+
+type topo_data = {
+  preset : Rtr_topo.Isp.preset;
+  topo : Rtr_topo.Topology.t;
+  mrc_configs : int;
+  recoverable : Runner.result list;
+  irrecoverable : Runner.result list;
+}
+
+val collect : ?log:(string -> unit) -> config -> topo_data list
+
+(** {1 Printable artifacts} *)
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : series list;
+}
+
+type table = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+val table2 : config -> table
+(** Topology summary (needs no simulation). *)
+
+val fig7 : topo_data list -> figure
+(** CDF of phase-1 duration (ms), per AS, both case kinds. *)
+
+val table3 : topo_data list -> table
+(** Recovery rate / optimal recovery rate / max stretch / max
+    computational overhead for RTR, FCP, MRC on recoverable cases. *)
+
+val fig8 : topo_data list -> figure
+(** CDF of recovery-path stretch (successfully recovered cases). *)
+
+val fig9 : topo_data list -> figure
+(** CDF of shortest-path calculations, recoverable cases. *)
+
+val fig10 : topo_data list -> figure
+(** Average recovery-header bytes carried per in-flight packet over
+    the first second, RTR vs FCP (see DESIGN.md §6 for the timeline
+    model). *)
+
+val fig11 :
+  ?log:(string -> unit) ->
+  ?areas_per_radius:int ->
+  ?radii:float list ->
+  config ->
+  figure
+(** Percentage of failed routing paths that are irrecoverable, radius
+    20..300 step 20 (paper: 1,000 areas per radius; default here 200,
+    scaled by [areas_per_radius]). *)
+
+val fig12 : topo_data list -> figure
+(** CDF of wasted shortest-path calculations, irrecoverable cases. *)
+
+val fig13 : topo_data list -> figure
+(** CDF of wasted transmission (byte-hops), irrecoverable cases. *)
+
+val table4 : topo_data list -> table
+(** Average/max wasted computation and transmission, with the paper's
+    headline savings percentages in the footer row. *)
+
+val extension_bidir : ?cases:int -> config -> table
+(** Not in the paper: the bidirectional-walk extension
+    ([Rtr_core.Bidir]).  Compares the single right-hand walk against
+    launching one packet per direction — delay to first return, delay
+    until both return, links collected, and recovery rate from the
+    merged view.  [cases] per topology, default 500. *)
+
+val instance_variance : ?cases:int -> ?instances:int -> config -> table
+(** Not in the paper: topology-instance sensitivity.  Regenerates each
+    AS several times (same size and style, different seeds) and reports
+    the spread of RTR's recovery rate across instances — the error bars
+    the synthetic-topology substitution (DESIGN.md §2) carries.
+    [instances] default 5, [cases] per instance default 400. *)
+
+val ablation_mrc_k : ?cases:int -> ?ks:int list -> config -> table
+(** Not in the paper: MRC's recovery rate as a function of the number
+    of configurations k (more configurations isolate smaller slices,
+    which helps under area failures up to a point).  Guards against
+    the comparison being an artefact of one k.  Default ks: 4, 6, 8,
+    12, 16. *)
+
+val ablation_constraints : ?cases:int -> config -> table
+(** Not in the paper: an ablation of Constraints 1 and 2 (Sec. III-C).
+    Reruns recoverable cases with the cross-link machinery disabled
+    (the naked right-hand rule of the planar case) and compares
+    recovery rate, collected failed links, and walk length.  This is
+    the design choice the paper motivates with Figs. 4/5; the ablation
+    quantifies it.  [cases] per topology, default 500. *)

@@ -1,0 +1,104 @@
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render_grid header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let line row = String.concat "  " (List.map2 pad widths row) in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let render_table (t : Experiments.table) =
+  Printf.sprintf "%s\n%s\n" t.Experiments.title
+    (render_grid t.Experiments.header t.Experiments.rows)
+
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e9 then
+    string_of_int (int_of_float x)
+  else Printf.sprintf "%.3f" x
+
+let thin max_rows xs =
+  let n = List.length xs in
+  if n <= max_rows then xs
+  else begin
+    let step = float_of_int (n - 1) /. float_of_int (max_rows - 1) in
+    List.init max_rows (fun i ->
+        List.nth xs (int_of_float (Float.round (float_of_int i *. step))))
+  end
+
+let render_figure ?(max_rows = 40) (f : Experiments.figure) =
+  match f.Experiments.series with
+  | [] -> Printf.sprintf "%s\n(no data)\n" f.Experiments.title
+  | first :: _ ->
+      let xs = thin max_rows (List.map fst first.Experiments.points) in
+      let header =
+        f.Experiments.x_label
+        :: List.map (fun s -> s.Experiments.label) f.Experiments.series
+      in
+      let value_at (s : Experiments.series) x =
+        match List.assoc_opt x s.Experiments.points with
+        | Some y -> fnum y
+        | None -> ""
+      in
+      let rows =
+        List.map
+          (fun x ->
+            fnum x :: List.map (fun s -> value_at s x) f.Experiments.series)
+          xs
+      in
+      Printf.sprintf "%s\n(y: %s)\n%s\n" f.Experiments.title
+        f.Experiments.y_label (render_grid header rows)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let table_to_csv (t : Experiments.table) =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.Experiments.header :: List.map line t.Experiments.rows)
+  ^ "\n"
+
+let figure_to_csv (f : Experiments.figure) =
+  match f.Experiments.series with
+  | [] -> "\n"
+  | first :: _ ->
+      let xs = List.map fst first.Experiments.points in
+      let header =
+        String.concat ","
+          (csv_escape f.Experiments.x_label
+          :: List.map
+               (fun s -> csv_escape s.Experiments.label)
+               f.Experiments.series)
+      in
+      let row x =
+        String.concat ","
+          (Printf.sprintf "%g" x
+          :: List.map
+               (fun (s : Experiments.series) ->
+                 match List.assoc_opt x s.Experiments.points with
+                 | Some y -> Printf.sprintf "%g" y
+                 | None -> "")
+               f.Experiments.series)
+      in
+      String.concat "\n" (header :: List.map row xs) ^ "\n"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let save ~dir ~name content =
+  mkdir_p dir;
+  let oc = open_out (Filename.concat dir name) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,109 @@
+module Graph = Rtr_graph.Graph
+module Path = Rtr_graph.Path
+module Header = Rtr_routing.Header
+module Phase1 = Rtr_core.Phase1
+module Rtr = Rtr_core.Rtr
+module Fcp = Rtr_baselines.Fcp
+module Mrc = Rtr_baselines.Mrc
+
+type result = {
+  case : Scenario.case;
+  rtr_p1_hops : int;
+  rtr_p1_bytes : int list;
+  rtr_p1_completed : bool;
+  rtr_recovered : bool;
+  rtr_stretch : float option;
+  rtr_route_bytes : int;
+  rtr_wasted_tx : int;
+  fcp_delivered : bool;
+  fcp_stretch : float option;
+  fcp_calcs : int;
+  fcp_hop_bytes : int list;
+  fcp_wasted_tx : int;
+  mrc_delivered : bool;
+  mrc_stretch : float option;
+}
+
+let stretch_of g ~shortest_after path =
+  match shortest_after with
+  | None -> None
+  | Some best when best > 0 ->
+      Some (float_of_int (Path.cost g path) /. float_of_int best)
+  | Some _ -> Some 1.0
+
+let run_case g topo sessions ~mrc (case : Scenario.case) damage =
+  let session =
+    match Hashtbl.find_opt sessions case.Scenario.initiator with
+    | Some s -> s
+    | None ->
+        let s =
+          Rtr.start topo damage ~initiator:case.Scenario.initiator
+            ~trigger:case.Scenario.trigger
+        in
+        Hashtbl.replace sessions case.Scenario.initiator s;
+        s
+  in
+  let p1 = Rtr.phase1 session in
+  let rtr_p1_bytes =
+    List.map (fun s -> s.Phase1.header_bytes) p1.Phase1.steps
+  in
+  let rtr_recovered, rtr_stretch, rtr_route_bytes, rtr_wasted_tx =
+    match Rtr.recover session ~dst:case.Scenario.dst with
+    | Rtr.Recovered path ->
+        ( true,
+          stretch_of g ~shortest_after:case.Scenario.shortest_after path,
+          Header.rtr_phase2 ~hops:(Path.hops path),
+          0 )
+    | Rtr.Unreachable_in_view -> (false, None, 0, 0)
+    | Rtr.False_path { path; hops_done; _ } ->
+        let bytes = Header.rtr_phase2 ~hops:(Path.hops path) in
+        (false, None, bytes, hops_done * (Header.payload_bytes + bytes))
+  in
+  let fcp =
+    Fcp.run topo damage ~initiator:case.Scenario.initiator
+      ~dst:case.Scenario.dst
+  in
+  let fcp_stretch =
+    if fcp.Fcp.delivered then
+      stretch_of g ~shortest_after:case.Scenario.shortest_after fcp.Fcp.journey
+    else None
+  in
+  let mrc_delivered, mrc_stretch =
+    match
+      Mrc.recover mrc damage ~initiator:case.Scenario.initiator
+        ~trigger:case.Scenario.trigger ~dst:case.Scenario.dst
+    with
+    | Mrc.Delivered path ->
+        (true, stretch_of g ~shortest_after:case.Scenario.shortest_after path)
+    | Mrc.Dropped _ -> (false, None)
+  in
+  {
+    case;
+    rtr_p1_hops = p1.Phase1.hops;
+    rtr_p1_bytes;
+    rtr_p1_completed =
+      (match p1.Phase1.status with
+      | Phase1.Completed | Phase1.No_live_neighbor -> true
+      | Phase1.Hop_limit | Phase1.Stuck _ -> false);
+    rtr_recovered;
+    rtr_stretch;
+    rtr_route_bytes;
+    rtr_wasted_tx;
+    fcp_delivered = fcp.Fcp.delivered;
+    fcp_stretch;
+    fcp_calcs = fcp.Fcp.sp_calculations;
+    fcp_hop_bytes = List.map (fun h -> h.Fcp.header_bytes) fcp.Fcp.hops;
+    fcp_wasted_tx = Fcp.wasted_transmission fcp;
+    mrc_delivered;
+    mrc_stretch;
+  }
+
+let run_scenario ~mrc (scenario : Scenario.t) =
+  let topo = scenario.Scenario.topo in
+  let g = Rtr_topo.Topology.graph topo in
+  let sessions = Hashtbl.create 16 in
+  List.map
+    (fun case -> run_case g topo sessions ~mrc case scenario.Scenario.damage)
+    scenario.Scenario.cases
+
+let rtr_sp_calculations _ = 1

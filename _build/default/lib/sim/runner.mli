@@ -1,0 +1,40 @@
+(** Per-test-case execution of the three schemes.
+
+    For every case of a scenario this runs RTR (phase 1 shared across
+    cases with the same initiator, as the protocol prescribes), FCP and
+    MRC, and reduces each to the metrics the paper's evaluation uses. *)
+
+type result = {
+  case : Scenario.case;
+  (* RTR *)
+  rtr_p1_hops : int;
+  rtr_p1_bytes : int list;
+      (** phase-1 recovery header size per hop, in hop order *)
+  rtr_p1_completed : bool;
+  rtr_recovered : bool;
+  rtr_stretch : float option;
+      (** recovery-path cost / true shortest (recoverable and recovered
+          only); Theorem 2 makes this 1.0 whenever present *)
+  rtr_route_bytes : int;
+      (** phase-2 header (source route) size; 0 when the view had no
+          path *)
+  rtr_wasted_tx : int;
+      (** irrecoverable cases: byte-hops spent on a false path before
+          the packet was discarded (0 when unreachability was
+          recognised at the initiator) *)
+  (* FCP *)
+  fcp_delivered : bool;
+  fcp_stretch : float option;
+  fcp_calcs : int;
+  fcp_hop_bytes : int list;
+  fcp_wasted_tx : int;
+  (* MRC *)
+  mrc_delivered : bool;
+  mrc_stretch : float option;
+}
+
+val run_scenario : mrc:Rtr_baselines.Mrc.t -> Scenario.t -> result list
+
+val rtr_sp_calculations : result -> int
+(** Always 1: the paper's accounting for RTR (one calculation per
+    destination, cached). *)

@@ -1,0 +1,100 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Route_table = Rtr_routing.Route_table
+
+type kind = Recoverable | Irrecoverable
+
+type case = {
+  initiator : Graph.node;
+  trigger : Graph.node;
+  dst : Graph.node;
+  kind : kind;
+  shortest_after : int option;
+}
+
+type t = {
+  topo : Rtr_topo.Topology.t;
+  table : Rtr_routing.Route_table.t;
+  area : Rtr_failure.Area.t;
+  damage : Rtr_failure.Damage.t;
+  cases : case list;
+}
+
+let of_area topo table area =
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = Damage.apply topo area in
+  let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+  let n = Graph.n_nodes g in
+  (* One damaged-graph SPT per initiator gives every case's optimality
+     yardstick; computed lazily since most nodes initiate nothing. *)
+  let spt_cache = Hashtbl.create 16 in
+  let shortest_from u =
+    match Hashtbl.find_opt spt_cache u with
+    | Some spt -> spt
+    | None ->
+        let spt = Rtr_graph.Dijkstra.spt g ~root:u ~node_ok ~link_ok () in
+        Hashtbl.replace spt_cache u spt;
+        spt
+  in
+  let cases = ref [] in
+  for initiator = n - 1 downto 0 do
+    if node_ok initiator then
+      for dst = n - 1 downto 0 do
+        if dst <> initiator then
+          match Route_table.next_link table ~src:initiator ~dst with
+          | None -> ()
+          | Some link ->
+              let trigger = Graph.other_end g link initiator in
+              if Damage.neighbor_unreachable damage trigger link then begin
+                let spt = shortest_from initiator in
+                let case =
+                  if node_ok dst && Rtr_graph.Spt.reached spt dst then
+                    {
+                      initiator;
+                      trigger;
+                      dst;
+                      kind = Recoverable;
+                      shortest_after = Some (Rtr_graph.Spt.dist spt dst);
+                    }
+                  else
+                    {
+                      initiator;
+                      trigger;
+                      dst;
+                      kind = Irrecoverable;
+                      shortest_after = None;
+                    }
+                in
+                cases := case :: !cases
+              end
+      done
+  done;
+  { topo; table; area; damage; cases = !cases }
+
+let generate topo table rng ?(r_min = 100.0) ?(r_max = 300.0) () =
+  let area = Rtr_failure.Area.random_disc rng ~r_min ~r_max () in
+  of_area topo table area
+
+let count_failed_paths topo table damage =
+  let g = Rtr_topo.Topology.graph topo in
+  let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+  let comps = Rtr_graph.Components.compute g ~node_ok ~link_ok () in
+  let n = Graph.n_nodes g in
+  let recoverable = ref 0 and irrecoverable = ref 0 in
+  for s = 0 to n - 1 do
+    if node_ok s then
+      for t = 0 to n - 1 do
+        if t <> s then
+          match Route_table.default_path table ~src:s ~dst:t with
+          | None -> ()
+          | Some path ->
+              let failed =
+                not (Rtr_graph.Path.is_valid g ~node_ok ~link_ok path)
+              in
+              if failed then
+                if node_ok t && Rtr_graph.Components.same comps s t then
+                  incr recoverable
+                else incr irrecoverable
+      done
+  done;
+  (!recoverable, !irrecoverable)

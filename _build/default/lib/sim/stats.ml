@@ -1,0 +1,27 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let mean_int xs = mean (List.map float_of_int xs)
+let max_int_list = function
+  | [] -> invalid_arg "Stats.max_int_list: empty"
+  | x :: xs -> List.fold_left max x xs
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den

@@ -1,0 +1,19 @@
+(** Small descriptive-statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** 0. on the empty list. *)
+
+val maximum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val minimum : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 1]: nearest-rank percentile.
+    Raises [Invalid_argument] on the empty list or out-of-range [p]. *)
+
+val mean_int : int list -> float
+val max_int_list : int list -> int
+
+val ratio : int -> int -> float
+(** [ratio num den] as a float; 0. when [den = 0]. *)

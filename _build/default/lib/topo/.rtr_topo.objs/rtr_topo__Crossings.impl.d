@@ -1,0 +1,1 @@
+lib/topo/crossings.ml: Array Bytes Embedding Rtr_geom Rtr_graph Segment

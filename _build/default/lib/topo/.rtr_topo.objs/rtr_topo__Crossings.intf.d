@@ -1,0 +1,1 @@
+lib/topo/crossings.mli: Embedding Rtr_graph

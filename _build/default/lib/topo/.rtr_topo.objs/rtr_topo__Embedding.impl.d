@@ -1,0 +1,1 @@
+lib/topo/embedding.ml: Array Point Rtr_geom Rtr_graph Rtr_util Segment

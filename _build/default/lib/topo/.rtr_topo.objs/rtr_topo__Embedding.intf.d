@@ -1,0 +1,1 @@
+lib/topo/embedding.mli: Point Rtr_geom Rtr_graph Rtr_util Segment

@@ -1,0 +1,1 @@
+lib/topo/generator.ml: Array Embedding Hashtbl List Point Rtr_geom Rtr_graph Rtr_util Seq Topology

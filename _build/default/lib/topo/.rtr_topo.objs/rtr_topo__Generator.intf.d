@@ -1,0 +1,1 @@
+lib/topo/generator.mli: Rtr_util Topology

@@ -1,0 +1,1 @@
+lib/topo/isp.ml: Generator Hashtbl List Rtr_util Topology

@@ -1,0 +1,1 @@
+lib/topo/isp.mli: Generator Topology

@@ -1,0 +1,1 @@
+lib/topo/paper_example.ml: Array Embedding Lazy List Point Rtr_geom Rtr_graph Topology

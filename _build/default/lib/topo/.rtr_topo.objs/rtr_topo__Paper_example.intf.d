@@ -1,0 +1,1 @@
+lib/topo/paper_example.mli: Rtr_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/rocketfuel.ml: Embedding Float Fun Hashtbl List Option Printf Rtr_graph Rtr_util String Topology

@@ -1,0 +1,1 @@
+lib/topo/rocketfuel.mli: Topology

@@ -1,0 +1,1 @@
+lib/topo/topo_io.ml: Array Buffer Embedding Fun List Point Printf Rtr_geom Rtr_graph String Topology

@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Crossings Embedding Format Rtr_graph

@@ -1,0 +1,1 @@
+lib/topo/topology.mli: Crossings Embedding Format Rtr_graph

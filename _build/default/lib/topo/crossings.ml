@@ -1,0 +1,35 @@
+open Rtr_geom
+
+type t = {
+  m : int;
+  matrix : Bytes.t;  (* m*m adjacency of the crossing relation *)
+  lists : int list array;
+  total : int;
+}
+
+let idx t i j = (i * t.m) + j
+
+let compute g emb =
+  let m = Rtr_graph.Graph.n_links g in
+  let segs = Array.init m (fun id -> Embedding.segment emb g id) in
+  let matrix = Bytes.make (m * m) '\000' in
+  let lists = Array.make m [] in
+  let total = ref 0 in
+  let t = { m; matrix; lists; total = 0 } in
+  for i = m - 1 downto 0 do
+    for j = m - 1 downto i + 1 do
+      if Segment.crosses segs.(i) segs.(j) then begin
+        Bytes.set matrix (idx t i j) '\001';
+        Bytes.set matrix (idx t j i) '\001';
+        lists.(i) <- j :: lists.(i);
+        lists.(j) <- i :: lists.(j);
+        incr total
+      end
+    done
+  done;
+  { t with total = !total }
+
+let crosses t i j = Bytes.get t.matrix (idx t i j) = '\001'
+let crossing t i = t.lists.(i)
+let has_crossing t i = t.lists.(i) <> []
+let total t = t.total

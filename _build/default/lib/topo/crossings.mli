@@ -1,0 +1,24 @@
+(** Precomputed link-crossing relation.
+
+    "For each link, routers precompute the set of links across it"
+    (Sec. III-C): Constraint 2 consults this relation on every next-hop
+    selection of phase 1, so it is computed once per topology — an
+    O(m^2) pass over the segment embeddings — and served from a flat
+    matrix afterwards. *)
+
+type t
+
+val compute : Rtr_graph.Graph.t -> Embedding.t -> t
+
+val crosses : t -> Rtr_graph.Graph.link_id -> Rtr_graph.Graph.link_id -> bool
+(** Symmetric; a link never crosses itself or a link sharing a
+    router. *)
+
+val crossing : t -> Rtr_graph.Graph.link_id -> Rtr_graph.Graph.link_id list
+(** All links crossing the given one, ascending. *)
+
+val has_crossing : t -> Rtr_graph.Graph.link_id -> bool
+
+val total : t -> int
+(** Number of unordered crossing pairs — 0 exactly when the embedding
+    is planar (no cross links), the easy case of Sec. III-B. *)

@@ -1,0 +1,56 @@
+type preset = {
+  as_name : string;
+  nodes : int;
+  links : int;
+  seed : int;
+  approx : bool;
+  style : Generator.style;
+}
+
+let p ?(style = Generator.default_style) as_name nodes links seed =
+  { as_name; nodes; links; seed; approx = false; style }
+
+let style locality spanning_pref =
+  { Generator.locality; pref_attach = 1.0; spanning_pref }
+
+(* Styles and seeds calibrated so that each AS instance lands in the
+   paper's reported per-AS ranges for optimal recovery rate (Table III)
+   and phase-1 walk length (Fig. 7); see DESIGN.md. *)
+let table2 =
+  [
+    p "AS209" 58 108 20903 ~style:(style 0.03 0.8);
+    p "AS701" 83 219 70103 ~style:(style 0.03 0.0);
+    p "AS1239" 52 84 123902 ~style:(style 0.02 0.0);
+    p "AS3320" 70 355 332003 ~style:(style 0.008 0.8);
+    p "AS3549" 61 486 354903 ~style:(style 0.03 0.8);
+    p "AS3561" 92 329 356103 ~style:(style 0.03 0.8);
+    p "AS4323" 51 161 432301 ~style:(style 0.03 0.8);
+    p "AS7018" 115 148 701802 ~style:(style 0.02 0.4);
+  ]
+
+let extras =
+  [
+    { (p "AS2914" 70 222 291401 ~style:(style 0.03 0.8)) with approx = true };
+    { (p "AS3356" 63 285 335601 ~style:(style 0.03 0.8)) with approx = true };
+  ]
+
+let all = table2 @ extras
+
+let find name = List.find_opt (fun pr -> pr.as_name = name) all
+
+let cache : (string, Topology.t) Hashtbl.t = Hashtbl.create 16
+
+let load pr =
+  match Hashtbl.find_opt cache pr.as_name with
+  | Some t -> t
+  | None ->
+      let rng = Rtr_util.Rng.make pr.seed in
+      let t =
+        Generator.generate rng ~name:pr.as_name ~n:pr.nodes ~m:pr.links
+          ~style:pr.style ()
+      in
+      Hashtbl.replace cache pr.as_name t;
+      t
+
+let load_by_name name =
+  match find name with Some pr -> load pr | None -> raise Not_found

@@ -1,0 +1,90 @@
+open Rtr_geom
+
+let v n =
+  if n < 1 || n > 18 then invalid_arg "Paper_example.v: out of range";
+  n - 1
+
+(* Coordinates laid out after Fig. 6; y grows upward. *)
+let coordinates =
+  [|
+    (100.0, 440.0) (* v1 *);
+    (220.0, 460.0) (* v2 *);
+    (60.0, 320.0) (* v3 *);
+    (260.0, 390.0) (* v4 *);
+    (180.0, 340.0) (* v5 *);
+    (190.0, 250.0) (* v6 *);
+    (90.0, 220.0) (* v7 *);
+    (220.0, 160.0) (* v8 *);
+    (340.0, 400.0) (* v9 *);
+    (310.0, 300.0) (* v10 *);
+    (320.0, 220.0) (* v11 *);
+    (390.0, 140.0) (* v12 *);
+    (440.0, 460.0) (* v13 *);
+    (430.0, 385.0) (* v14 *);
+    (430.0, 290.0) (* v15 *);
+    (480.0, 170.0) (* v16 *);
+    (520.0, 320.0) (* v17 *);
+    (510.0, 150.0) (* v18 *);
+  |]
+
+let edges_1indexed =
+  [
+    (1, 2);
+    (1, 3);
+    (2, 4);
+    (3, 5);
+    (3, 7);
+    (4, 5);
+    (4, 9);
+    (4, 11);
+    (5, 6);
+    (5, 10);
+    (5, 12);
+    (6, 7);
+    (6, 11);
+    (7, 8);
+    (8, 12);
+    (9, 10);
+    (9, 13);
+    (10, 11);
+    (10, 14);
+    (11, 12);
+    (11, 15);
+    (11, 16);
+    (12, 14);
+    (12, 18);
+    (13, 14);
+    (15, 17);
+    (16, 18);
+    (17, 18);
+  ]
+
+let build () =
+  let edges = List.map (fun (a, b) -> (v a, v b)) edges_1indexed in
+  let graph = Rtr_graph.Graph.build ~n:18 ~edges in
+  let pts = Array.map (fun (x, y) -> Point.make x y) coordinates in
+  Topology.create ~name:"paper-fig6" graph (Embedding.of_points pts)
+
+let cached = lazy (build ())
+let topology () = Lazy.force cached
+
+let source = v 7
+let destination = v 17
+let initiator = v 6
+let trigger = v 11
+let failed_router = v 10
+
+let link a b =
+  let g = Topology.graph (topology ()) in
+  match Rtr_graph.Graph.find_link g (v a) (v b) with
+  | Some id -> id
+  | None -> raise Not_found
+
+let cut_links () = [ link 6 11; link 4 11 ]
+
+let expected_walk () = List.map v [ 6; 5; 4; 9; 13; 14; 12; 11; 12; 8; 7; 6 ]
+
+let expected_failed_links () =
+  [ link 5 10; link 4 11; link 9 10; link 10 14; link 10 11 ]
+
+let expected_cross_links () = [ link 6 11; link 12 14 ]

@@ -1,0 +1,43 @@
+(** The paper's 18-router worked example (Figs. 1, 2, 6 and Table I).
+
+    A reconstruction of the general-graph example RTR is explained on:
+    node vN of the paper is node [N - 1] here ([v] converts).  The
+    embedding is laid out so that the geometric relations the paper's
+    walk depends on hold: e5,12 crosses e6,11; e11,15 and e11,16 cross
+    e14,12; the right-hand walk from v6 visits
+    v5, v4, v9, v13, v14, v12, v11, v12, v8, v7 and closes.
+
+    The intended failure (the shaded area of Fig. 1): router v10 dies
+    and links e6,11 and e4,11 are cut.  Tests and the quickstart build
+    it as [Damage.of_failed ~nodes:[v 10] ~links:(cut_links ())]. *)
+
+val v : int -> Rtr_graph.Graph.node
+(** [v n] is the paper's router vN; [n] must be in [1, 18]. *)
+
+val topology : unit -> Topology.t
+
+val source : Rtr_graph.Graph.node  (** v7 *)
+
+val destination : Rtr_graph.Graph.node  (** v17 *)
+
+val initiator : Rtr_graph.Graph.node  (** v6 *)
+
+val trigger : Rtr_graph.Graph.node  (** v11, v6's unreachable next hop *)
+
+val failed_router : Rtr_graph.Graph.node  (** v10 *)
+
+val cut_links : unit -> Rtr_graph.Graph.link_id list
+(** e6,11 and e4,11 — the failed links not incident to v10. *)
+
+val link : int -> int -> Rtr_graph.Graph.link_id
+(** [link a b] is the paper's link e{a},{b}.  Raises [Not_found] if
+    absent. *)
+
+val expected_walk : unit -> Rtr_graph.Graph.node list
+(** The Table I walk: v6 v5 v4 v9 v13 v14 v12 v11 v12 v8 v7 v6. *)
+
+val expected_failed_links : unit -> Rtr_graph.Graph.link_id list
+(** Table I's final failed_link: e5,10 e4,11 e9,10 e14,10 e11,10. *)
+
+val expected_cross_links : unit -> Rtr_graph.Graph.link_id list
+(** Table I's final cross_link: e6,11 e14,12. *)

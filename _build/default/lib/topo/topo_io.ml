@@ -1,0 +1,82 @@
+open Rtr_geom
+module Graph = Rtr_graph.Graph
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let g = Topology.graph t and emb = Topology.embedding t in
+  Buffer.add_string buf (Printf.sprintf "topo %s\n" (Topology.name t));
+  for v = 0 to Graph.n_nodes g - 1 do
+    let p = Embedding.position emb v in
+    Buffer.add_string buf
+      (Printf.sprintf "node %d %.6f %.6f\n" v p.Point.x p.Point.y)
+  done;
+  Graph.iter_links g (fun id u v ->
+      let cuv = Graph.cost g id ~src:u and cvu = Graph.cost g id ~src:v in
+      Buffer.add_string buf (Printf.sprintf "link %d %d %d %d\n" u v cuv cvu));
+  Buffer.contents buf
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let fail_line lineno msg = failwith (Printf.sprintf "line %d: %s" lineno msg)
+
+let of_string s =
+  let name = ref "unnamed" in
+  let nodes : (int * Point.t) list ref = ref [] in
+  let edges : (int * int * int * int) list ref = ref [] in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let words =
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun w -> w <> "")
+    in
+    let int_of w =
+      match int_of_string_opt w with
+      | Some i -> i
+      | None -> fail_line lineno (Printf.sprintf "expected integer, got %S" w)
+    in
+    let float_of w =
+      match float_of_string_opt w with
+      | Some f -> f
+      | None -> fail_line lineno (Printf.sprintf "expected number, got %S" w)
+    in
+    match words with
+    | [] -> ()
+    | [ "topo"; n ] -> name := n
+    | [ "node"; id; x; y ] ->
+        nodes := (int_of id, Point.make (float_of x) (float_of y)) :: !nodes
+    | [ "link"; u; v ] -> edges := (int_of u, int_of v, 1, 1) :: !edges
+    | [ "link"; u; v; c ] ->
+        let c = int_of c in
+        edges := (int_of u, int_of v, c, c) :: !edges
+    | [ "link"; u; v; cuv; cvu ] ->
+        edges := (int_of u, int_of v, int_of cuv, int_of cvu) :: !edges
+    | w :: _ -> fail_line lineno (Printf.sprintf "unknown record %S" w)
+  in
+  String.split_on_char '\n' s |> List.iteri (fun i l -> parse_line (i + 1) l);
+  let nodes = List.sort compare !nodes in
+  let n = List.length nodes in
+  List.iteri
+    (fun i (id, _) ->
+      if id <> i then failwith (Printf.sprintf "node ids not dense at %d" id))
+    nodes;
+  if n = 0 then failwith "no nodes";
+  let pts = Array.of_list (List.map snd nodes) in
+  let graph = Graph.build_weighted ~n ~edges:(List.rev !edges) in
+  Topology.create ~name:!name graph (Embedding.of_points pts)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

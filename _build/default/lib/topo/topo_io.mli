@@ -1,0 +1,25 @@
+(** Plain-text topology files.
+
+    Lets real measured maps (e.g. processed Rocketfuel data) be dropped
+    into the harness in place of the synthetic presets.  Format, one
+    record per line, ['#'] comments:
+
+    {v
+    topo <name>
+    node <id> <x> <y>
+    link <u> <v> [<cost_uv> [<cost_vu>]]
+    v}
+
+    Node ids must be dense [0..n-1]; omitted costs default to 1 and an
+    omitted reverse cost to the forward one. *)
+
+val to_string : Topology.t -> string
+
+val save : Topology.t -> string -> unit
+(** [save t path] writes the textual form to [path]. *)
+
+val of_string : string -> Topology.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val load : string -> Topology.t
+(** [load path] parses the file at [path]. *)

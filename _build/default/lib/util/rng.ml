@@ -1,0 +1,41 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x5f17; seed lxor 0x2c9b |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+let float_range t lo hi = lo +. Random.State.float t (hi -. lo)
+let bool t = Random.State.bool t
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_weighted t a ~weight =
+  let total = Array.fold_left (fun acc x -> acc +. weight x) 0.0 a in
+  if not (total > 0.0) then
+    invalid_arg "Rng.pick_weighted: weights must have positive sum";
+  let target = float t total in
+  let n = Array.length a in
+  let rec loop i acc =
+    if i = n - 1 then a.(i)
+    else
+      let acc = acc +. weight a.(i) in
+      if target < acc then a.(i) else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,36 @@
+(** Seeded pseudo-randomness.
+
+    Everything stochastic in the reproduction — node placement, link
+    sampling, failure areas, test-case generation — draws from a value
+    of this type, so every experiment is replayable from its seed and
+    independent streams can be split off deterministically. *)
+
+type t
+
+val make : int -> t
+(** A generator seeded from a single int. *)
+
+val split : t -> t
+(** A new generator whose stream is a deterministic function of the
+    parent's state; advancing one does not disturb the other. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val float_range : t -> float -> float -> float
+(** Uniform in [lo, hi). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_weighted : t -> 'a array -> weight:('a -> float) -> 'a
+(** Roulette-wheel selection; weights must be non-negative with a
+    positive sum.  Raises [Invalid_argument] otherwise. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

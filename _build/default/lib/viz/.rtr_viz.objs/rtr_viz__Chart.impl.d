@@ -1,0 +1,1 @@
+lib/viz/chart.ml: Array Buffer Float Fun List Printf String

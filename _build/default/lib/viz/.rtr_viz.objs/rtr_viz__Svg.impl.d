@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Buffer Circle Float Fun List Option Point Polygon Printf Rtr_failure Rtr_geom Rtr_graph Rtr_topo String

@@ -1,0 +1,1 @@
+lib/viz/svg.mli: Rtr_failure Rtr_graph Rtr_topo

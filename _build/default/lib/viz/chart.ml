@@ -1,0 +1,183 @@
+let palette =
+  [|
+    "#1f77b4";
+    "#ff7f0e";
+    "#2ca02c";
+    "#d62728";
+    "#9467bd";
+    "#8c564b";
+    "#e377c2";
+    "#7f7f7f";
+    "#bcbd22";
+    "#17becf";
+    "#aec7e8";
+    "#ffbb78";
+    "#98df8a";
+    "#ff9896";
+    "#c5b0d5";
+    "#c49c94";
+  |]
+
+let margin_left = 70.0
+let margin_right = 20.0
+let margin_top = 46.0
+let margin_bottom = 52.0
+let legend_row = 16.0
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+(* "Nice" tick spacing: 1/2/5 times a power of ten covering the span. *)
+let tick_step span =
+  if span <= 0.0 then 1.0
+  else begin
+    let raw = span /. 6.0 in
+    let mag = 10.0 ** Float.of_int (int_of_float (Float.floor (log10 raw))) in
+    let candidates = [ 1.0; 2.0; 5.0; 10.0 ] in
+    let rec pick = function
+      | [] -> 10.0 *. mag
+      | c :: rest -> if c *. mag >= raw then c *. mag else pick rest
+    in
+    pick candidates
+  end
+
+let ticks lo hi =
+  let step = tick_step (hi -. lo) in
+  let first = Float.round (lo /. step) *. step in
+  let rec go acc x =
+    if x > hi +. (0.5 *. step) then List.rev acc else go (x :: acc) (x +. step)
+  in
+  go [] (if first < lo -. 1e-9 then first +. step else first)
+
+let fnum x =
+  if Float.abs x >= 1000.0 then Printf.sprintf "%.0f" x
+  else if Float.is_integer x then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%g" x
+
+let render ~title ~x_label ~y_label ~series ?(width = 760) ?(height = 480) ()
+    =
+  let series =
+    List.map (fun (label, pts) -> (label, List.filter finite pts)) series
+    |> List.filter (fun (_, pts) -> List.length pts >= 2)
+  in
+  let all_points = List.concat_map snd series in
+  let lo_x, hi_x, lo_y, hi_y =
+    match all_points with
+    | [] -> (0.0, 1.0, 0.0, 1.0)
+    | (x0, y0) :: rest ->
+        List.fold_left
+          (fun (lx, hx, ly, hy) (x, y) ->
+            (Float.min lx x, Float.max hx x, Float.min ly y, Float.max hy y))
+          (x0, x0, y0, y0) rest
+  in
+  let pad_y = if hi_y -. lo_y <= 0.0 then 1.0 else 0.05 *. (hi_y -. lo_y) in
+  let lo_y = lo_y -. pad_y and hi_y = hi_y +. pad_y in
+  let hi_x = if hi_x -. lo_x <= 0.0 then lo_x +. 1.0 else hi_x in
+  let legend_height = legend_row *. float_of_int (List.length series) in
+  let plot_w = float_of_int width -. margin_left -. margin_right in
+  let plot_h =
+    float_of_int height -. margin_top -. margin_bottom -. legend_height
+  in
+  let px x = margin_left +. ((x -. lo_x) /. (hi_x -. lo_x) *. plot_w) in
+  let py y = margin_top +. plot_h -. ((y -. lo_y) /. (hi_y -. lo_y) *. plot_h) in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+    width height width height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  out "<text x=\"%.1f\" y=\"24\" font-size=\"15\" fill=\"#222\">%s</text>\n"
+    margin_left title;
+  (* Gridlines and ticks. *)
+  List.iter
+    (fun y ->
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"#eee\"/>\n"
+        margin_left (py y)
+        (margin_left +. plot_w)
+        (py y);
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#555\" \
+         text-anchor=\"end\">%s</text>\n"
+        (margin_left -. 8.0)
+        (py y +. 4.0)
+        (fnum y))
+    (ticks lo_y hi_y);
+  List.iter
+    (fun x ->
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"#eee\"/>\n"
+        (px x) margin_top (px x)
+        (margin_top +. plot_h);
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#555\" \
+         text-anchor=\"middle\">%s</text>\n"
+        (px x)
+        (margin_top +. plot_h +. 18.0)
+        (fnum x))
+    (ticks lo_x hi_x);
+  (* Axes on top of the grid. *)
+  out
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#333\"/>\n"
+    margin_left margin_top margin_left
+    (margin_top +. plot_h);
+  out
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#333\"/>\n"
+    margin_left
+    (margin_top +. plot_h)
+    (margin_left +. plot_w)
+    (margin_top +. plot_h);
+  out
+    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" fill=\"#333\" \
+     text-anchor=\"middle\">%s</text>\n"
+    (margin_left +. (plot_w /. 2.0))
+    (margin_top +. plot_h +. 38.0)
+    x_label;
+  out
+    "<text x=\"16\" y=\"%.1f\" font-size=\"12\" fill=\"#333\" \
+     transform=\"rotate(-90 16 %.1f)\" text-anchor=\"middle\">%s</text>\n"
+    (margin_top +. (plot_h /. 2.0))
+    (margin_top +. (plot_h /. 2.0))
+    y_label;
+  (* Series. *)
+  List.iteri
+    (fun i (_, pts) ->
+      let colour = palette.(i mod Array.length palette) in
+      let path =
+        pts
+        |> List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y))
+        |> String.concat " "
+      in
+      out
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+         stroke-width=\"1.8\" stroke-opacity=\"0.9\"/>\n"
+        path colour)
+    series;
+  (* Legend under the plot. *)
+  List.iteri
+    (fun i (label, _) ->
+      let colour = palette.(i mod Array.length palette) in
+      let y =
+        margin_top +. plot_h +. 46.0 +. (legend_row *. float_of_int (i + 1))
+      in
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" \
+         stroke-width=\"3\"/>\n"
+        margin_left y (margin_left +. 26.0) y colour;
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#333\">%s</text>\n"
+        (margin_left +. 34.0)
+        (y +. 4.0)
+        label)
+    series;
+  out "</svg>\n";
+  Buffer.contents buf
+
+let save ~title ~x_label ~y_label ~series ?width ?height path =
+  let doc = render ~title ~x_label ~y_label ~series ?width ?height () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc doc)

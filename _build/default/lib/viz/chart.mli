@@ -1,0 +1,29 @@
+(** SVG line charts for experiment figures.
+
+    A small, dependency-free chart renderer: fitted axes with rounded
+    tick labels, one polyline per series from a qualitative colour
+    cycle, and a legend.  The CLI uses it to emit every CDF/series
+    figure of the paper as a standalone SVG next to its CSV. *)
+
+val render :
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series:(string * (float * float) list) list ->
+  ?width:int ->
+  ?height:int ->
+  unit ->
+  string
+(** Series with fewer than two points are skipped; an all-empty chart
+    still renders (axes and title only).  NaN/infinite points are
+    dropped. *)
+
+val save :
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series:(string * (float * float) list) list ->
+  ?width:int ->
+  ?height:int ->
+  string ->
+  unit

@@ -1,0 +1,187 @@
+open Rtr_geom
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Embedding = Rtr_topo.Embedding
+
+type overlay =
+  | Walk of Graph.node list
+  | Route of string * string * Rtr_graph.Path.t
+
+let margin = 40.0
+
+(* Fit the embedding (plus the failure area, so discs near the border
+   stay visible) into the canvas, flipping y. *)
+let make_projection topo area size =
+  let emb = Rtr_topo.Topology.embedding topo in
+  let n = Embedding.size emb in
+  let lo_x = ref infinity
+  and lo_y = ref infinity
+  and hi_x = ref neg_infinity
+  and hi_y = ref neg_infinity in
+  let stretch (p : Point.t) r =
+    lo_x := Float.min !lo_x (p.Point.x -. r);
+    lo_y := Float.min !lo_y (p.Point.y -. r);
+    hi_x := Float.max !hi_x (p.Point.x +. r);
+    hi_y := Float.max !hi_y (p.Point.y +. r)
+  in
+  for v = 0 to n - 1 do
+    stretch (Embedding.position emb v) 0.0
+  done;
+  (match area with
+  | Some (Rtr_failure.Area.Disc c) -> stretch c.Circle.center c.Circle.radius
+  | Some (Rtr_failure.Area.Poly p) ->
+      let lo, hi = Polygon.bounding_box p in
+      stretch lo 0.0;
+      stretch hi 0.0
+  | None -> ());
+  let canvas = float_of_int size -. (2.0 *. margin) in
+  let span = Float.max (!hi_x -. !lo_x) (!hi_y -. !lo_y) in
+  let span = if span <= 0.0 then 1.0 else span in
+  let scale = canvas /. span in
+  fun (p : Point.t) ->
+    ( margin +. ((p.Point.x -. !lo_x) *. scale),
+      float_of_int size -. margin -. ((p.Point.y -. !lo_y) *. scale) )
+
+let node_pos topo project v =
+  project (Embedding.position (Rtr_topo.Topology.embedding topo) v)
+
+let render topo ?damage ?area ?(overlays = []) ?(size = 800) ?label_nodes () =
+  let g = Rtr_topo.Topology.graph topo in
+  let n = Graph.n_nodes g in
+  let label_nodes = Option.value label_nodes ~default:(n <= 40) in
+  let project = make_projection topo area size in
+  let pos = node_pos topo project in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    size size size size;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" size size;
+  out "<text x=\"%d\" y=\"22\" font-family=\"sans-serif\" font-size=\"15\" \
+       fill=\"#333\">%s</text>\n"
+    12 (Rtr_topo.Topology.name topo);
+  (* Failure area beneath everything else. *)
+  (match area with
+  | Some (Rtr_failure.Area.Disc c) ->
+      let cx, cy = project c.Circle.center in
+      let rim_x, _ =
+        project (Point.add c.Circle.center (Point.make c.Circle.radius 0.0))
+      in
+      out
+        "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"#d33\" \
+         fill-opacity=\"0.12\" stroke=\"#d33\" stroke-dasharray=\"6 4\"/>\n"
+        cx cy
+        (Float.abs (rim_x -. cx))
+  | Some (Rtr_failure.Area.Poly p) ->
+      let pts =
+        Polygon.vertices p
+        |> List.map (fun v ->
+               let x, y = project v in
+               Printf.sprintf "%.1f,%.1f" x y)
+        |> String.concat " "
+      in
+      out
+        "<polygon points=\"%s\" fill=\"#d33\" fill-opacity=\"0.12\" \
+         stroke=\"#d33\" stroke-dasharray=\"6 4\"/>\n"
+        pts
+  | None -> ());
+  (* Links. *)
+  Graph.iter_links g (fun id u v ->
+      let x1, y1 = pos u and x2, y2 = pos v in
+      let failed =
+        match damage with Some d -> Damage.link_failed d id | None -> false
+      in
+      if failed then
+        out
+          "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+           stroke=\"#d33\" stroke-width=\"1\" stroke-dasharray=\"4 3\" \
+           stroke-opacity=\"0.8\"/>\n"
+          x1 y1 x2 y2
+      else
+        out
+          "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+           stroke=\"#999\" stroke-width=\"1\"/>\n"
+          x1 y1 x2 y2);
+  (* Overlays above the plain links. *)
+  let polyline nodes colour width dash =
+    match nodes with
+    | [] | [ _ ] -> ()
+    | _ ->
+        let pts =
+          nodes
+          |> List.map (fun v ->
+                 let x, y = pos v in
+                 Printf.sprintf "%.1f,%.1f" x y)
+          |> String.concat " "
+        in
+        out
+          "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+           stroke-width=\"%d\"%s stroke-linejoin=\"round\" \
+           stroke-opacity=\"0.85\"/>\n"
+          pts colour width
+          (match dash with
+          | Some d -> Printf.sprintf " stroke-dasharray=\"%s\"" d
+          | None -> "")
+  in
+  let legend = ref [] in
+  List.iter
+    (function
+      | Walk nodes ->
+          polyline nodes "#f80" 3 None;
+          legend := ("phase-1 walk", "#f80") :: !legend;
+          (* visit-order ticks *)
+          List.iteri
+            (fun i v ->
+              if i > 0 then begin
+                let x, y = pos v in
+                out
+                  "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" \
+                   font-size=\"9\" fill=\"#b60\">%d</text>\n"
+                  (x +. 6.0) (y -. 6.0) i
+              end)
+            nodes
+      | Route (label, colour, path) ->
+          polyline (Rtr_graph.Path.nodes path) colour 3 (Some "8 3");
+          legend := (label, colour) :: !legend)
+    overlays;
+  (* Nodes on top. *)
+  for v = 0 to n - 1 do
+    let x, y = pos v in
+    let failed =
+      match damage with Some d -> Damage.node_failed d v | None -> false
+    in
+    out
+      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" \
+       stroke=\"#222\" stroke-width=\"0.7\"/>\n"
+      x y
+      (if n <= 60 then 5.0 else 3.5)
+      (if failed then "#d33" else "#2a6");
+    if label_nodes then
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" \
+         font-size=\"11\" fill=\"#222\">v%d</text>\n"
+        (x +. 7.0) (y +. 4.0) v
+  done;
+  (* Legend. *)
+  List.iteri
+    (fun i (label, colour) ->
+      let y = float_of_int (size - 16 - (18 * i)) in
+      out
+        "<line x1=\"14\" y1=\"%.1f\" x2=\"44\" y2=\"%.1f\" stroke=\"%s\" \
+         stroke-width=\"3\"/>\n"
+        y y colour;
+      out
+        "<text x=\"50\" y=\"%.1f\" font-family=\"sans-serif\" \
+         font-size=\"12\" fill=\"#333\">%s</text>\n"
+        (y +. 4.0) label)
+    (List.rev !legend);
+  out "</svg>\n";
+  Buffer.contents buf
+
+let save topo ?damage ?area ?overlays ?size ?label_nodes path =
+  let doc = render topo ?damage ?area ?overlays ?size ?label_nodes () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc doc)

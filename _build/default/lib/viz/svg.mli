@@ -1,0 +1,39 @@
+(** SVG rendering of topologies, failures and recovery walks.
+
+    Produces a self-contained SVG document: links in grey (failed ones
+    red and dashed), routers as dots (failed ones red), the failure
+    area as a translucent disc or polygon, the phase-1 walk as a
+    numbered orange polyline, and any number of labelled coloured
+    paths (e.g. the broken default route and the recovery path).  Node
+    labels appear automatically on small graphs. *)
+
+type overlay =
+  | Walk of Rtr_graph.Graph.node list
+      (** phase-1 walk, drawn hop by hop with visit order *)
+  | Route of string * string * Rtr_graph.Path.t
+      (** [(label, css-colour, path)] *)
+
+val render :
+  Rtr_topo.Topology.t ->
+  ?damage:Rtr_failure.Damage.t ->
+  ?area:Rtr_failure.Area.t ->
+  ?overlays:overlay list ->
+  ?size:int ->
+  ?label_nodes:bool ->
+  unit ->
+  string
+(** [size] is the pixel width/height of the square canvas (default
+    800); [label_nodes] defaults to true for graphs of at most 40
+    nodes.  Coordinates are fitted to the canvas with a margin; the
+    y axis is flipped so the plane reads like the paper's figures. *)
+
+val save :
+  Rtr_topo.Topology.t ->
+  ?damage:Rtr_failure.Damage.t ->
+  ?area:Rtr_failure.Area.t ->
+  ?overlays:overlay list ->
+  ?size:int ->
+  ?label_nodes:bool ->
+  string ->
+  unit
+(** [save topo ... path] writes the SVG to [path]. *)

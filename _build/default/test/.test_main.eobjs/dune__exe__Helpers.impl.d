@@ -1,0 +1,1 @@
+test/helpers.ml: Hashtbl Printf Rtr_failure Rtr_graph Rtr_topo Rtr_util

@@ -1,0 +1,1 @@
+test/test_angle.ml: Alcotest Angle Float Point QCheck QCheck_alcotest Rtr_geom

@@ -1,0 +1,1 @@
+test/test_area.ml: Alcotest Circle Point Polygon Rtr_failure Rtr_geom Rtr_util Segment

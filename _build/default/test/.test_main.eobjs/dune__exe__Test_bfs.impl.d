@@ -1,0 +1,1 @@
+test/test_bfs.ml: Alcotest Array Helpers List Option QCheck QCheck_alcotest Rtr_graph

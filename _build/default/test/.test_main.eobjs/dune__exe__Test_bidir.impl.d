@@ -1,0 +1,1 @@
+test/test_bidir.ml: Alcotest Helpers List QCheck QCheck_alcotest Rtr_core Rtr_failure Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+test/test_chart.ml: Alcotest Filename Float Fun Gen List QCheck QCheck_alcotest Rtr_viz Scanf String Sys

@@ -1,0 +1,1 @@
+test/test_circle.ml: Alcotest Angle Circle Point QCheck QCheck_alcotest Rtr_geom Segment

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Helpers List QCheck QCheck_alcotest Rtr_graph

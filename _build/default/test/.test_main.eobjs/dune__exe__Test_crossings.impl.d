@@ -1,0 +1,1 @@
+test/test_crossings.ml: Alcotest Helpers Option Point QCheck QCheck_alcotest Rtr_geom Rtr_graph Rtr_topo Segment

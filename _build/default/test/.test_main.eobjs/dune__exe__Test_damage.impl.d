@@ -1,0 +1,1 @@
+test/test_damage.ml: Alcotest Helpers List Option Point QCheck QCheck_alcotest Rtr_failure Rtr_geom Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+test/test_dijkstra.ml: Alcotest Array Fun Helpers List Option QCheck QCheck_alcotest Rtr_graph

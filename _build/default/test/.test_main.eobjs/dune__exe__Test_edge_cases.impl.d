@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Fun Helpers List Point Polygon Printf QCheck QCheck_alcotest Rtr_core Rtr_failure Rtr_geom Rtr_graph Rtr_topo Rtr_util

@@ -1,0 +1,1 @@
+test/test_embedding.ml: Alcotest Array Point Rtr_geom Rtr_graph Rtr_topo Rtr_util Segment

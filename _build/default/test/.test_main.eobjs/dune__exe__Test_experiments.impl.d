@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Lazy List Option Rtr_sim Rtr_topo String

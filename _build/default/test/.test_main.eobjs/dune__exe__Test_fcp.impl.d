@@ -1,0 +1,1 @@
+test/test_fcp.ml: Alcotest Fun Helpers List Option QCheck QCheck_alcotest Rtr_baselines Rtr_failure Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Printf Rtr_geom Rtr_graph Rtr_topo Rtr_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Option QCheck QCheck_alcotest Rtr_graph Rtr_util

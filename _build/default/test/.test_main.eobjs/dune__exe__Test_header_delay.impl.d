@@ -1,0 +1,1 @@
+test/test_header_delay.ml: Alcotest Gen List QCheck QCheck_alcotest Rtr_routing

@@ -1,0 +1,1 @@
+test/test_igp.ml: Alcotest Float Fun Helpers List QCheck QCheck_alcotest Rtr_failure Rtr_graph Rtr_igp

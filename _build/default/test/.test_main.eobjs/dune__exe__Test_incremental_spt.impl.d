@@ -1,0 +1,1 @@
+test/test_incremental_spt.ml: Alcotest Array Fun Helpers List Option Printf QCheck QCheck_alcotest Rtr_graph Rtr_util

@@ -1,0 +1,1 @@
+test/test_isp.ml: Alcotest List Option Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+test/test_mrc.ml: Alcotest Fun Helpers List Option Printf QCheck QCheck_alcotest Rtr_baselines Rtr_failure Rtr_graph Rtr_topo

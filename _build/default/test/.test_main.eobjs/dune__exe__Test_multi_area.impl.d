@@ -1,0 +1,1 @@
+test/test_multi_area.ml: Alcotest Array Fun Helpers List Option Point QCheck QCheck_alcotest Rtr_core Rtr_failure Rtr_geom Rtr_graph Rtr_topo

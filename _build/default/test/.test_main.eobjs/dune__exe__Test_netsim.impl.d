@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Helpers List QCheck QCheck_alcotest Rtr_des Rtr_failure Rtr_graph Rtr_igp Rtr_topo Rtr_util

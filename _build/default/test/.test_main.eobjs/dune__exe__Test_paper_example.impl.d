@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest List Option Printf Rtr_core Rtr_failure Rtr_graph Rtr_routing Rtr_topo

@@ -1,0 +1,1 @@
+test/test_point.ml: Alcotest Float List Point QCheck QCheck_alcotest Rtr_geom

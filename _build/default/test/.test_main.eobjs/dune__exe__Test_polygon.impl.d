@@ -1,0 +1,1 @@
+test/test_polygon.ml: Alcotest List Point Polygon QCheck QCheck_alcotest Rtr_geom Segment

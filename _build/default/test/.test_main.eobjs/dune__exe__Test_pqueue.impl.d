@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest List QCheck QCheck_alcotest Rtr_graph

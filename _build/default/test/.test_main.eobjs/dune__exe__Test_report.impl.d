@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename List Printf Rtr_sim String Sys

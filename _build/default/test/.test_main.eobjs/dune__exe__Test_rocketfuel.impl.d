@@ -1,0 +1,1 @@
+test/test_rocketfuel.ml: Alcotest Filename Fun Option Rtr_core Rtr_failure Rtr_geom Rtr_graph Rtr_topo Sys

@@ -1,0 +1,1 @@
+test/test_route_table.ml: Alcotest Helpers List Option QCheck QCheck_alcotest Rtr_graph Rtr_routing

@@ -1,0 +1,1 @@
+test/test_rtr.ml: Alcotest Fun Helpers List Option QCheck QCheck_alcotest Rtr_core Rtr_failure Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest List Rtr_baselines Rtr_routing Rtr_sim Rtr_topo Rtr_util

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest List Option Rtr_failure Rtr_geom Rtr_graph Rtr_routing Rtr_sim Rtr_topo Rtr_util

@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Point QCheck QCheck_alcotest Rtr_geom Segment

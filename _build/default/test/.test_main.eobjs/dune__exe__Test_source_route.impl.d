@@ -1,0 +1,1 @@
+test/test_source_route.ml: Alcotest Option Rtr_failure Rtr_graph Rtr_routing

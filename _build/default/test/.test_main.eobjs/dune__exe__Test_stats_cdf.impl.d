@@ -1,0 +1,1 @@
+test/test_stats_cdf.ml: Alcotest Float Gen List QCheck QCheck_alcotest Rtr_sim

@@ -1,0 +1,1 @@
+test/test_svg.ml: Alcotest Filename Fun Rtr_core Rtr_failure Rtr_geom Rtr_graph Rtr_topo Rtr_viz String Sys

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Float Helpers List Option Point QCheck QCheck_alcotest Rtr_core Rtr_failure Rtr_geom Rtr_graph Rtr_topo

@@ -1,0 +1,1 @@
+test/test_topo_io.ml: Alcotest Filename Fun Helpers List Option Rtr_graph Rtr_topo Sys

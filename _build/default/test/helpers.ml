@@ -1,0 +1,74 @@
+(* Shared builders for the test suite. *)
+
+module Graph = Rtr_graph.Graph
+
+(* A connected random graph: a random spanning tree plus extra edges,
+   deterministic in the seed. *)
+let random_connected_graph ~seed ~n ~extra =
+  let rng = Rtr_util.Rng.make seed in
+  let edges = ref [] in
+  let linked = Hashtbl.create 64 in
+  let has u v = Hashtbl.mem linked (min u v, max u v) in
+  let add u v =
+    if u <> v && not (has u v) then begin
+      Hashtbl.replace linked (min u v, max u v) ();
+      edges := (u, v) :: !edges
+    end
+  in
+  for v = 1 to n - 1 do
+    add (Rtr_util.Rng.int rng v) v
+  done;
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra && !attempts < 100 * extra do
+    incr attempts;
+    let u = Rtr_util.Rng.int rng n and v = Rtr_util.Rng.int rng n in
+    if u <> v && not (has u v) then begin
+      add u v;
+      incr added
+    end
+  done;
+  Graph.build ~n ~edges:!edges
+
+(* The same with random positive weights in both directions. *)
+let random_weighted_graph ~seed ~n ~extra ~max_cost =
+  let g = random_connected_graph ~seed ~n ~extra in
+  let rng = Rtr_util.Rng.make (seed + 1) in
+  let edges =
+    Graph.fold_links g ~init:[] ~f:(fun acc _ u v ->
+        ( u,
+          v,
+          1 + Rtr_util.Rng.int rng max_cost,
+          1 + Rtr_util.Rng.int rng max_cost )
+        :: acc)
+  in
+  Graph.build_weighted ~n ~edges
+
+(* A random geometric topology with embedding, as phase-1 property
+   tests need coordinates. *)
+let random_topology ~seed ~n =
+  let rng = Rtr_util.Rng.make seed in
+  Rtr_topo.Generator.generate rng
+    ~name:(Printf.sprintf "test-%d" seed)
+    ~n
+    ~m:(min (n * (n - 1) / 2) (2 * n))
+    ()
+
+(* A random disc damage on a topology. *)
+let random_damage ~seed topo =
+  let rng = Rtr_util.Rng.make seed in
+  let area = Rtr_failure.Area.random_disc rng ~r_min:100.0 ~r_max:300.0 () in
+  Rtr_failure.Damage.apply topo area
+
+(* Deterministic list of all (initiator, trigger) pairs a damage
+   creates: live nodes with a locally unreachable neighbour. *)
+let detectors topo damage =
+  let g = Rtr_topo.Topology.graph topo in
+  let acc = ref [] in
+  for u = Graph.n_nodes g - 1 downto 0 do
+    if Rtr_failure.Damage.node_ok damage u then
+      match Rtr_failure.Damage.unreachable_neighbors damage g u with
+      | (v, _) :: _ -> acc := (u, v) :: !acc
+      | [] -> ()
+  done;
+  !acc

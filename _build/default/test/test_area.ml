@@ -1,0 +1,53 @@
+open Rtr_geom
+module Area = Rtr_failure.Area
+
+let test_disc () =
+  let a = Area.disc ~center:(Point.make 100.0 100.0) ~radius:10.0 in
+  Alcotest.(check bool) "inside" true (Area.contains a (Point.make 105.0 100.0));
+  Alcotest.(check bool)
+    "boundary is not strictly inside" false
+    (Area.contains a (Point.make 110.0 100.0));
+  Alcotest.(check bool) "outside" false (Area.contains a (Point.make 111.0 100.0))
+
+let test_disc_segment () =
+  let a = Area.disc ~center:(Point.make 0.0 0.0) ~radius:5.0 in
+  let through = Segment.make (Point.make (-10.0) 0.0) (Point.make 10.0 0.0) in
+  Alcotest.(check bool) "through" true (Area.hits_segment a through);
+  let outside = Segment.make (Point.make (-10.0) 8.0) (Point.make 10.0 8.0) in
+  Alcotest.(check bool) "clear" false (Area.hits_segment a outside)
+
+let test_poly () =
+  let a =
+    Area.poly
+      (Polygon.make
+         [ Point.make 0.0 0.0; Point.make 4.0 0.0; Point.make 2.0 4.0 ])
+  in
+  Alcotest.(check bool) "inside" true (Area.contains a (Point.make 2.0 1.0));
+  Alcotest.(check bool) "outside" false (Area.contains a (Point.make 0.0 4.0));
+  Alcotest.(check bool)
+    "edge hit" true
+    (Area.hits_segment a
+       (Segment.make (Point.make (-1.0) 1.0) (Point.make 5.0 1.0)))
+
+let test_random_disc_in_paper_ranges () =
+  let rng = Rtr_util.Rng.make 21 in
+  for _ = 1 to 200 do
+    match Area.random_disc rng ~r_min:100.0 ~r_max:300.0 () with
+    | Area.Disc c ->
+        Alcotest.(check bool) "radius range" true
+          (c.Circle.radius >= 100.0 && c.Circle.radius < 300.0);
+        Alcotest.(check bool) "center in plane" true
+          (c.Circle.center.Point.x >= 0.0
+          && c.Circle.center.Point.x < 2000.0
+          && c.Circle.center.Point.y >= 0.0
+          && c.Circle.center.Point.y < 2000.0)
+    | Area.Poly _ -> Alcotest.fail "expected disc"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "disc" `Quick test_disc;
+    Alcotest.test_case "disc segment" `Quick test_disc_segment;
+    Alcotest.test_case "polygon" `Quick test_poly;
+    Alcotest.test_case "random disc ranges" `Quick test_random_disc_in_paper_ranges;
+  ]

@@ -1,0 +1,106 @@
+module Bidir = Rtr_core.Bidir
+module Phase1 = Rtr_core.Phase1
+module Damage = Rtr_failure.Damage
+module PE = Rtr_topo.Paper_example
+
+let paper_run () =
+  let topo = PE.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage =
+    Damage.of_failed g ~nodes:[ PE.failed_router ] ~links:(PE.cut_links ())
+  in
+  (topo, damage,
+   Bidir.run topo damage ~initiator:PE.initiator ~trigger:PE.trigger ())
+
+let test_hands_differ () =
+  let _, _, r = paper_run () in
+  Alcotest.(check bool) "right walk is the paper's" true
+    (r.Bidir.right.Phase1.walk = PE.expected_walk ());
+  Alcotest.(check bool) "left walk goes the other way" true
+    (r.Bidir.left.Phase1.walk <> r.Bidir.right.Phase1.walk);
+  (* Both must close their cycles. *)
+  Alcotest.(check bool) "left completes" true
+    (r.Bidir.left.Phase1.status = Phase1.Completed)
+
+let test_return_ordering () =
+  let _, _, r = paper_run () in
+  Alcotest.(check int) "first return is the min"
+    (min r.Bidir.right.Phase1.hops r.Bidir.left.Phase1.hops)
+    r.Bidir.first_return_hops;
+  Alcotest.(check int) "both return is the max"
+    (max r.Bidir.right.Phase1.hops r.Bidir.left.Phase1.hops)
+    r.Bidir.both_return_hops
+
+let test_merged_superset () =
+  let _, _, r = paper_run () in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "right collected in merge" true
+        (List.mem id r.Bidir.merged_failed_links))
+    r.Bidir.right.Phase1.failed_links;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "left collected in merge" true
+        (List.mem id r.Bidir.merged_failed_links))
+    r.Bidir.left.Phase1.failed_links;
+  Alcotest.(check int) "no duplicates"
+    (List.length (List.sort_uniq compare r.Bidir.merged_failed_links))
+    (List.length r.Bidir.merged_failed_links)
+
+let test_merged_phase2_recovers () =
+  let topo, damage, r = paper_run () in
+  let p2 = Bidir.phase2_of_merged topo damage r in
+  match Rtr_core.Phase2.recovery_path p2 ~dst:PE.destination with
+  | Some path ->
+      let g = Rtr_topo.Topology.graph topo in
+      Alcotest.(check bool) "path valid under true damage" true
+        (Rtr_graph.Path.is_valid g
+           ~node_ok:(Damage.node_ok damage)
+           ~link_ok:(Damage.link_ok damage)
+           path)
+  | None -> Alcotest.fail "destination reachable"
+
+let merged_never_collects_less =
+  QCheck.Test.make
+    ~name:"merged collection is at least as large as either walk" ~count:80
+    QCheck.(pair (int_range 8 30) (int_range 0 400))
+    (fun (n, salt) ->
+      let topo = Helpers.random_topology ~seed:(n * 13 + salt) ~n in
+      let damage = Helpers.random_damage ~seed:(salt + 21) topo in
+      List.for_all
+        (fun (initiator, trigger) ->
+          let r = Bidir.run topo damage ~initiator ~trigger () in
+          let m = List.length r.Bidir.merged_failed_links in
+          m >= List.length r.Bidir.right.Phase1.failed_links
+          && m >= List.length r.Bidir.left.Phase1.failed_links
+          && List.for_all
+               (Damage.link_failed damage)
+               r.Bidir.merged_failed_links)
+        (Helpers.detectors topo damage))
+
+let left_walk_also_terminates =
+  QCheck.Test.make ~name:"Theorem 1 holds for the left-hand walk" ~count:80
+    QCheck.(pair (int_range 6 30) (int_range 0 500))
+    (fun (n, salt) ->
+      let topo = Helpers.random_topology ~seed:(n + (salt * 401)) ~n in
+      let damage = Helpers.random_damage ~seed:(salt + 3) topo in
+      List.for_all
+        (fun (initiator, trigger) ->
+          let p1 =
+            Phase1.run topo damage ~hand:Rtr_core.Sweep.Left ~initiator
+              ~trigger ()
+          in
+          match p1.Phase1.status with
+          | Phase1.Completed | Phase1.No_live_neighbor -> true
+          | Phase1.Hop_limit | Phase1.Stuck _ -> false)
+        (Helpers.detectors topo damage))
+
+let suite =
+  [
+    Alcotest.test_case "hands differ" `Quick test_hands_differ;
+    Alcotest.test_case "return ordering" `Quick test_return_ordering;
+    Alcotest.test_case "merged superset" `Quick test_merged_superset;
+    Alcotest.test_case "merged phase2 recovers" `Quick test_merged_phase2_recovers;
+    QCheck_alcotest.to_alcotest merged_never_collects_less;
+    QCheck_alcotest.to_alcotest left_walk_also_terminates;
+  ]

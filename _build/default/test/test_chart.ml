@@ -1,0 +1,100 @@
+module Chart = Rtr_viz.Chart
+
+let count_sub ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i acc =
+    if i + n > m then acc
+    else go (i + 1) (if String.sub s i n = affix then acc + 1 else acc)
+  in
+  go 0 0
+
+let demo_series =
+  [
+    ("rising", [ (0.0, 0.0); (1.0, 0.5); (2.0, 1.0) ]);
+    ("flat", [ (0.0, 1.0); (2.0, 1.0) ]);
+  ]
+
+let render ?(series = demo_series) () =
+  Chart.render ~title:"demo" ~x_label:"x" ~y_label:"y" ~series ()
+
+let test_document () =
+  let doc = render () in
+  Alcotest.(check bool) "svg doc" true (String.sub doc 0 4 = "<svg");
+  Alcotest.(check int) "one polyline per series" 2
+    (count_sub ~affix:"<polyline" doc);
+  Alcotest.(check int) "title once" 1 (count_sub ~affix:">demo</text>" doc);
+  Alcotest.(check int) "legend labels" 1 (count_sub ~affix:">rising</text>" doc)
+
+let test_degenerate_series_skipped () =
+  let doc =
+    render
+      ~series:
+        [
+          ("singleton", [ (1.0, 1.0) ]);
+          ("nan", [ (Float.nan, 1.0); (1.0, Float.nan); (2.0, 2.0) ]);
+          ("good", [ (0.0, 0.0); (5.0, 5.0) ]);
+        ]
+      ()
+  in
+  (* singleton skipped; "nan" keeps only one finite point so skipped
+     too; only "good" remains. *)
+  Alcotest.(check int) "one polyline" 1 (count_sub ~affix:"<polyline" doc)
+
+let test_empty_chart_still_renders () =
+  let doc = render ~series:[] () in
+  Alcotest.(check bool) "axes present" true (count_sub ~affix:"<line" doc >= 2);
+  Alcotest.(check int) "no polylines" 0 (count_sub ~affix:"<polyline" doc)
+
+let test_coordinates_in_canvas () =
+  let doc = render () in
+  (* Every polyline point must land inside the viewBox. *)
+  let ok = ref true in
+  String.split_on_char '\n' doc
+  |> List.iter (fun line ->
+         if count_sub ~affix:"<polyline" line = 1 then begin
+           Scanf.sscanf line "<polyline points=\"%s@\"" (fun pts ->
+               String.split_on_char ' ' pts
+               |> List.iter (fun p ->
+                      match String.split_on_char ',' p with
+                      | [ x; y ] ->
+                          let x = float_of_string x and y = float_of_string y in
+                          if x < 0.0 || x > 760.0 || y < 0.0 || y > 480.0 then
+                            ok := false
+                      | _ -> ok := false))
+         end);
+  Alcotest.(check bool) "points in canvas" true !ok
+
+let test_save () =
+  let path = Filename.temp_file "rtr_chart" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Chart.save ~title:"t" ~x_label:"x" ~y_label:"y" ~series:demo_series path;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          Alcotest.(check bool) "written" true (in_channel_length ic > 200)))
+
+let ticks_are_bounded =
+  QCheck.Test.make ~name:"charts render for arbitrary finite series" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 2 30)
+        (pair (float_range (-1e6) 1e6) (float_range (-1e6) 1e6)))
+    (fun pts ->
+      let doc =
+        Chart.render ~title:"q" ~x_label:"x" ~y_label:"y"
+          ~series:[ ("s", pts) ] ()
+      in
+      String.length doc > 0)
+
+let suite =
+  [
+    Alcotest.test_case "document" `Quick test_document;
+    Alcotest.test_case "degenerate series skipped" `Quick
+      test_degenerate_series_skipped;
+    Alcotest.test_case "empty chart" `Quick test_empty_chart_still_renders;
+    Alcotest.test_case "coordinates in canvas" `Quick test_coordinates_in_canvas;
+    Alcotest.test_case "save" `Quick test_save;
+    QCheck_alcotest.to_alcotest ticks_are_bounded;
+  ]

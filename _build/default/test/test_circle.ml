@@ -1,0 +1,65 @@
+open Rtr_geom
+
+let disc cx cy r = Circle.make (Point.make cx cy) r
+
+let test_contains () =
+  let c = disc 0.0 0.0 5.0 in
+  Alcotest.(check bool) "center" true (Circle.contains c Point.origin);
+  Alcotest.(check bool) "inside" true (Circle.contains c (Point.make 3.0 0.0));
+  Alcotest.(check bool) "boundary" true (Circle.contains c (Point.make 5.0 0.0));
+  Alcotest.(check bool)
+    "boundary not strict" false
+    (Circle.contains_strict c (Point.make 5.0 0.0));
+  Alcotest.(check bool) "outside" false (Circle.contains c (Point.make 6.0 0.0))
+
+let test_negative_radius () =
+  Alcotest.check_raises "negative radius"
+    (Invalid_argument "Circle.make: negative radius") (fun () ->
+      ignore (Circle.make Point.origin (-1.0)))
+
+let test_segment_through () =
+  let c = disc 0.0 0.0 1.0 in
+  let through = Segment.make (Point.make (-5.0) 0.0) (Point.make 5.0 0.0) in
+  Alcotest.(check bool)
+    "chord through center" true
+    (Circle.intersects_segment c through);
+  let miss = Segment.make (Point.make (-5.0) 2.0) (Point.make 5.0 2.0) in
+  Alcotest.(check bool) "parallel miss" false (Circle.intersects_segment c miss);
+  let tangent = Segment.make (Point.make (-5.0) 1.0) (Point.make 5.0 1.0) in
+  Alcotest.(check bool)
+    "tangent touches" true
+    (Circle.intersects_segment c tangent)
+
+let test_segment_endpoint_inside () =
+  let c = disc 10.0 10.0 2.0 in
+  let s = Segment.make (Point.make 10.0 10.0) (Point.make 100.0 100.0) in
+  Alcotest.(check bool)
+    "endpoint inside" true
+    (Circle.intersects_segment c s)
+
+let test_area () =
+  Alcotest.check (Alcotest.float 1e-6) "unit disc" Angle.pi
+    (Circle.area (disc 3.0 4.0 1.0))
+
+let contains_implies_intersects =
+  QCheck.Test.make
+    ~name:"segment with an endpoint in the disc intersects the disc"
+    ~count:300
+    QCheck.(
+      pair
+        (pair (float_range (-10.) 10.) (float_range (-10.) 10.))
+        (pair (float_range (-10.) 10.) (float_range (-10.) 10.)))
+    (fun ((ax, ay), (bx, by)) ->
+      let a = Point.make ax ay and b = Point.make bx by in
+      let c = Circle.make a 1.0 in
+      Circle.intersects_segment c (Segment.make a b))
+
+let suite =
+  [
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "negative radius" `Quick test_negative_radius;
+    Alcotest.test_case "segment through" `Quick test_segment_through;
+    Alcotest.test_case "segment endpoint inside" `Quick test_segment_endpoint_inside;
+    Alcotest.test_case "area" `Quick test_area;
+    QCheck_alcotest.to_alcotest contains_implies_intersects;
+  ]

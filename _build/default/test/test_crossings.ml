@@ -1,0 +1,68 @@
+open Rtr_geom
+module Graph = Rtr_graph.Graph
+module Embedding = Rtr_topo.Embedding
+module Crossings = Rtr_topo.Crossings
+
+(* An X: links 0-1 and 2-3 cross; 0-2 crosses neither. *)
+let x_shape () =
+  let pts =
+    [|
+      Point.make 0.0 0.0;
+      Point.make 2.0 2.0;
+      Point.make 0.0 2.0;
+      Point.make 2.0 0.0;
+    |]
+  in
+  let g = Graph.build ~n:4 ~edges:[ (0, 1); (2, 3); (0, 2) ] in
+  (g, Crossings.compute g (Embedding.of_points pts))
+
+let test_x_crossing () =
+  let g, c = x_shape () in
+  let l01 = Option.get (Graph.find_link g 0 1) in
+  let l23 = Option.get (Graph.find_link g 2 3) in
+  let l02 = Option.get (Graph.find_link g 0 2) in
+  Alcotest.(check bool) "diagonals cross" true (Crossings.crosses c l01 l23);
+  Alcotest.(check bool) "symmetric" true (Crossings.crosses c l23 l01);
+  Alcotest.(check bool) "no self" false (Crossings.crosses c l01 l01);
+  Alcotest.(check bool) "shares endpoint" false (Crossings.crosses c l01 l02);
+  Alcotest.(check (list int)) "crossing list" [ l23 ] (Crossings.crossing c l01);
+  Alcotest.(check bool) "has_crossing" true (Crossings.has_crossing c l01);
+  Alcotest.(check bool) "no crossing" false (Crossings.has_crossing c l02);
+  Alcotest.(check int) "one pair total" 1 (Crossings.total c)
+
+let test_planar_topology () =
+  let pts =
+    [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 1.0 1.0 |]
+  in
+  let g = Graph.build ~n:3 ~edges:[ (0, 1); (1, 2); (0, 2) ] in
+  let c = Crossings.compute g (Embedding.of_points pts) in
+  Alcotest.(check int) "triangle is planar" 0 (Crossings.total c)
+
+let matches_bruteforce =
+  QCheck.Test.make ~name:"crossings matrix matches segment predicate" ~count:30
+    QCheck.(int_range 4 20)
+    (fun n ->
+      let topo = Helpers.random_topology ~seed:(n * 3) ~n in
+      let g = Rtr_topo.Topology.graph topo in
+      let emb = Rtr_topo.Topology.embedding topo in
+      let c = Rtr_topo.Topology.crossings topo in
+      let m = Graph.n_links g in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          let expected =
+            i <> j
+            && Segment.crosses (Embedding.segment emb g i)
+                 (Embedding.segment emb g j)
+          in
+          if Crossings.crosses c i j <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "x crossing" `Quick test_x_crossing;
+    Alcotest.test_case "planar triangle" `Quick test_planar_topology;
+    QCheck_alcotest.to_alcotest matches_bruteforce;
+  ]

@@ -1,0 +1,164 @@
+(* Failure injection and edge cases cutting across the whole stack:
+   polygonal failure areas, weighted/asymmetric costs, border areas,
+   degenerate graphs. *)
+
+open Rtr_geom
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Rtr = Rtr_core.Rtr
+module Path = Rtr_graph.Path
+
+(* RTR's guarantees are shape-independent: rerun the Theorem 2 property
+   with polygonal areas. *)
+let theorem2_polygon_areas =
+  QCheck.Test.make ~name:"Theorem 2 holds for polygonal failure areas"
+    ~count:80
+    QCheck.(triple (int_range 8 30) (int_range 3 9) (int_range 0 500))
+    (fun (n, sides, salt) ->
+      let topo = Helpers.random_topology ~seed:(n * 7 + salt) ~n in
+      let g = Rtr_topo.Topology.graph topo in
+      let rng = Rtr_util.Rng.make (salt + 1) in
+      let center =
+        Point.make (Rtr_util.Rng.float rng 2000.0) (Rtr_util.Rng.float rng 2000.0)
+      in
+      let radius = Rtr_util.Rng.float_range rng 100.0 300.0 in
+      let area = Rtr_failure.Area.poly (Polygon.regular ~center ~radius ~sides) in
+      let damage = Damage.apply topo area in
+      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      List.for_all
+        (fun (initiator, trigger) ->
+          let session = Rtr.start topo damage ~initiator ~trigger in
+          List.for_all
+            (fun dst ->
+              if dst = initiator then true
+              else
+                match Rtr.recover session ~dst with
+                | Rtr.Recovered path -> (
+                    match
+                      Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
+                        ~node_ok ~link_ok ()
+                    with
+                    | Some best -> Path.cost g path = best
+                    | None -> false)
+                | Rtr.Unreachable_in_view ->
+                    not (Rtr_graph.Bfs.reachable g ~node_ok ~link_ok initiator dst)
+                | Rtr.False_path _ -> true)
+            (List.init (Graph.n_nodes g) Fun.id))
+        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+
+(* Area centred outside the plane's corner: only clips the border. *)
+let border_area_harmless_when_missing =
+  QCheck.Test.make ~name:"area clipping nothing leaves routing intact"
+    ~count:50
+    QCheck.(int_range 5 25)
+    (fun n ->
+      let topo = Helpers.random_topology ~seed:(n * 13) ~n in
+      (* Far outside the 2000x2000 plane. *)
+      let area =
+        Rtr_failure.Area.disc ~center:(Point.make 10_000.0 10_000.0)
+          ~radius:100.0
+      in
+      let damage = Damage.apply topo area in
+      Damage.n_failed_nodes damage = 0 && Damage.n_failed_links damage = 0)
+
+(* Weighted, asymmetric link costs through the full recovery stack:
+   the recovery path must be optimal with respect to the cost metric,
+   not hop count. *)
+let theorem2_weighted_costs =
+  QCheck.Test.make ~name:"Theorem 2 with asymmetric weighted costs" ~count:60
+    QCheck.(pair (int_range 6 20) (int_range 0 300))
+    (fun (n, salt) ->
+      let g =
+        Helpers.random_weighted_graph ~seed:(n + salt) ~n ~extra:n ~max_cost:9
+      in
+      let rng = Rtr_util.Rng.make (salt + 2) in
+      let emb = Rtr_topo.Embedding.random rng ~n () in
+      let topo = Rtr_topo.Topology.create ~name:"weighted" g emb in
+      let damage = Helpers.random_damage ~seed:(salt * 11) topo in
+      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      List.for_all
+        (fun (initiator, trigger) ->
+          let session = Rtr.start topo damage ~initiator ~trigger in
+          List.for_all
+            (fun dst ->
+              if dst = initiator then true
+              else
+                match Rtr.recover session ~dst with
+                | Rtr.Recovered path -> (
+                    match
+                      Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
+                        ~node_ok ~link_ok ()
+                    with
+                    | Some best -> Path.cost g path = best
+                    | None -> false)
+                | Rtr.Unreachable_in_view | Rtr.False_path _ -> true)
+            (List.init (Graph.n_nodes g) Fun.id))
+        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+
+(* The whole network inside the area: every detector sees only dead
+   neighbours or is dead itself. *)
+let test_total_destruction () =
+  let topo = Helpers.random_topology ~seed:5 ~n:12 in
+  let area =
+    Rtr_failure.Area.disc ~center:(Point.make 1000.0 1000.0) ~radius:5000.0
+  in
+  let damage = Damage.apply topo area in
+  Alcotest.(check int) "everyone dead" 12 (Damage.n_failed_nodes damage);
+  Alcotest.(check (list (pair int int))) "no detectors" []
+    (Helpers.detectors topo damage)
+
+(* Two-node graph: the smallest possible recovery problem. *)
+let test_two_node_graph () =
+  let g = Graph.build ~n:2 ~edges:[ (0, 1) ] in
+  let emb =
+    Rtr_topo.Embedding.of_points [| Point.make 0.0 0.0; Point.make 10.0 0.0 |]
+  in
+  let topo = Rtr_topo.Topology.create ~name:"pair" g emb in
+  let damage = Damage.of_failed g ~nodes:[] ~links:[ 0 ] in
+  let session = Rtr.start topo damage ~initiator:0 ~trigger:1 in
+  (match Rtr.recover session ~dst:1 with
+  | Rtr.Unreachable_in_view -> ()
+  | _ -> Alcotest.fail "no alternative path exists");
+  let p1 = Rtr.phase1 session in
+  Alcotest.(check bool) "degenerate walk" true
+    (p1.Rtr_core.Phase1.status = Rtr_core.Phase1.No_live_neighbor)
+
+(* A clique: maximal redundancy; any single node failure must be fully
+   recoverable from every initiator. *)
+let test_clique_single_node_failure () =
+  let n = 8 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let g = Graph.build ~n ~edges:!edges in
+  let rng = Rtr_util.Rng.make 77 in
+  let emb = Rtr_topo.Embedding.random rng ~n () in
+  let topo = Rtr_topo.Topology.create ~name:"clique" g emb in
+  let damage = Damage.of_failed g ~nodes:[ 3 ] ~links:[] in
+  for initiator = 0 to n - 1 do
+    if initiator <> 3 then begin
+      let session = Rtr.start topo damage ~initiator ~trigger:3 in
+      for dst = 0 to n - 1 do
+        if dst <> initiator && dst <> 3 then
+          match Rtr.recover session ~dst with
+          | Rtr.Recovered path ->
+              Alcotest.(check int)
+                (Printf.sprintf "direct hop %d->%d" initiator dst)
+                1 (Path.hops path)
+          | _ -> Alcotest.fail "clique recovery failed"
+      done
+    end
+  done
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest theorem2_polygon_areas;
+    QCheck_alcotest.to_alcotest border_area_harmless_when_missing;
+    QCheck_alcotest.to_alcotest theorem2_weighted_costs;
+    Alcotest.test_case "total destruction" `Quick test_total_destruction;
+    Alcotest.test_case "two-node graph" `Quick test_two_node_graph;
+    Alcotest.test_case "clique single failure" `Quick test_clique_single_node_failure;
+  ]

@@ -1,0 +1,57 @@
+open Rtr_geom
+module Embedding = Rtr_topo.Embedding
+module Graph = Rtr_graph.Graph
+
+let test_of_points_copies () =
+  let pts = [| Point.make 1.0 2.0; Point.make 3.0 4.0 |] in
+  let e = Embedding.of_points pts in
+  pts.(0) <- Point.make 9.0 9.0;
+  Alcotest.(check bool)
+    "insulated from caller mutation" true
+    (Point.equal (Embedding.position e 0) (Point.make 1.0 2.0))
+
+let test_random_in_bounds () =
+  let rng = Rtr_util.Rng.make 1 in
+  let e = Embedding.random rng ~n:200 ~width:50.0 ~height:30.0 () in
+  Alcotest.(check int) "size" 200 (Embedding.size e);
+  for v = 0 to 199 do
+    let p = Embedding.position e v in
+    Alcotest.(check bool) "in bounds" true
+      (p.Point.x >= 0.0 && p.Point.x < 50.0 && p.Point.y >= 0.0
+     && p.Point.y < 30.0)
+  done
+
+let test_random_no_coincident () =
+  let rng = Rtr_util.Rng.make 2 in
+  let e = Embedding.random rng ~n:100 ~width:10.0 ~height:10.0 () in
+  let ok = ref true in
+  for i = 0 to 99 do
+    for j = i + 1 to 99 do
+      if Point.dist (Embedding.position e i) (Embedding.position e j) < 1e-9
+      then ok := false
+    done
+  done;
+  Alcotest.(check bool) "distinct points" true !ok
+
+let test_segment_and_direction () =
+  let e =
+    Embedding.of_points [| Point.make 0.0 0.0; Point.make 3.0 4.0 |]
+  in
+  let g = Graph.build ~n:2 ~edges:[ (0, 1) ] in
+  let s = Embedding.segment e g 0 in
+  Alcotest.(check (float 1e-9)) "segment length" 5.0 (Segment.length s);
+  let d = Embedding.direction e ~from_:0 ~to_:1 in
+  Alcotest.(check bool) "direction" true (Point.equal d (Point.make 3.0 4.0))
+
+let test_defaults () =
+  Alcotest.(check (float 1e-9)) "paper width" 2000.0 Embedding.default_width;
+  Alcotest.(check (float 1e-9)) "paper height" 2000.0 Embedding.default_height
+
+let suite =
+  [
+    Alcotest.test_case "of_points copies" `Quick test_of_points_copies;
+    Alcotest.test_case "random in bounds" `Quick test_random_in_bounds;
+    Alcotest.test_case "random distinct" `Quick test_random_no_coincident;
+    Alcotest.test_case "segment/direction" `Quick test_segment_and_direction;
+    Alcotest.test_case "paper defaults" `Quick test_defaults;
+  ]

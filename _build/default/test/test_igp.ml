@@ -1,0 +1,103 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Convergence = Rtr_igp.Convergence
+module Igp_config = Rtr_igp.Igp_config
+
+let line () = Graph.build ~n:5 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+let test_detectors () =
+  let g = line () in
+  let d = Damage.of_failed g ~nodes:[ 2 ] ~links:[] in
+  let c = Convergence.compute Igp_config.tuned g d in
+  Alcotest.(check (list int)) "neighbours of the dead node" [ 1; 3 ]
+    (List.sort compare (Convergence.detectors c))
+
+let test_flooding_gradient () =
+  let g = line () in
+  let d = Damage.of_failed g ~nodes:[ 4 ] ~links:[] in
+  let cfg = Igp_config.tuned in
+  let c = Convergence.compute cfg g d in
+  (* Node 3 detects; 0 is three flooding hops away. *)
+  let t3 = Convergence.converged_at c 3 and t0 = Convergence.converged_at c 0 in
+  Alcotest.(check bool) "detector first" true (t3 < t0);
+  Alcotest.(check (float 1e-9)) "three flood hops"
+    (3.0 *. cfg.Igp_config.flood_per_hop_s)
+    (t0 -. t3);
+  Alcotest.(check (float 1e-9)) "window is the farthest router" t0
+    (Convergence.finished_at c)
+
+let test_failed_router_never_converges () =
+  let g = line () in
+  let d = Damage.of_failed g ~nodes:[ 2 ] ~links:[] in
+  let c = Convergence.compute Igp_config.tuned g d in
+  Alcotest.(check bool) "dead router" true
+    (Float.is_integer (Convergence.converged_at c 2) = false
+    && Convergence.converged_at c 2 = infinity)
+
+let test_no_failure_no_window () =
+  let g = line () in
+  let c = Convergence.compute Igp_config.classic g (Damage.none g) in
+  Alcotest.(check (list int)) "no detectors" [] (Convergence.detectors c);
+  Alcotest.(check (float 1e-9)) "zero window" 0.0 (Convergence.finished_at c)
+
+let test_classic_slower_than_tuned () =
+  let g = line () in
+  let d = Damage.of_failed g ~nodes:[ 2 ] ~links:[] in
+  let slow = Convergence.compute Igp_config.classic g d in
+  let fast = Convergence.compute Igp_config.tuned g d in
+  Alcotest.(check bool) "multi-second classic convergence" true
+    (Convergence.finished_at slow > 1.0);
+  Alcotest.(check bool) "sub-second tuned convergence" true
+    (Convergence.finished_at fast < 1.0);
+  Alcotest.(check bool) "ordering" true
+    (Convergence.finished_at fast < Convergence.finished_at slow)
+
+let test_packet_loss_estimate () =
+  let g = line () in
+  let d = Damage.of_failed g ~nodes:[ 2 ] ~links:[] in
+  let c = Convergence.compute Igp_config.classic g d in
+  let lost =
+    Convergence.packets_lost_without_recovery c ~rate_pps:1000.0
+      ~affected_flows:10
+  in
+  Alcotest.(check bool) "loss proportional to window" true
+    (Float.abs (lost -. (1000.0 *. 10.0 *. Convergence.finished_at c)) < 1e-6)
+
+let partitioned_component_never_hears =
+  QCheck.Test.make ~name:"routers cut off from all detectors never converge"
+    ~count:30
+    QCheck.(int_range 6 30)
+    (fun n ->
+      let g = Helpers.random_connected_graph ~seed:n ~n ~extra:2 in
+      (* Fail node 0's whole neighbourhood boundary: take node 0 dead,
+         then any router in a component without live detectors keeps
+         converged_at = infinity. *)
+      let d = Damage.of_failed g ~nodes:[ 0 ] ~links:[] in
+      let c = Convergence.compute Igp_config.tuned g d in
+      let comps =
+        Rtr_graph.Components.compute g
+          ~node_ok:(Damage.node_ok d)
+          ~link_ok:(Damage.link_ok d)
+          ()
+      in
+      let detector_comps =
+        List.map (Rtr_graph.Components.id_of comps) (Convergence.detectors c)
+      in
+      List.for_all
+        (fun v ->
+          if not (Damage.node_ok d v) then true
+          else
+            let reached = List.mem (Rtr_graph.Components.id_of comps v) detector_comps in
+            reached = Float.is_finite (Convergence.converged_at c v))
+        (List.init n Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "detectors" `Quick test_detectors;
+    Alcotest.test_case "flooding gradient" `Quick test_flooding_gradient;
+    Alcotest.test_case "failed router" `Quick test_failed_router_never_converges;
+    Alcotest.test_case "no failure" `Quick test_no_failure_no_window;
+    Alcotest.test_case "classic vs tuned" `Quick test_classic_slower_than_tuned;
+    Alcotest.test_case "packet loss estimate" `Quick test_packet_loss_estimate;
+    QCheck_alcotest.to_alcotest partitioned_component_never_hears;
+  ]

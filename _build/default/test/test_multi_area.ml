@@ -1,0 +1,139 @@
+open Rtr_geom
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Multi_area = Rtr_core.Multi_area
+module Path = Rtr_graph.Path
+module Embedding = Rtr_topo.Embedding
+
+(* A long ladder: two failure discs hit the bottom rail at different
+   places, so a recovery path around the first area runs into the
+   second.  Layout (y up):
+
+     10 - 11 - 12 - 13 - 14   (top rail, y = 100)
+      |    |    |    |    |
+      0 -  1 -  2 -  3 -  4   (bottom rail, y = 0)
+*)
+let ladder () =
+  let pts =
+    Array.init 10 (fun i ->
+        Point.make
+          (float_of_int (i mod 5) *. 100.0)
+          (if i < 5 then 0.0 else 100.0))
+  in
+  let bottom = List.init 4 (fun i -> (i, i + 1)) in
+  let top = List.init 4 (fun i -> (i + 5, i + 6)) in
+  let rungs = List.init 5 (fun i -> (i, i + 5)) in
+  let g = Graph.build ~n:10 ~edges:(bottom @ top @ rungs) in
+  Rtr_topo.Topology.create ~name:"ladder" g (Embedding.of_points pts)
+
+let two_area_damage topo =
+  let g = Rtr_topo.Topology.graph topo in
+  (* Area 1 cuts bottom link 1-2; area 2 cuts top link 7-8 (the path a
+     first recovery naturally takes). *)
+  let d1 =
+    Damage.of_failed g ~nodes:[]
+      ~links:[ Option.get (Graph.find_link g 1 2) ]
+  in
+  let d2 =
+    Damage.of_failed g ~nodes:[]
+      ~links:[ Option.get (Graph.find_link g 7 8) ]
+  in
+  Damage.merge d1 d2
+
+let test_two_areas_recovered () =
+  let topo = ladder () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = two_area_damage topo in
+  let r =
+    Multi_area.recover topo damage ~initiator:1 ~trigger:2 ~dst:4 ()
+  in
+  Alcotest.(check bool) "delivered" true r.Multi_area.delivered;
+  let journey = Option.get r.Multi_area.journey in
+  Alcotest.(check int) "journey starts at the initiator" 1 (Path.source journey);
+  Alcotest.(check int) "journey ends at the destination" 4
+    (Path.destination journey);
+  Alcotest.(check bool) "journey survives the damage" true
+    (Path.is_valid g
+       ~node_ok:(Damage.node_ok damage)
+       ~link_ok:(Damage.link_ok damage)
+       journey)
+
+let test_single_area_is_single_leg () =
+  let topo = ladder () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage =
+    Damage.of_failed g ~nodes:[]
+      ~links:[ Option.get (Graph.find_link g 1 2) ]
+  in
+  let r = Multi_area.recover topo damage ~initiator:1 ~trigger:2 ~dst:4 () in
+  Alcotest.(check bool) "delivered" true r.Multi_area.delivered;
+  Alcotest.(check int) "one leg" 1 (List.length r.Multi_area.legs)
+
+let test_unreachable_stops () =
+  let topo = ladder () in
+  let g = Rtr_topo.Topology.graph topo in
+  (* Cut node 4 off completely: links 3-4 and 9-4 and 8-9 etc. *)
+  let damage = Damage.of_failed g ~nodes:[ 3; 9 ] ~links:[] in
+  let r = Multi_area.recover topo damage ~initiator:2 ~trigger:3 ~dst:4 () in
+  Alcotest.(check bool) "not delivered" false r.Multi_area.delivered;
+  Alcotest.(check (option (list int)))
+    "no journey" None
+    (Option.map Path.nodes r.Multi_area.journey)
+
+let test_budget_validation () =
+  let topo = ladder () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage =
+    Damage.of_failed g ~nodes:[]
+      ~links:[ Option.get (Graph.find_link g 1 2) ]
+  in
+  Alcotest.check_raises "bad budget"
+    (Invalid_argument "Multi_area.recover: bad budget") (fun () ->
+      ignore
+        (Multi_area.recover topo damage ~initiator:1 ~trigger:2 ~dst:4
+           ~max_initiations:0 ()))
+
+let multi_area_delivers_when_reachable =
+  QCheck.Test.make
+    ~name:"multi-area recovery delivers whenever the destination is reachable"
+    ~count:80
+    QCheck.(pair (int_range 8 30) (int_range 0 500))
+    (fun (n, salt) ->
+      let topo = Helpers.random_topology ~seed:(n * 19 + salt) ~n in
+      let g = Rtr_topo.Topology.graph topo in
+      (* Two independent discs. *)
+      let d1 = Helpers.random_damage ~seed:salt topo in
+      let d2 = Helpers.random_damage ~seed:(salt + 1) topo in
+      let damage = Damage.merge d1 d2 in
+      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      List.for_all
+        (fun (initiator, trigger) ->
+          List.for_all
+            (fun dst ->
+              if dst = initiator || not (Damage.node_ok damage dst) then true
+              else
+                let reachable =
+                  Rtr_graph.Bfs.reachable g ~node_ok ~link_ok initiator dst
+                in
+                (* The carried failure set grows strictly with every
+                   leg, so |E| initiations always suffice. *)
+                let r =
+                  Multi_area.recover topo damage ~initiator ~trigger ~dst
+                    ~max_initiations:(Graph.n_links g + 1) ()
+                in
+                (* Completeness: reachable destinations are always
+                   delivered eventually (each leg strictly grows the
+                   carried failure set); unreachable ones never are. *)
+                if reachable then r.Multi_area.delivered
+                else not r.Multi_area.delivered)
+            (List.init (Graph.n_nodes g) Fun.id))
+        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+
+let suite =
+  [
+    Alcotest.test_case "two areas recovered" `Quick test_two_areas_recovered;
+    Alcotest.test_case "single area single leg" `Quick test_single_area_is_single_leg;
+    Alcotest.test_case "unreachable stops" `Quick test_unreachable_stops;
+    Alcotest.test_case "budget validation" `Quick test_budget_validation;
+    QCheck_alcotest.to_alcotest multi_area_delivers_when_reachable;
+  ]

@@ -1,0 +1,155 @@
+(* The flagship fidelity test: the paper's Fig. 6 walk and Table I
+   header contents, reproduced exactly. *)
+
+module PE = Rtr_topo.Paper_example
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Phase1 = Rtr_core.Phase1
+
+let damage () =
+  let g = Rtr_topo.Topology.graph (PE.topology ()) in
+  Damage.of_failed g ~nodes:[ PE.failed_router ] ~links:(PE.cut_links ())
+
+let phase1 () =
+  Phase1.run (PE.topology ()) (damage ()) ~initiator:PE.initiator
+    ~trigger:PE.trigger ()
+
+let test_crossing_relations () =
+  let topo = PE.topology () in
+  let c = Rtr_topo.Topology.crossings topo in
+  let check a b a' b' expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "e%d,%d x e%d,%d" a b a' b')
+      expected
+      (Rtr_topo.Crossings.crosses c (PE.link a b) (PE.link a' b'))
+  in
+  (* The three relations the paper's narrative depends on. *)
+  check 5 12 6 11 true;
+  check 11 15 12 14 true;
+  check 11 16 12 14 true;
+  check 5 10 6 11 false
+
+let test_walk_matches_table1 () =
+  let p1 = phase1 () in
+  Alcotest.(check bool) "completed" true (p1.Phase1.status = Phase1.Completed);
+  Alcotest.(check (list int)) "walk" (PE.expected_walk ()) p1.Phase1.walk;
+  Alcotest.(check int) "eleven hops" 11 p1.Phase1.hops
+
+let test_failed_links_match_table1 () =
+  let p1 = phase1 () in
+  Alcotest.(check (list int))
+    "failed_link contents in collection order"
+    (PE.expected_failed_links ())
+    p1.Phase1.failed_links
+
+let test_cross_links_match_table1 () =
+  let p1 = phase1 () in
+  Alcotest.(check (list int))
+    "cross_link contents"
+    (PE.expected_cross_links ())
+    p1.Phase1.cross_links
+
+let test_v5_skips_v12 () =
+  (* "At v5, e6,11 prevents e5,12 from being selected." *)
+  let p1 = phase1 () in
+  let after_v5 =
+    let rec find = function
+      | a :: b :: rest -> if a = PE.v 5 then b else find (b :: rest)
+      | _ -> Alcotest.fail "v5 not on walk"
+    in
+    find p1.Phase1.walk
+  in
+  Alcotest.(check int) "v5 forwards to v4, not v12" (PE.v 4) after_v5
+
+let test_recovery_is_shortest () =
+  let topo = PE.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = damage () in
+  let session =
+    Rtr_core.Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger
+  in
+  match Rtr_core.Rtr.recover session ~dst:PE.destination with
+  | Rtr_core.Rtr.Recovered path ->
+      let best =
+        Option.get
+          (Rtr_graph.Dijkstra.distance g ~src:PE.initiator ~dst:PE.destination
+             ~node_ok:(Damage.node_ok damage)
+             ~link_ok:(Damage.link_ok damage)
+             ())
+      in
+      Alcotest.(check int) "optimal recovery path" best
+        (Rtr_graph.Path.cost g path)
+  | _ -> Alcotest.fail "expected recovery"
+
+let test_default_path_of_fig1 () =
+  (* Fig. 1/2: the routing path from v7 to v17 runs v7 v6 v11 v15 v17
+     and the failure disconnects it at e6,11. *)
+  let topo = PE.topology () in
+  let table = Rtr_routing.Route_table.compute (Rtr_topo.Topology.graph topo) in
+  let p =
+    Option.get
+      (Rtr_routing.Route_table.default_path table ~src:PE.source
+         ~dst:PE.destination)
+  in
+  Alcotest.(check (list int))
+    "paper's default route"
+    (List.map PE.v [ 7; 6; 11; 15; 17 ])
+    (Rtr_graph.Path.nodes p);
+  match
+    Rtr_routing.Source_route.first_failure
+      (Rtr_topo.Topology.graph topo)
+      (damage ()) p
+  with
+  | Some (at, link) ->
+      Alcotest.(check int) "initiator is v6" PE.initiator at;
+      Alcotest.(check int) "broken at e6,11" (PE.link 6 11) link
+  | None -> Alcotest.fail "path should be broken"
+
+let test_fig4_disorder_without_constraints () =
+  (* Fig. 4: with the constraints disabled, v5 selects v12 (whose link
+     crosses e6,11), the walk short-circuits and fails to enclose the
+     failure area — it collects one failed link instead of five. *)
+  let p1 =
+    Phase1.run (PE.topology ()) (damage ()) ~constraints:false
+      ~initiator:PE.initiator ~trigger:PE.trigger ()
+  in
+  Alcotest.(check (list int)) "short-circuited walk"
+    (List.map PE.v [ 6; 5; 12; 8; 7; 6 ])
+    p1.Phase1.walk;
+  Alcotest.(check int) "only one failed link collected" 1
+    (List.length p1.Phase1.failed_links);
+  Alcotest.(check (list int)) "no cross links maintained" []
+    p1.Phase1.cross_links
+
+let test_header_sizes_along_walk () =
+  (* Table I hop 5: v14 has recorded e14,10 (4 failed links) and
+     selecting e14,12 put it into cross_link (2 cross links). *)
+  let p1 = phase1 () in
+  let sent_by_v14 = List.nth p1.Phase1.steps 5 in
+  Alcotest.(check int) "v14 is the sender" (PE.v 14) sent_by_v14.Phase1.at;
+  Alcotest.(check int) "header bytes at hop 6"
+    (Rtr_routing.Header.rtr_phase1 ~n_failed:4 ~n_cross:2)
+    sent_by_v14.Phase1.header_bytes;
+  (* Hop 1: v6 sends with an empty failed_link and the seeded cross
+     link e6,11. *)
+  let first = List.hd p1.Phase1.steps in
+  Alcotest.(check int) "header bytes at hop 1"
+    (Rtr_routing.Header.rtr_phase1 ~n_failed:0 ~n_cross:1)
+    first.Phase1.header_bytes
+
+let suite =
+  [
+    Alcotest.test_case "crossing relations" `Quick test_crossing_relations;
+    Alcotest.test_case "walk matches Table I" `Quick test_walk_matches_table1;
+    Alcotest.test_case "failed_link matches Table I" `Quick
+      test_failed_links_match_table1;
+    Alcotest.test_case "cross_link matches Table I" `Quick
+      test_cross_links_match_table1;
+    Alcotest.test_case "v5 skips v12 (Constraint 1)" `Quick test_v5_skips_v12;
+    Alcotest.test_case "recovery is shortest" `Quick test_recovery_is_shortest;
+    Alcotest.test_case "Fig. 1 default path" `Quick test_default_path_of_fig1;
+    Alcotest.test_case "Fig. 4 disorder without constraints" `Quick
+      test_fig4_disorder_without_constraints;
+    Alcotest.test_case "header sizes along walk" `Quick
+      test_header_sizes_along_walk;
+  ]

@@ -1,0 +1,58 @@
+module Pqueue = Rtr_graph.Pqueue
+
+let test_empty () =
+  let h = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty h);
+  Alcotest.(check int) "length" 0 (Pqueue.length h);
+  Alcotest.(check (option (pair int int))) "pop" None (Pqueue.pop h)
+
+let test_ordering () =
+  let h = Pqueue.create () in
+  List.iter
+    (fun (p, t) -> Pqueue.push h ~prio:p ~tag:t)
+    [ (5, 1); (3, 2); (9, 3); (3, 0); (1, 7) ];
+  let drain () =
+    let rec go acc =
+      match Pqueue.pop h with None -> List.rev acc | Some x -> go (x :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list (pair int int)))
+    "priority then tag order"
+    [ (1, 7); (3, 0); (3, 2); (5, 1); (9, 3) ]
+    (drain ())
+
+let test_clear () =
+  let h = Pqueue.create () in
+  Pqueue.push h ~prio:1 ~tag:1;
+  Pqueue.clear h;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty h)
+
+let test_growth () =
+  let h = Pqueue.create () in
+  for i = 1000 downto 1 do
+    Pqueue.push h ~prio:i ~tag:i
+  done;
+  Alcotest.(check int) "length" 1000 (Pqueue.length h);
+  Alcotest.(check (option (pair int int))) "min" (Some (1, 1)) (Pqueue.pop h)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:100
+    QCheck.(list (pair small_nat small_nat))
+    (fun items ->
+      let h = Pqueue.create () in
+      List.iter (fun (p, t) -> Pqueue.push h ~prio:p ~tag:t) items;
+      let rec drain acc =
+        match Pqueue.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare items)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "growth" `Quick test_growth;
+    QCheck_alcotest.to_alcotest heap_sorts;
+  ]

@@ -1,0 +1,107 @@
+module Experiments = Rtr_sim.Experiments
+module Report = Rtr_sim.Report
+
+let table : Experiments.table =
+  {
+    Experiments.id = "t";
+    title = "A demo table";
+    header = [ "name"; "value" ];
+    rows = [ [ "alpha"; "1" ]; [ "a much longer name"; "2" ] ];
+  }
+
+let figure : Experiments.figure =
+  {
+    Experiments.id = "f";
+    title = "A demo figure";
+    x_label = "x";
+    y_label = "y";
+    series =
+      [
+        { Experiments.label = "s1"; points = [ (0.0, 0.0); (1.0, 0.5); (2.0, 1.0) ] };
+        { Experiments.label = "s2"; points = [ (0.0, 1.0); (1.0, 1.0); (2.0, 1.0) ] };
+      ];
+  }
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_table_alignment () =
+  let text = Report.render_table table in
+  match lines text with
+  | [ _title; header; sep; row1; row2 ] ->
+      (* All columns padded to the widest cell. *)
+      Alcotest.(check int) "header and separator align" (String.length sep)
+        (String.length header);
+      Alcotest.(check bool) "rows at least as wide" true
+        (String.length row1 = String.length row2)
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected shape: %d lines" (List.length other))
+
+let test_figure_grid () =
+  let text = Report.render_figure figure in
+  let ls = lines text in
+  (* title + y-label + header + separator + 3 x rows *)
+  Alcotest.(check int) "rows" 7 (List.length ls);
+  Alcotest.(check bool) "mentions both series" true
+    (List.exists
+       (fun l ->
+         let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length l && (String.sub l i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "s1" && has "s2")
+       ls)
+
+let test_figure_thinning () =
+  let dense =
+    {
+      figure with
+      Experiments.series =
+        [
+          {
+            Experiments.label = "s";
+            points = List.init 500 (fun i -> (float_of_int i, 1.0));
+          };
+        ];
+    }
+  in
+  let text = Report.render_figure ~max_rows:10 dense in
+  Alcotest.(check bool) "thinned" true (List.length (lines text) <= 14)
+
+let test_csv () =
+  let csv = Report.table_to_csv table in
+  Alcotest.(check string) "csv"
+    "name,value\nalpha,1\na much longer name,2\n" csv;
+  let tricky =
+    { table with Experiments.rows = [ [ "a,b"; "say \"hi\"" ] ] }
+  in
+  let csv2 = Report.table_to_csv tricky in
+  Alcotest.(check string) "escaping" "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n"
+    csv2;
+  let fcsv = Report.figure_to_csv figure in
+  Alcotest.(check string) "figure csv"
+    "x,s1,s2\n0,0,1\n1,0.5,1\n2,1,1\n" fcsv
+
+let test_save_creates_directories () =
+  let dir = Filename.temp_file "rtr_report" "" in
+  Sys.remove dir;
+  let nested = Filename.concat dir "a/b" in
+  Report.save ~dir:nested ~name:"x.csv" "hello\n";
+  let path = Filename.concat nested "x.csv" in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  Sys.remove path;
+  Sys.rmdir nested;
+  Sys.rmdir (Filename.concat dir "a");
+  Sys.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "figure grid" `Quick test_figure_grid;
+    Alcotest.test_case "figure thinning" `Quick test_figure_thinning;
+    Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "save mkdir -p" `Quick test_save_creates_directories;
+  ]

@@ -1,0 +1,78 @@
+module Rng = Rtr_util.Rng
+
+let test_deterministic () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b)
+
+let test_different_seeds () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" false (seq a = seq b)
+
+let test_bounds () =
+  let r = Rng.make 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Rng.float_range r 2.0 5.0 in
+    Alcotest.(check bool) "float in range" true (f >= 2.0 && f < 5.0)
+  done
+
+let test_int_invalid () =
+  Alcotest.check_raises "nonpositive bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int (Rng.make 1) 0))
+
+let test_split_independent () =
+  let parent = Rng.make 9 in
+  let child = Rng.split parent in
+  let a = List.init 10 (fun _ -> Rng.int child 1000) in
+  (* Recreate: same construction gives the same child stream. *)
+  let parent' = Rng.make 9 in
+  let child' = Rng.split parent' in
+  let b = List.init 10 (fun _ -> Rng.int child' 1000) in
+  Alcotest.(check (list int)) "split is deterministic" a b
+
+let test_pick () =
+  let r = Rng.make 3 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick member" true (Array.mem (Rng.pick r arr) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick r [||]))
+
+let test_pick_weighted () =
+  let r = Rng.make 5 in
+  (* Zero-weight elements must never be picked. *)
+  let arr = [| (1, 0.0); (2, 1.0); (3, 0.0) |] in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only positive weight" 2
+      (fst (Rng.pick_weighted r arr ~weight:snd))
+  done;
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Rng.pick_weighted: weights must have positive sum")
+    (fun () -> ignore (Rng.pick_weighted r arr ~weight:(fun _ -> 0.0)))
+
+let test_shuffle_permutation () =
+  let r = Rng.make 11 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  Alcotest.(check (list int))
+    "same multiset"
+    (Array.to_list a)
+    (List.sort compare (Array.to_list b))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "int invalid" `Quick test_int_invalid;
+    Alcotest.test_case "split" `Quick test_split_independent;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "pick_weighted" `Quick test_pick_weighted;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+  ]

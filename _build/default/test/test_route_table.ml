@@ -1,0 +1,103 @@
+module Graph = Rtr_graph.Graph
+module Route_table = Rtr_routing.Route_table
+module Path = Rtr_graph.Path
+
+let ring n =
+  Graph.build ~n ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let test_next_hop_basics () =
+  let g = ring 6 in
+  let t = Route_table.compute g in
+  Alcotest.(check (option int)) "clockwise" (Some 1)
+    (Route_table.next_hop t ~src:0 ~dst:2);
+  Alcotest.(check (option int)) "counterclockwise" (Some 5)
+    (Route_table.next_hop t ~src:0 ~dst:4);
+  Alcotest.(check (option int)) "self" None (Route_table.next_hop t ~src:3 ~dst:3)
+
+let test_deterministic_tie_break () =
+  (* 0->3 via 1 or 2, both 2 hops: the smaller next hop wins. *)
+  let g = Graph.build ~n:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let t = Route_table.compute g in
+  Alcotest.(check (option int)) "smallest id" (Some 1)
+    (Route_table.next_hop t ~src:0 ~dst:3)
+
+let test_default_path_consistent () =
+  let g = ring 8 in
+  let t = Route_table.compute g in
+  let p = Option.get (Route_table.default_path t ~src:0 ~dst:3) in
+  Alcotest.(check (list int)) "hop-by-hop path" [ 0; 1; 2; 3 ] (Path.nodes p);
+  Alcotest.(check int) "dist matches" 3 (Route_table.dist t ~src:0 ~dst:3)
+
+let test_asymmetric_costs () =
+  (* 0->2: direct link costs 10 one way, 1 the other. *)
+  let g =
+    Graph.build_weighted ~n:3
+      ~edges:[ (0, 1, 1, 1); (1, 2, 1, 1); (0, 2, 10, 1) ]
+  in
+  let t = Route_table.compute g in
+  Alcotest.(check (option int)) "expensive direction detours" (Some 1)
+    (Route_table.next_hop t ~src:0 ~dst:2);
+  Alcotest.(check (option int)) "cheap direction direct" (Some 0)
+    (Route_table.next_hop t ~src:2 ~dst:0);
+  Alcotest.(check int) "forward dist" 2 (Route_table.dist t ~src:0 ~dst:2);
+  Alcotest.(check int) "reverse dist" 1 (Route_table.dist t ~src:2 ~dst:0)
+
+let test_disconnected () =
+  let g = Graph.build ~n:4 ~edges:[ (0, 1); (2, 3) ] in
+  let t = Route_table.compute g in
+  Alcotest.(check (option int)) "no hop" None (Route_table.next_hop t ~src:0 ~dst:3);
+  Alcotest.(check bool) "dist inf" true (Route_table.dist t ~src:0 ~dst:3 = max_int);
+  Alcotest.(check (option (list int)))
+    "no path" None
+    (Option.map Path.nodes (Route_table.default_path t ~src:0 ~dst:3))
+
+let paths_are_shortest =
+  QCheck.Test.make ~name:"default paths are shortest paths" ~count:30
+    QCheck.(pair (int_range 3 25) (int_range 0 40))
+    (fun (n, extra) ->
+      let g = Helpers.random_connected_graph ~seed:(n + (extra * 53)) ~n ~extra in
+      let t = Route_table.compute g in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if s <> d then begin
+            match Route_table.default_path t ~src:s ~dst:d with
+            | None -> ok := false
+            | Some p ->
+                let best =
+                  Option.get (Rtr_graph.Dijkstra.distance g ~src:s ~dst:d ())
+                in
+                if Path.cost g p <> best then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let next_link_matches_next_hop =
+  QCheck.Test.make ~name:"next_link goes to next_hop" ~count:30
+    QCheck.(int_range 3 20)
+    (fun n ->
+      let g = Helpers.random_connected_graph ~seed:(n * 3) ~n ~extra:n in
+      let t = Route_table.compute g in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          match (Route_table.next_hop t ~src:s ~dst:d,
+                 Route_table.next_link t ~src:s ~dst:d) with
+          | Some v, Some id -> if Graph.other_end g id s <> v then ok := false
+          | None, None -> ()
+          | _ -> ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "next hop basics" `Quick test_next_hop_basics;
+    Alcotest.test_case "deterministic tie break" `Quick test_deterministic_tie_break;
+    Alcotest.test_case "default path consistent" `Quick test_default_path_consistent;
+    Alcotest.test_case "asymmetric costs" `Quick test_asymmetric_costs;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    QCheck_alcotest.to_alcotest paths_are_shortest;
+    QCheck_alcotest.to_alcotest next_link_matches_next_hop;
+  ]

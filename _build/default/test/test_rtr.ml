@@ -1,0 +1,142 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Rtr = Rtr_core.Rtr
+module Path = Rtr_graph.Path
+module PE = Rtr_topo.Paper_example
+
+let paper_session () =
+  let topo = PE.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage =
+    Damage.of_failed g ~nodes:[ PE.failed_router ] ~links:(PE.cut_links ())
+  in
+  (topo, g, damage,
+   Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger)
+
+let test_paper_recovery () =
+  let _, g, damage, session = paper_session () in
+  match Rtr.recover session ~dst:PE.destination with
+  | Rtr.Recovered path ->
+      Alcotest.(check bool) "survives the true damage" true
+        (Path.is_valid g
+           ~node_ok:(Damage.node_ok damage)
+           ~link_ok:(Damage.link_ok damage)
+           path);
+      Alcotest.(check int) "one calculation" 1 (Rtr.sp_calculations session)
+  | _ -> Alcotest.fail "expected recovery"
+
+let test_all_destinations_one_phase1 () =
+  let _, g, _, session = paper_session () in
+  let p1_before = Rtr.phase1 session in
+  for dst = 0 to Graph.n_nodes g - 1 do
+    if dst <> PE.initiator && dst <> PE.failed_router then
+      ignore (Rtr.recover session ~dst)
+  done;
+  let p1_after = Rtr.phase1 session in
+  Alcotest.(check bool) "phase 1 ran once for all destinations" true
+    (p1_before == p1_after);
+  Alcotest.(check int) "one calculation per destination" 16
+    (Rtr.sp_calculations session)
+
+(* Theorem 3: under any single link failure, every broken pair is
+   recovered with a shortest path. *)
+let theorem3_single_link_failure =
+  QCheck.Test.make ~name:"Theorem 3: single link failure always recovers"
+    ~count:60
+    QCheck.(pair (int_range 5 25) (int_range 0 200))
+    (fun (n, salt) ->
+      let topo = Helpers.random_topology ~seed:(n * 11 + salt) ~n in
+      let g = Rtr_topo.Topology.graph topo in
+      let failed_link = salt mod Graph.n_links g in
+      (* Only meaningful when the graph stays connected. *)
+      let link_ok id = id <> failed_link in
+      let still_connected =
+        Rtr_graph.Components.count
+          (Rtr_graph.Components.compute g ~link_ok ())
+        = 1
+      in
+      QCheck.assume still_connected;
+      let damage = Damage.of_failed g ~nodes:[] ~links:[ failed_link ] in
+      let u, v = Graph.endpoints g failed_link in
+      List.for_all
+        (fun (initiator, trigger) ->
+          let session = Rtr.start topo damage ~initiator ~trigger in
+          List.for_all
+            (fun dst ->
+              if dst = initiator then true
+              else
+                match Rtr.recover session ~dst with
+                | Rtr.Recovered path ->
+                    let best =
+                      Option.get
+                        (Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
+                           ~link_ok ())
+                    in
+                    Path.cost g path = best
+                | Rtr.Unreachable_in_view | Rtr.False_path _ -> false)
+            (List.init (Graph.n_nodes g) Fun.id))
+        [ (u, v); (v, u) ])
+
+(* Theorem 2 on area failures: whenever RTR delivers, the path is a
+   shortest path of the truly damaged graph. *)
+let theorem2_recovered_is_optimal =
+  QCheck.Test.make ~name:"Theorem 2: recovered implies shortest" ~count:120
+    QCheck.(pair (int_range 6 35) (int_range 0 1000))
+    (fun (n, salt) ->
+      let topo = Helpers.random_topology ~seed:(n + (salt * 37)) ~n in
+      let g = Rtr_topo.Topology.graph topo in
+      let damage = Helpers.random_damage ~seed:(salt + 99) topo in
+      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      List.for_all
+        (fun (initiator, trigger) ->
+          let session = Rtr.start topo damage ~initiator ~trigger in
+          List.for_all
+            (fun dst ->
+              if dst = initiator then true
+              else
+                match Rtr.recover session ~dst with
+                | Rtr.Recovered path -> (
+                    match
+                      Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
+                        ~node_ok ~link_ok ()
+                    with
+                    | Some best -> Path.cost g path = best
+                    | None -> false)
+                | Rtr.Unreachable_in_view | Rtr.False_path _ -> true)
+            (List.init (Graph.n_nodes g) Fun.id))
+        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+
+(* RTR never reports "unreachable" for a destination that is in fact
+   reachable: E1 never contains live links, so the view only shrinks by
+   true failures. *)
+let no_false_unreachable =
+  QCheck.Test.make ~name:"no false unreachable verdicts" ~count:120
+    QCheck.(pair (int_range 6 35) (int_range 0 1000))
+    (fun (n, salt) ->
+      let topo = Helpers.random_topology ~seed:(salt + (n * 53)) ~n in
+      let g = Rtr_topo.Topology.graph topo in
+      let damage = Helpers.random_damage ~seed:(salt * 7) topo in
+      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      List.for_all
+        (fun (initiator, trigger) ->
+          let session = Rtr.start topo damage ~initiator ~trigger in
+          List.for_all
+            (fun dst ->
+              if dst = initiator then true
+              else
+                match Rtr.recover session ~dst with
+                | Rtr.Unreachable_in_view ->
+                    not (Rtr_graph.Bfs.reachable g ~node_ok ~link_ok initiator dst)
+                | Rtr.Recovered _ | Rtr.False_path _ -> true)
+            (List.init (Graph.n_nodes g) Fun.id))
+        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+
+let suite =
+  [
+    Alcotest.test_case "paper recovery" `Quick test_paper_recovery;
+    Alcotest.test_case "one phase1, many destinations" `Quick
+      test_all_destinations_one_phase1;
+    QCheck_alcotest.to_alcotest theorem3_single_link_failure;
+    QCheck_alcotest.to_alcotest theorem2_recovered_is_optimal;
+    QCheck_alcotest.to_alcotest no_false_unreachable;
+  ]

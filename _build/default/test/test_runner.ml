@@ -1,0 +1,81 @@
+module Runner = Rtr_sim.Runner
+module Scenario = Rtr_sim.Scenario
+
+let small_run () =
+  let topo = Rtr_topo.Isp.load_by_name "AS1239" in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute g in
+  let mrc = Rtr_baselines.Mrc.build_auto g in
+  let rng = Rtr_util.Rng.make 31 in
+  let rec first_nonempty tries =
+    let s = Scenario.generate topo table rng () in
+    if s.Scenario.cases <> [] || tries > 50 then s else first_nonempty (tries + 1)
+  in
+  let scenario = first_nonempty 0 in
+  (scenario, Runner.run_scenario ~mrc scenario)
+
+let test_one_result_per_case () =
+  let scenario, results = small_run () in
+  Alcotest.(check int) "arity"
+    (List.length scenario.Scenario.cases)
+    (List.length results)
+
+let test_rtr_invariants () =
+  let _, results = small_run () in
+  List.iter
+    (fun (r : Runner.result) ->
+      Alcotest.(check bool) "phase 1 completed" true r.Runner.rtr_p1_completed;
+      Alcotest.(check int) "one byte record per hop" r.Runner.rtr_p1_hops
+        (List.length r.Runner.rtr_p1_bytes);
+      Alcotest.(check int) "rtr always one calculation" 1
+        (Runner.rtr_sp_calculations r);
+      (match r.Runner.rtr_stretch with
+      | Some s ->
+          Alcotest.(check (float 1e-9)) "Theorem 2: stretch exactly 1" 1.0 s
+      | None -> ());
+      if r.Runner.rtr_recovered then
+        Alcotest.(check int) "no waste when recovered" 0 r.Runner.rtr_wasted_tx;
+      match r.Runner.case.Scenario.kind with
+      | Scenario.Recoverable -> ()
+      | Scenario.Irrecoverable ->
+          Alcotest.(check bool) "never recovered" false r.Runner.rtr_recovered)
+    results
+
+let test_fcp_invariants () =
+  let _, results = small_run () in
+  List.iter
+    (fun (r : Runner.result) ->
+      Alcotest.(check bool) "at least one calculation" true (r.Runner.fcp_calcs >= 1);
+      match r.Runner.case.Scenario.kind with
+      | Scenario.Recoverable ->
+          Alcotest.(check bool) "fcp always delivers recoverable" true
+            r.Runner.fcp_delivered;
+          (match r.Runner.fcp_stretch with
+          | Some s -> Alcotest.(check bool) "stretch >= 1" true (s >= 1.0 -. 1e-9)
+          | None -> Alcotest.fail "delivered implies stretch")
+      | Scenario.Irrecoverable ->
+          Alcotest.(check bool) "fcp never delivers irrecoverable" false
+            r.Runner.fcp_delivered)
+    results
+
+let test_mrc_invariants () =
+  let _, results = small_run () in
+  List.iter
+    (fun (r : Runner.result) ->
+      match (r.Runner.mrc_delivered, r.Runner.mrc_stretch) with
+      | true, Some s -> Alcotest.(check bool) "stretch >= 1" true (s >= 1.0 -. 1e-9)
+      | true, None ->
+          (* Irrecoverable cases have no yardstick, so no stretch. *)
+          Alcotest.(check bool) "only without yardstick" true
+            (r.Runner.case.Scenario.shortest_after = None)
+      | false, Some _ -> Alcotest.fail "stretch without delivery"
+      | false, None -> ())
+    results
+
+let suite =
+  [
+    Alcotest.test_case "one result per case" `Quick test_one_result_per_case;
+    Alcotest.test_case "rtr invariants" `Quick test_rtr_invariants;
+    Alcotest.test_case "fcp invariants" `Quick test_fcp_invariants;
+    Alcotest.test_case "mrc invariants" `Quick test_mrc_invariants;
+  ]

@@ -1,0 +1,112 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Scenario = Rtr_sim.Scenario
+module PE = Rtr_topo.Paper_example
+
+let paper_scenario () =
+  let topo = PE.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute g in
+  (* An explicit area is awkward for the worked example, so test the
+     classifier against a generated one and the worked damage against
+     Scenario-independent expectations elsewhere. *)
+  let rng = Rtr_util.Rng.make 17 in
+  (topo, table, Scenario.generate topo table rng ())
+
+let test_cases_are_valid_detections () =
+  let topo, table, s = paper_scenario () in
+  let g = Rtr_topo.Topology.graph topo in
+  ignore table;
+  List.iter
+    (fun (c : Scenario.case) ->
+      Alcotest.(check bool) "initiator live" true
+        (Damage.node_ok s.Scenario.damage c.Scenario.initiator);
+      let link =
+        Option.get (Graph.find_link g c.Scenario.initiator c.Scenario.trigger)
+      in
+      Alcotest.(check bool) "trigger locally unreachable" true
+        (Damage.neighbor_unreachable s.Scenario.damage c.Scenario.trigger link);
+      (* The trigger is the default next hop towards the destination. *)
+      Alcotest.(check (option int)) "trigger is the next hop"
+        (Some c.Scenario.trigger)
+        (Rtr_routing.Route_table.next_hop s.Scenario.table
+           ~src:c.Scenario.initiator ~dst:c.Scenario.dst))
+    s.Scenario.cases
+
+let test_kinds_match_reachability () =
+  let topo, _, s = paper_scenario () in
+  let g = Rtr_topo.Topology.graph topo in
+  let node_ok = Damage.node_ok s.Scenario.damage in
+  let link_ok = Damage.link_ok s.Scenario.damage in
+  List.iter
+    (fun (c : Scenario.case) ->
+      let reachable =
+        node_ok c.Scenario.dst
+        && Rtr_graph.Bfs.reachable g ~node_ok ~link_ok c.Scenario.initiator
+             c.Scenario.dst
+      in
+      match c.Scenario.kind with
+      | Scenario.Recoverable ->
+          Alcotest.(check bool) "recoverable reachable" true reachable;
+          Alcotest.(check bool) "has yardstick" true
+            (Option.is_some c.Scenario.shortest_after)
+      | Scenario.Irrecoverable ->
+          Alcotest.(check bool) "irrecoverable unreachable" false reachable;
+          Alcotest.(check (option int)) "no yardstick" None
+            c.Scenario.shortest_after)
+    s.Scenario.cases
+
+let test_cases_deduplicated () =
+  let _, _, s = paper_scenario () in
+  let keys =
+    List.map
+      (fun (c : Scenario.case) -> (c.Scenario.initiator, c.Scenario.dst))
+      s.Scenario.cases
+  in
+  Alcotest.(check int) "unique (initiator, dst) pairs"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_of_area_deterministic () =
+  let topo = PE.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute g in
+  let area =
+    Rtr_failure.Area.disc ~center:(Rtr_geom.Point.make 310.0 300.0)
+      ~radius:50.0
+  in
+  let s1 = Scenario.of_area topo table area in
+  let s2 = Scenario.of_area topo table area in
+  Alcotest.(check int) "same cases" (List.length s1.Scenario.cases)
+    (List.length s2.Scenario.cases)
+
+let test_count_failed_paths () =
+  let topo = PE.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute g in
+  (* No damage: nothing failed. *)
+  let r0, i0 = Scenario.count_failed_paths topo table (Damage.none g) in
+  Alcotest.(check (pair int int)) "no failures" (0, 0) (r0, i0);
+  (* The worked-example damage: both kinds appear and every failed
+     pair is counted once. *)
+  let damage =
+    Damage.of_failed g ~nodes:[ PE.failed_router ] ~links:(PE.cut_links ())
+  in
+  let r, i = Scenario.count_failed_paths topo table damage in
+  Alcotest.(check bool) "some recoverable" true (r > 0);
+  (* v10 is dead: all 17 * 2 ordered pairs with a live peer are
+     irrecoverable paths... but only those whose default path existed
+     and failed, with a live source: towards v10 that is every other
+     live node. *)
+  Alcotest.(check bool) "some irrecoverable" true (i >= 17)
+
+let suite =
+  [
+    Alcotest.test_case "cases are valid detections" `Quick
+      test_cases_are_valid_detections;
+    Alcotest.test_case "kinds match reachability" `Quick
+      test_kinds_match_reachability;
+    Alcotest.test_case "cases deduplicated" `Quick test_cases_deduplicated;
+    Alcotest.test_case "of_area deterministic" `Quick test_of_area_deterministic;
+    Alcotest.test_case "count failed paths" `Quick test_count_failed_paths;
+  ]

@@ -1,0 +1,95 @@
+open Rtr_geom
+
+let seg ax ay bx by = Segment.make (Point.make ax ay) (Point.make bx by)
+
+let test_orientation () =
+  let p = Point.make 0.0 0.0
+  and q = Point.make 1.0 0.0
+  and r = Point.make 1.0 1.0 in
+  Alcotest.(check int) "ccw" 1 (Segment.orientation p q r);
+  Alcotest.(check int) "cw" (-1) (Segment.orientation p r q);
+  Alcotest.(check int) "collinear" 0
+    (Segment.orientation p q (Point.make 2.0 0.0))
+
+let test_proper_crossing () =
+  let a = seg 0.0 0.0 2.0 2.0 and b = seg 0.0 2.0 2.0 0.0 in
+  Alcotest.(check bool) "x-shape intersects" true (Segment.intersects a b);
+  Alcotest.(check bool) "x-shape crosses" true (Segment.crosses a b)
+
+let test_disjoint () =
+  let a = seg 0.0 0.0 1.0 0.0 and b = seg 0.0 1.0 1.0 1.0 in
+  Alcotest.(check bool) "parallel disjoint" false (Segment.intersects a b);
+  Alcotest.(check bool) "no crossing" false (Segment.crosses a b)
+
+let test_shared_endpoint_not_crossing () =
+  let a = seg 0.0 0.0 1.0 1.0 and b = seg 1.0 1.0 2.0 0.0 in
+  Alcotest.(check bool) "touching intersects" true (Segment.intersects a b);
+  Alcotest.(check bool) "links sharing a router never cross" false
+    (Segment.crosses a b)
+
+let test_t_touch () =
+  (* b's endpoint lies in a's interior: intersects, and counts as a
+     crossing since no endpoint is shared. *)
+  let a = seg 0.0 0.0 2.0 0.0 and b = seg 1.0 0.0 1.0 5.0 in
+  Alcotest.(check bool) "T-touch intersects" true (Segment.intersects a b);
+  Alcotest.(check bool) "T-touch crosses" true (Segment.crosses a b)
+
+let test_collinear_overlap () =
+  let a = seg 0.0 0.0 2.0 0.0 and b = seg 1.0 0.0 3.0 0.0 in
+  Alcotest.(check bool) "overlap intersects" true (Segment.intersects a b);
+  let c = seg 3.0 0.0 4.0 0.0 in
+  Alcotest.(check bool) "collinear disjoint" false (Segment.intersects a c)
+
+let test_dist_to_point () =
+  let feq = Alcotest.float 1e-9 in
+  let s = seg 0.0 0.0 10.0 0.0 in
+  Alcotest.check feq "above middle" 3.0
+    (Segment.dist_to_point s (Point.make 5.0 3.0));
+  Alcotest.check feq "beyond end" 5.0
+    (Segment.dist_to_point s (Point.make 13.0 4.0));
+  Alcotest.check feq "on segment" 0.0
+    (Segment.dist_to_point s (Point.make 2.0 0.0));
+  let degenerate = seg 1.0 1.0 1.0 1.0 in
+  Alcotest.check feq "degenerate segment" 5.0
+    (Segment.dist_to_point degenerate (Point.make 4.0 5.0))
+
+let coord = QCheck.float_range (-100.0) 100.0
+
+let crossing_symmetric =
+  QCheck.Test.make ~name:"crosses is symmetric" ~count:500
+    QCheck.(pair (pair (pair coord coord) (pair coord coord))
+              (pair (pair coord coord) (pair coord coord)))
+    (fun (((ax, ay), (bx, by)), ((cx, cy), (dx, dy))) ->
+      let s1 = seg ax ay bx by and s2 = seg cx cy dx dy in
+      Segment.crosses s1 s2 = Segment.crosses s2 s1)
+
+let intersects_midpoint_witness =
+  QCheck.Test.make ~name:"segments sharing a midpoint intersect" ~count:300
+    QCheck.(pair (pair (pair coord coord) (pair coord coord))
+              (pair (pair coord coord) (pair coord coord)))
+    (fun (((ax, ay), (bx, by)), ((cx, cy), (dx, dy))) ->
+      (* Build two segments through one common point. *)
+      let m = Point.make 1.0 1.0 in
+      let s1 =
+        Segment.make (Point.make ax ay)
+          (Point.add m (Point.sub m (Point.make ax ay)))
+      in
+      let s2 =
+        Segment.make (Point.make cx cy)
+          (Point.add m (Point.sub m (Point.make cx cy)))
+      in
+      ignore (bx, by, dx, dy);
+      Segment.intersects s1 s2)
+
+let suite =
+  [
+    Alcotest.test_case "orientation" `Quick test_orientation;
+    Alcotest.test_case "proper crossing" `Quick test_proper_crossing;
+    Alcotest.test_case "disjoint" `Quick test_disjoint;
+    Alcotest.test_case "shared endpoint" `Quick test_shared_endpoint_not_crossing;
+    Alcotest.test_case "T touch" `Quick test_t_touch;
+    Alcotest.test_case "collinear overlap" `Quick test_collinear_overlap;
+    Alcotest.test_case "dist to point" `Quick test_dist_to_point;
+    QCheck_alcotest.to_alcotest crossing_symmetric;
+    QCheck_alcotest.to_alcotest intersects_midpoint_witness;
+  ]

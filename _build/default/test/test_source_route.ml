@@ -1,0 +1,63 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Source_route = Rtr_routing.Source_route
+module Path = Rtr_graph.Path
+
+let line () = Graph.build ~n:5 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+let test_delivered () =
+  let g = line () in
+  let p = Path.of_nodes [ 0; 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "delivered" true
+    (Source_route.follow g (Damage.none g) p = Source_route.Delivered)
+
+let test_dropped_at_link () =
+  let g = line () in
+  let l23 = Option.get (Graph.find_link g 2 3) in
+  let d = Damage.of_failed g ~nodes:[] ~links:[ l23 ] in
+  (match Source_route.follow g d (Path.of_nodes [ 0; 1; 2; 3; 4 ]) with
+  | Source_route.Dropped { at; hops_done } ->
+      Alcotest.(check int) "dropped at 2" 2 at;
+      Alcotest.(check int) "after two hops" 2 hops_done
+  | Source_route.Delivered -> Alcotest.fail "should drop")
+
+let test_dropped_at_node () =
+  let g = line () in
+  let d = Damage.of_failed g ~nodes:[ 3 ] ~links:[] in
+  match Source_route.follow g d (Path.of_nodes [ 0; 1; 2; 3; 4 ]) with
+  | Source_route.Dropped { at; _ } -> Alcotest.(check int) "dropped before 3" 2 at
+  | Source_route.Delivered -> Alcotest.fail "should drop"
+
+let test_trivial_path () =
+  let g = line () in
+  Alcotest.(check bool) "single node delivers" true
+    (Source_route.follow g (Damage.none g) (Path.of_nodes [ 2 ])
+    = Source_route.Delivered)
+
+let test_non_adjacent_rejected () =
+  let g = line () in
+  Alcotest.check_raises "invalid route"
+    (Invalid_argument "Source_route: 0 and 2 not adjacent") (fun () ->
+      ignore (Source_route.follow g (Damage.none g) (Path.of_nodes [ 0; 2 ])))
+
+let test_first_failure () =
+  let g = line () in
+  let l12 = Option.get (Graph.find_link g 1 2) in
+  let d = Damage.of_failed g ~nodes:[] ~links:[ l12 ] in
+  (match Source_route.first_failure g d (Path.of_nodes [ 0; 1; 2; 3 ]) with
+  | Some (at, link) ->
+      Alcotest.(check int) "initiator position" 1 at;
+      Alcotest.(check int) "failed link" l12 link
+  | None -> Alcotest.fail "expected failure");
+  Alcotest.(check bool) "clean path has none" true
+    (Source_route.first_failure g (Damage.none g) (Path.of_nodes [ 0; 1 ]) = None)
+
+let suite =
+  [
+    Alcotest.test_case "delivered" `Quick test_delivered;
+    Alcotest.test_case "dropped at link" `Quick test_dropped_at_link;
+    Alcotest.test_case "dropped at node" `Quick test_dropped_at_node;
+    Alcotest.test_case "trivial path" `Quick test_trivial_path;
+    Alcotest.test_case "non adjacent rejected" `Quick test_non_adjacent_rejected;
+    Alcotest.test_case "first failure" `Quick test_first_failure;
+  ]

@@ -1,0 +1,90 @@
+module Stats = Rtr_sim.Stats
+module Cdf = Rtr_sim.Cdf
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basics () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check feq "mean empty" 0.0 (Stats.mean []);
+  Alcotest.check feq "max" 3.0 (Stats.maximum [ 1.0; 3.0; 2.0 ]);
+  Alcotest.check feq "min" 1.0 (Stats.minimum [ 2.0; 1.0; 3.0 ]);
+  Alcotest.check feq "mean_int" 2.5 (Stats.mean_int [ 2; 3 ]);
+  Alcotest.(check int) "max_int_list" 9 (Stats.max_int_list [ 3; 9; 1 ]);
+  Alcotest.check feq "ratio" 0.25 (Stats.ratio 1 4);
+  Alcotest.check feq "ratio by zero" 0.0 (Stats.ratio 1 0)
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 ] in
+  Alcotest.check feq "median" 5.0 (Stats.percentile xs 0.5);
+  Alcotest.check feq "p90" 9.0 (Stats.percentile xs 0.9);
+  Alcotest.check feq "p100" 10.0 (Stats.percentile xs 1.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile [] 0.5))
+
+let test_cdf_eval () =
+  let c = Cdf.of_values [ 1.0; 2.0; 2.0; 4.0 ] in
+  Alcotest.check feq "below" 0.0 (Cdf.eval c 0.5);
+  Alcotest.check feq "at first" 0.25 (Cdf.eval c 1.0);
+  Alcotest.check feq "duplicates" 0.75 (Cdf.eval c 2.0);
+  Alcotest.check feq "between" 0.75 (Cdf.eval c 3.9);
+  Alcotest.check feq "top" 1.0 (Cdf.eval c 4.0);
+  Alcotest.(check int) "size" 4 (Cdf.size c)
+
+let test_cdf_quantile () =
+  let c = Cdf.of_ints [ 10; 20; 30; 40 ] in
+  Alcotest.check feq "q25" 10.0 (Cdf.quantile c 0.25);
+  Alcotest.check feq "q50" 20.0 (Cdf.quantile c 0.5);
+  Alcotest.check feq "q100" 40.0 (Cdf.quantile c 1.0);
+  Alcotest.check feq "min" 10.0 (Cdf.minimum c);
+  Alcotest.check feq "max" 40.0 (Cdf.maximum c);
+  Alcotest.check feq "mean" 25.0 (Cdf.mean c)
+
+let test_cdf_steps () =
+  let c = Cdf.of_values [ 1.0; 2.0; 2.0; 3.0 ] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "staircase"
+    [ (1.0, 0.25); (2.0, 0.75); (3.0, 1.0) ]
+    (Cdf.steps c)
+
+let test_cdf_sample () =
+  let c = Cdf.of_values [ 1.0; 3.0 ] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "sampled"
+    [ (0.0, 0.0); (2.0, 0.5); (5.0, 1.0) ]
+    (Cdf.sample c ~xs:[ 0.0; 2.0; 5.0 ])
+
+let cdf_monotone =
+  QCheck.Test.make ~name:"cdf is monotone and ends at 1" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let c = Cdf.of_values xs in
+      let points = Cdf.steps c in
+      let rec mono = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono points
+      && Float.abs (snd (List.nth points (List.length points - 1)) -. 1.0)
+         < 1e-9)
+
+let quantile_inverts_eval =
+  QCheck.Test.make ~name:"eval (quantile q) >= q" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 50) (float_range 0. 100.))
+        (float_range 0.01 1.0))
+    (fun (xs, q) ->
+      let c = Cdf.of_values xs in
+      Cdf.eval c (Cdf.quantile c q) >= q -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "cdf eval" `Quick test_cdf_eval;
+    Alcotest.test_case "cdf quantile" `Quick test_cdf_quantile;
+    Alcotest.test_case "cdf steps" `Quick test_cdf_steps;
+    Alcotest.test_case "cdf sample" `Quick test_cdf_sample;
+    QCheck_alcotest.to_alcotest cdf_monotone;
+    QCheck_alcotest.to_alcotest quantile_inverts_eval;
+  ]

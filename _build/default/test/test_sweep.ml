@@ -1,0 +1,139 @@
+open Rtr_geom
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Sweep = Rtr_core.Sweep
+module Embedding = Rtr_topo.Embedding
+
+(* A hub at the origin with four spokes on the axes:
+   1 east, 2 north, 3 west, 4 south. *)
+let star () =
+  let pts =
+    [|
+      Point.make 0.0 0.0;
+      Point.make 10.0 0.0;
+      Point.make 0.0 10.0;
+      Point.make (-10.0) 0.0;
+      Point.make 0.0 (-10.0);
+    |]
+  in
+  let g = Graph.build ~n:5 ~edges:[ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  Rtr_topo.Topology.create ~name:"star" g (Embedding.of_points pts)
+
+let no_exclusion _ = false
+
+let test_ccw_order () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  let none = Damage.none g in
+  (* Sweeping from east (node 1), the first counterclockwise live
+     neighbour is north (2). *)
+  (match Sweep.select topo none ~at:0 ~reference:1 ~excluded:no_exclusion () with
+  | Some (v, _) -> Alcotest.(check int) "north first" 2 v
+  | None -> Alcotest.fail "no candidate");
+  (* From north, the next ccw is west. *)
+  match Sweep.select topo none ~at:0 ~reference:2 ~excluded:no_exclusion () with
+  | Some (v, _) -> Alcotest.(check int) "west after north" 3 v
+  | None -> Alcotest.fail "no candidate"
+
+let test_skips_unreachable () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  let d = Damage.of_failed g ~nodes:[ 2 ] ~links:[] in
+  match Sweep.select topo d ~at:0 ~reference:1 ~excluded:no_exclusion () with
+  | Some (v, _) -> Alcotest.(check int) "north dead, west next" 3 v
+  | None -> Alcotest.fail "no candidate"
+
+let test_skips_excluded_links () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  let none = Damage.none g in
+  let l02 = Option.get (Graph.find_link g 0 2) in
+  let excluded id = id = l02 in
+  match Sweep.select topo none ~at:0 ~reference:1 ~excluded () with
+  | Some (v, _) -> Alcotest.(check int) "excluded link skipped" 3 v
+  | None -> Alcotest.fail "no candidate"
+
+let test_reference_last_resort () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  (* Only the reference itself is live: backtracking is allowed. *)
+  let d = Damage.of_failed g ~nodes:[ 2; 3; 4 ] ~links:[] in
+  match Sweep.select topo d ~at:0 ~reference:1 ~excluded:no_exclusion () with
+  | Some (v, _) -> Alcotest.(check int) "backtrack to reference" 1 v
+  | None -> Alcotest.fail "backtracking must be possible"
+
+let test_no_candidates () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  let d = Damage.of_failed g ~nodes:[ 1; 2; 3; 4 ] ~links:[] in
+  Alcotest.(check bool) "nothing live" true
+    (Sweep.select topo d ~at:0 ~reference:1 ~excluded:no_exclusion () = None)
+
+let test_reference_must_differ () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  Alcotest.check_raises "self reference"
+    (Invalid_argument "Sweep: reference equals current node") (fun () ->
+      ignore
+        (Sweep.select topo (Damage.none g) ~at:0 ~reference:0
+           ~excluded:no_exclusion ()))
+
+let test_candidates_sorted () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  let cands =
+    Sweep.candidates topo (Damage.none g) ~at:0 ~reference:1
+      ~excluded:no_exclusion ()
+  in
+  Alcotest.(check (list int)) "full ccw order" [ 2; 3; 4; 1 ]
+    (List.map (fun (_, v, _) -> v) cands);
+  let angles = List.map (fun (a, _, _) -> a) cands in
+  Alcotest.(check bool) "angles ascending" true
+    (List.sort Float.compare angles = angles)
+
+let test_left_hand_mirror () =
+  let topo = star () in
+  let g = Rtr_topo.Topology.graph topo in
+  let none = Damage.none g in
+  (* Sweeping clockwise from east, the first neighbour is south. *)
+  (match Sweep.select topo none ~hand:Sweep.Left ~at:0 ~reference:1
+           ~excluded:no_exclusion () with
+  | Some (v, _) -> Alcotest.(check int) "south first" 4 v
+  | None -> Alcotest.fail "no candidate");
+  let cands =
+    Sweep.candidates topo none ~hand:Sweep.Left ~at:0 ~reference:1
+      ~excluded:no_exclusion ()
+  in
+  Alcotest.(check (list int)) "full cw order" [ 4; 3; 2; 1 ]
+    (List.map (fun (_, v, _) -> v) cands)
+
+let select_is_first_candidate =
+  QCheck.Test.make ~name:"select is the head of candidates" ~count:40
+    QCheck.(int_range 5 25)
+    (fun n ->
+      let topo = Helpers.random_topology ~seed:(n * 7) ~n in
+      let damage = Helpers.random_damage ~seed:n topo in
+      List.for_all
+        (fun (at, reference) ->
+          match
+            ( Sweep.select topo damage ~at ~reference ~excluded:no_exclusion (),
+              Sweep.candidates topo damage ~at ~reference ~excluded:no_exclusion ()
+            )
+          with
+          | Some (v, _), (_, v', _) :: _ -> v = v'
+          | None, [] -> true
+          | _ -> false)
+        (Helpers.detectors topo damage))
+
+let suite =
+  [
+    Alcotest.test_case "ccw order" `Quick test_ccw_order;
+    Alcotest.test_case "skips unreachable" `Quick test_skips_unreachable;
+    Alcotest.test_case "skips excluded links" `Quick test_skips_excluded_links;
+    Alcotest.test_case "reference last resort" `Quick test_reference_last_resort;
+    Alcotest.test_case "no candidates" `Quick test_no_candidates;
+    Alcotest.test_case "self reference rejected" `Quick test_reference_must_differ;
+    Alcotest.test_case "candidates sorted" `Quick test_candidates_sorted;
+    Alcotest.test_case "left hand mirror" `Quick test_left_hand_mirror;
+    QCheck_alcotest.to_alcotest select_is_first_candidate;
+  ]

@@ -1,0 +1,71 @@
+module Topo_io = Rtr_topo.Topo_io
+module Topology = Rtr_topo.Topology
+module Graph = Rtr_graph.Graph
+
+let sample =
+  {|# a comment
+topo demo
+node 0 0.0 0.0
+node 1 100.0 0.0
+node 2 100.0 100.0
+link 0 1
+link 1 2 5
+link 0 2 3 7
+|}
+
+let test_parse () =
+  let t = Topo_io.of_string sample in
+  let g = Topology.graph t in
+  Alcotest.(check string) "name" "demo" (Topology.name t);
+  Alcotest.(check int) "nodes" 3 (Graph.n_nodes g);
+  Alcotest.(check int) "links" 3 (Graph.n_links g);
+  let l12 = Option.get (Graph.find_link g 1 2) in
+  Alcotest.(check int) "symmetric default" 5 (Graph.cost g l12 ~src:2);
+  let l02 = Option.get (Graph.find_link g 0 2) in
+  Alcotest.(check int) "asymmetric forward" 3 (Graph.cost g l02 ~src:0);
+  Alcotest.(check int) "asymmetric reverse" 7 (Graph.cost g l02 ~src:2)
+
+let test_roundtrip () =
+  let original = Helpers.random_topology ~seed:4 ~n:20 in
+  let parsed = Topo_io.of_string (Topo_io.to_string original) in
+  let g1 = Topology.graph original and g2 = Topology.graph parsed in
+  Alcotest.(check int) "nodes" (Graph.n_nodes g1) (Graph.n_nodes g2);
+  Alcotest.(check int) "links" (Graph.n_links g1) (Graph.n_links g2);
+  let edges g =
+    Graph.fold_links g ~init:[] ~f:(fun acc _ u v -> (u, v) :: acc)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "edges" (edges g1) (edges g2);
+  (* Crossings derive from the embedding, so they must survive too. *)
+  Alcotest.(check int) "crossings"
+    (Rtr_topo.Crossings.total (Topology.crossings original))
+    (Rtr_topo.Crossings.total (Topology.crossings parsed))
+
+let test_file_roundtrip () =
+  let t = Helpers.random_topology ~seed:9 ~n:12 in
+  let path = Filename.temp_file "rtr_topo" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Topo_io.save t path;
+      let t' = Topo_io.load path in
+      Alcotest.(check int) "nodes"
+        (Graph.n_nodes (Topology.graph t))
+        (Graph.n_nodes (Topology.graph t')))
+
+let expect_failure name input =
+  Alcotest.test_case name `Quick (fun () ->
+      match Topo_io.of_string input with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected parse failure")
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    expect_failure "garbage record" "frob 1 2\n";
+    expect_failure "bad number" "node 0 x y\n";
+    expect_failure "sparse ids" "node 0 0 0\nnode 2 1 1\n";
+    expect_failure "no nodes" "# nothing\n";
+  ]
