@@ -14,15 +14,56 @@ module Experiments = Rtr_sim.Experiments
 module Report = Rtr_sim.Report
 module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
+module Metrics = Rtr_obs.Metrics
+module Trace = Rtr_obs.Trace
 
 let line = String.make 78 '='
 let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+(* --quick trims the reproduction to two topologies and shrinks the
+   microbenchmark quota: a CI smoke that still exercises every stage.
+   --metrics records wall time per stage, every microbenchmark result,
+   and the full instrumentation snapshot as one JSON bench datapoint
+   (the committed BENCH_*.json series). *)
+let quick = ref false
+let metrics_path = ref None
+let trace_path = ref None
+
+let () =
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, " Smoke mode: 2 topologies, short quotas");
+      ( "--metrics",
+        Arg.String (fun p -> metrics_path := Some p),
+        "FILE Write the bench datapoint (JSON) to FILE" );
+      ( "--trace",
+        Arg.String (fun p -> trace_path := Some p),
+        "FILE Write a JSONL span trace to FILE" );
+    ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench [--quick] [--metrics FILE] [--trace FILE]"
+
+let timed name f =
+  let g = Metrics.gauge (Printf.sprintf "bench.wall_s.%s" name) in
+  let t0 = Trace.now () in
+  let finish () = Metrics.Gauge.set g (Trace.now () -. t0) in
+  Fun.protect ~finally:finish (fun () -> Trace.with_ ("bench." ^ name) f)
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures *)
 
 let reproduce () =
   let config = Experiments.default_config () in
+  let config =
+    if !quick then
+      let presets =
+        match config.Experiments.presets with
+        | a :: b :: _ -> [ a; b ]
+        | presets -> presets
+      in
+      { config with Experiments.presets }
+    else config
+  in
   section
     (Printf.sprintf
        "Paper reproduction (%d recoverable + %d irrecoverable cases per \
@@ -175,9 +216,8 @@ let bench_tests () =
 let run_benchmarks () =
   section "Bechamel microbenchmarks (one Test.make per table/figure kernel)";
   let instance = Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
-  in
+  let quota = if !quick then Time.second 0.05 else Time.second 0.4 in
+  let cfg = Benchmark.cfg ~limit:1500 ~quota ~kde:(Some 500) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
@@ -193,6 +233,10 @@ let run_benchmarks () =
             | Some [ x ] -> x
             | _ -> Float.nan
           in
+          Metrics.Gauge.set
+            (Metrics.gauge
+               (Printf.sprintf "bench.ns_per_run.%s" (Test.Elt.name elt)))
+            ns;
           results := (Test.Elt.name elt, ns) :: !results)
         (Test.elements tst))
     (bench_tests ());
@@ -249,8 +293,29 @@ let motivation () =
     [ ("RTR off", run false); ("RTR on", run true) ]
 
 let () =
+  Option.iter Rtr_obs.Trace.install_file_sink !trace_path;
   let t0 = Unix.gettimeofday () in
-  reproduce ();
-  motivation ();
-  run_benchmarks ();
-  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  timed "reproduce" reproduce;
+  timed "motivation" motivation;
+  timed "microbench" run_benchmarks;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal wall time: %.1f s\n" wall_s;
+  match !metrics_path with
+  | None -> ()
+  | Some path ->
+      let config = Experiments.default_config () in
+      let manifest =
+        Rtr_obs.Manifest.make ~wall_s
+          ~config:
+            [
+              ( "repro_cases",
+                string_of_int config.Experiments.recoverable_per_topo );
+              ("quick", string_of_bool !quick);
+            ]
+          ()
+      in
+      Metrics.write_file
+        ~manifest:(Rtr_obs.Manifest.to_json manifest)
+        path
+        (Metrics.snapshot ());
+      Printf.printf "wrote %s\n" path

@@ -11,6 +11,58 @@ let log_line s =
   flush stderr
 
 (* ------------------------------------------------------------------ *)
+(* Observability: every subcommand accepts --trace/--metrics.  The
+   setup term installs the span sink up front and registers the
+   metrics-snapshot write for process exit, so subcommands need no
+   further wiring. *)
+
+let trace_arg =
+  let doc = "Write a JSONL span trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a metrics snapshot (counters, gauges, histogram quantiles) plus a \
+     run manifest as JSON to $(docv) on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Fail fast on an unwritable path instead of losing the artifact (or
+   dying with a raw Sys_error) after the whole run has completed. *)
+let check_writable path =
+  try close_out (open_out path)
+  with Sys_error msg ->
+    prerr_endline ("rtr_sim: " ^ msg);
+    exit 1
+
+let setup_obs trace metrics =
+  (* The driver itself only exercises the analytic harness; pull the
+     packet simulator's counters in anyway so snapshots always list the
+     full netsim.* family (at zero when unused). *)
+  Rtr_des.Netsim.ensure_metrics_registered ();
+  Option.iter
+    (fun path ->
+      check_writable path;
+      Rtr_obs.Trace.install_file_sink path)
+    trace;
+  match metrics with
+  | None -> ()
+  | Some path ->
+      check_writable path;
+      let t0 = Rtr_obs.Trace.now () in
+      at_exit (fun () ->
+          let manifest =
+            Rtr_obs.Manifest.make ~wall_s:(Rtr_obs.Trace.now () -. t0) ()
+          in
+          Rtr_obs.Metrics.write_file
+            ~manifest:(Rtr_obs.Manifest.to_json manifest)
+            path
+            (Rtr_obs.Metrics.snapshot ());
+          log_line (Printf.sprintf "wrote %s" path))
+
+let obs_term = Term.(const setup_obs $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Common options *)
 
 let cases_arg =
@@ -105,7 +157,7 @@ let topologies_cmd =
   in
   Cmd.v
     (Cmd.info "topologies" ~doc:"Table II plus generated-topology details")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 type which =
   | Fig7
@@ -119,7 +171,7 @@ type which =
   | All
 
 let needs_data_cmd which name doc =
-  let run cases seed topos mrc_k out =
+  let run () cases seed topos mrc_k out =
     let config = config_of ~cases ~seed ~topos ~mrc_k in
     let data = Experiments.collect ~log:log_line config in
     let fig (f : Experiments.figure) = emit_figure ?out f in
@@ -149,14 +201,16 @@ let needs_data_cmd which name doc =
         tbl (Experiments.table4 data))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ cases_arg $ seed_arg $ topos_arg $ mrc_k_arg $ out_arg)
+    Term.(
+      const run $ obs_term $ cases_arg $ seed_arg $ topos_arg $ mrc_k_arg
+      $ out_arg)
 
 let ablation_cmd =
   let cases_arg =
     let doc = "Recoverable cases per topology." in
     Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
   in
-  let run seed topos cases out =
+  let run () seed topos cases out =
     let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
     let t = Experiments.ablation_constraints ~cases config in
     emit ?out ~csv_name:"ablation_constraints.csv" (Report.render_table t)
@@ -165,14 +219,14 @@ let ablation_cmd =
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Constraints 1&2 on/off ablation (not in the paper)")
-    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+    Term.(const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ out_arg)
 
 let mrc_k_sweep_cmd =
   let cases_arg =
     let doc = "Recoverable cases per topology." in
     Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
   in
-  let run seed topos cases out =
+  let run () seed topos cases out =
     let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
     let t = Experiments.ablation_mrc_k ~cases config in
     emit ?out ~csv_name:"ablation_mrc_k.csv" (Report.render_table t)
@@ -180,7 +234,7 @@ let mrc_k_sweep_cmd =
   in
   Cmd.v
     (Cmd.info "mrc-k" ~doc:"MRC recovery rate vs configuration count")
-    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+    Term.(const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ out_arg)
 
 let variance_cmd =
   let cases_arg =
@@ -191,7 +245,7 @@ let variance_cmd =
     let doc = "Regenerated instances per AS." in
     Arg.(value & opt int 5 & info [ "instances" ] ~docv:"K" ~doc)
   in
-  let run seed topos cases instances out =
+  let run () seed topos cases instances out =
     let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
     let t = Experiments.instance_variance ~cases ~instances config in
     emit ?out ~csv_name:"instance_variance.csv" (Report.render_table t)
@@ -200,14 +254,16 @@ let variance_cmd =
   Cmd.v
     (Cmd.info "variance"
        ~doc:"RTR recovery-rate spread across regenerated topology instances")
-    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ instances_arg $ out_arg)
+    Term.(
+      const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ instances_arg
+      $ out_arg)
 
 let bidir_cmd =
   let cases_arg =
     let doc = "Recoverable cases per topology." in
     Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
   in
-  let run seed topos cases out =
+  let run () seed topos cases out =
     let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
     let t = Experiments.extension_bidir ~cases config in
     emit ?out ~csv_name:"extension_bidir.csv" (Report.render_table t)
@@ -216,14 +272,14 @@ let bidir_cmd =
   Cmd.v
     (Cmd.info "bidir"
        ~doc:"Bidirectional-walk extension measurements (not in the paper)")
-    Term.(const run $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+    Term.(const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ out_arg)
 
 let fig11_cmd =
   let areas_arg =
     let doc = "Failure areas per radius (the paper used 1000)." in
     Arg.(value & opt int 200 & info [ "areas" ] ~docv:"N" ~doc)
   in
-  let run seed topos areas out =
+  let run () seed topos areas out =
     let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
     let f = Experiments.fig11 ~log:log_line ~areas_per_radius:areas config in
     emit_figure ?out f
@@ -231,14 +287,17 @@ let fig11_cmd =
   Cmd.v
     (Cmd.info "fig11"
        ~doc:"Percentage of irrecoverable failed paths vs failure radius")
-    Term.(const run $ seed_arg $ topos_arg $ areas_arg $ out_arg)
+    Term.(const run $ obs_term $ seed_arg $ topos_arg $ areas_arg $ out_arg)
 
 let run_cmd =
   let topo_arg =
     let doc = "Topology name." in
     Arg.(value & opt string "AS209" & info [ "topo" ] ~docv:"AS" ~doc)
   in
-  let run topo_name seed =
+  let run () topo_name seed =
+    Rtr_obs.Trace.with_ "rtr_sim.run"
+      ~attrs:[ ("topo", topo_name); ("seed", string_of_int seed) ]
+    @@ fun () ->
     let topo = Isp.load_by_name topo_name in
     let g = Rtr_topo.Topology.graph topo in
     let table = Rtr_routing.Route_table.compute g in
@@ -293,7 +352,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Inspect one random failure scenario in detail")
-    Term.(const run $ topo_arg $ seed_arg)
+    Term.(const run $ obs_term $ topo_arg $ seed_arg)
 
 let draw_cmd =
   let topo_arg =
@@ -304,7 +363,7 @@ let draw_cmd =
     let doc = "Output SVG file." in
     Arg.(value & opt string "scenario.svg" & info [ "out" ] ~docv:"FILE" ~doc)
   in
-  let run topo_name seed file =
+  let run () topo_name seed file =
     let topo, damage, case =
       if topo_name = "paper" then begin
         let module PE = Rtr_topo.Paper_example in
@@ -355,7 +414,7 @@ let draw_cmd =
   in
   Cmd.v
     (Cmd.info "draw" ~doc:"Render a failure scenario and recovery to SVG")
-    Term.(const run $ topo_arg $ seed_arg $ file_arg)
+    Term.(const run $ obs_term $ topo_arg $ seed_arg $ file_arg)
 
 let cmds =
   [

@@ -4,6 +4,13 @@ module Crossings = Rtr_topo.Crossings
 module Header = Rtr_routing.Header
 module Delay = Rtr_routing.Delay
 
+module Metrics = Rtr_obs.Metrics
+
+let c_runs = Metrics.counter "phase1.runs"
+let c_hops = Metrics.counter "phase1.hops_walked"
+let c_cross = Metrics.counter "phase1.cross_triggers"
+let h_header_bytes = Metrics.histogram "phase1.header_bytes"
+
 type status = Completed | No_live_neighbor | Hop_limit | Stuck of Graph.node
 
 type step = {
@@ -87,12 +94,17 @@ let run topo damage ?(constraints = true) ?hand ~initiator ~trigger () =
     Header.rtr_phase1 ~n_failed:(Field.size failed) ~n_cross:(Field.size cross)
   in
   let finish status walk_rev steps_rev =
+    let hops = List.length steps_rev in
+    Metrics.Counter.incr c_runs;
+    Metrics.Counter.add c_hops hops;
+    Metrics.Counter.add c_cross (Field.size cross);
+    Metrics.Histogram.observe h_header_bytes (float_of_int (header ()));
     {
       initiator;
       trigger;
       status;
       walk = List.rev walk_rev;
-      hops = List.length steps_rev;
+      hops;
       failed_links = Field.to_list failed;
       cross_links = Field.to_list cross;
       steps = List.rev steps_rev;

@@ -4,6 +4,13 @@ module Dijkstra = Rtr_graph.Dijkstra
 module Spt = Rtr_graph.Spt
 module Incremental_spt = Rtr_graph.Incremental_spt
 
+module Metrics = Rtr_obs.Metrics
+
+let c_creates = Metrics.counter "phase2.creates"
+let c_repaired_nodes = Metrics.counter "phase2.repaired_nodes"
+let c_sp_calcs = Metrics.counter "phase2.sp_calcs"
+let c_cache_hits = Metrics.counter "phase2.cache_hits"
+
 type t = {
   topo : Rtr_topo.Topology.t;
   initiator : Graph.node;
@@ -36,6 +43,8 @@ let create topo damage ?(extra_removed = []) ~phase1 () =
       ~node_ok:(fun _ -> true)
       ~link_ok ()
   in
+  Metrics.Counter.incr c_creates;
+  Metrics.Counter.add c_repaired_nodes repaired;
   {
     topo;
     initiator;
@@ -52,9 +61,12 @@ let removed_links t = t.removed_list
 
 let recovery_path t ~dst =
   match Hashtbl.find_opt t.cache dst with
-  | Some cached -> cached
+  | Some cached ->
+      Metrics.Counter.incr c_cache_hits;
+      cached
   | None ->
       t.sp_calcs <- t.sp_calcs + 1;
+      Metrics.Counter.incr c_sp_calcs;
       let path = Spt.path t.spt dst in
       Hashtbl.replace t.cache dst path;
       path

@@ -5,6 +5,8 @@ open Rtr_geom
 
 type hand = Right | Left
 
+let c_selects = Rtr_obs.Metrics.counter "sweep.selects"
+
 let candidates topo damage ?(hand = Right) ~at ~reference ~excluded () =
   if at = reference then invalid_arg "Sweep: reference equals current node";
   let g = Rtr_topo.Topology.graph topo in
@@ -27,6 +29,7 @@ let candidates topo damage ?(hand = Right) ~at ~reference ~excluded () =
          if c <> 0 then c else Int.compare v1 v2)
 
 let select topo damage ?hand ~at ~reference ~excluded () =
+  Rtr_obs.Metrics.Counter.incr c_selects;
   match candidates topo damage ?hand ~at ~reference ~excluded () with
   | (_, v, id) :: _ -> Some (v, id)
   | [] -> None

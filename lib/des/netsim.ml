@@ -6,6 +6,23 @@ module Convergence = Rtr_igp.Convergence
 module Sweep = Rtr_core.Sweep
 module Crossings = Rtr_topo.Crossings
 
+module Metrics = Rtr_obs.Metrics
+module Trace = Rtr_obs.Trace
+
+let c_events = Metrics.counter "netsim.events"
+let c_generated = Metrics.counter "netsim.generated"
+let c_delivered = Metrics.counter "netsim.delivered"
+let c_phase1_packets = Metrics.counter "netsim.phase1_packets"
+let g_queue_depth = Metrics.gauge "netsim.queue_depth_max"
+let c_drop_blackhole = Metrics.counter "netsim.drop.blackhole"
+let c_drop_no_route = Metrics.counter "netsim.drop.no_route"
+let c_drop_unreachable_in_view = Metrics.counter "netsim.drop.unreachable_in_view"
+let c_drop_missed_failure = Metrics.counter "netsim.drop.missed_failure"
+let c_drop_recovery_impossible = Metrics.counter "netsim.drop.recovery_impossible"
+let c_drop_ttl_expired = Metrics.counter "netsim.drop.ttl_expired"
+
+let ensure_metrics_registered () = ()
+
 type flow = { src : Graph.node; dst : Graph.node; rate_pps : float }
 
 type config = {
@@ -34,6 +51,14 @@ type stats = {
   phase1_packets : int;
   timeline : (float * int * int) list;
 }
+
+let drop_counter = function
+  | Blackhole -> c_drop_blackhole
+  | No_route -> c_drop_no_route
+  | Unreachable_in_view -> c_drop_unreachable_in_view
+  | Missed_failure -> c_drop_missed_failure
+  | Recovery_impossible -> c_drop_recovery_impossible
+  | Ttl_expired -> c_drop_ttl_expired
 
 let pp_drop_reason ppf r =
   Format.pp_print_string ppf
@@ -114,11 +139,13 @@ let bucket sim t =
 
 let deliver sim t packet =
   sim.delivered <- sim.delivered + 1;
+  Metrics.Counter.incr c_delivered;
   sim.delays <- (t -. packet.created) :: sim.delays;
   incr (fst (bucket sim t))
 
 let drop sim t reason =
   sim.n_dropped <- sim.n_dropped + 1;
+  Metrics.Counter.incr (drop_counter reason);
   incr (snd (bucket sim t));
   match Hashtbl.find_opt sim.drops reason with
   | Some r -> incr r
@@ -286,7 +313,8 @@ and launch_walk sim t packet ~at ~first_hop =
   packet.mode <- Phase1 hdr;
   if not packet.walked then begin
     packet.walked <- true;
-    sim.phase1_packets <- sim.phase1_packets + 1
+    sim.phase1_packets <- sim.phase1_packets + 1;
+    Metrics.Counter.incr c_phase1_packets
   end;
   forward sim t packet ~from_:at ~to_:first_hop
 
@@ -354,6 +382,13 @@ and handle_sourced sim t packet remaining ~at =
 (* --- driver -------------------------------------------------------- *)
 
 let run topo damage config =
+  Trace.with_ "netsim.run"
+    ~attrs:
+      [
+        ("flows", string_of_int (List.length config.flows));
+        ("rtr_enabled", string_of_bool config.rtr_enabled);
+      ]
+  @@ fun () ->
   let g = Rtr_topo.Topology.graph topo in
   let sim =
     {
@@ -406,6 +441,7 @@ let run topo damage config =
             in
             incr next_id;
             sim.generated <- sim.generated + 1;
+            Metrics.Counter.incr c_generated;
             Event_queue.add sim.queue ~time:!t
               (Arrival { packet; at = flow.src; from = None })
           end;
@@ -413,13 +449,18 @@ let run topo damage config =
         done
       end)
     config.flows;
+  Metrics.Gauge.set_max g_queue_depth
+    (float_of_int (Event_queue.length sim.queue));
   let rec loop () =
     match Event_queue.pop sim.queue with
     | None -> ()
     | Some (t, Arrival { packet; at; from }) ->
         (* t_end bounds generation; packets already in flight drain
            fully so every packet ends up delivered or dropped *)
+        Metrics.Counter.incr c_events;
         handle sim t packet ~at ~from;
+        Metrics.Gauge.set_max g_queue_depth
+          (float_of_int (Event_queue.length sim.queue));
         loop ()
   in
   loop ();

@@ -74,4 +74,9 @@ val run : Rtr_topo.Topology.t -> Rtr_failure.Damage.t -> config -> stats
 (** Deterministic: no randomness is involved once the inputs are
     fixed. *)
 
+val ensure_metrics_registered : unit -> unit
+(** No-op whose only purpose is to force this module to be linked (and
+    its counters registered, at zero) into binaries that expose metric
+    snapshots but may never run a packet simulation. *)
+
 val pp_drop_reason : Format.formatter -> drop_reason -> unit

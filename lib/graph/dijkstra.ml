@@ -9,8 +9,11 @@ let step_cost cost ~direction ~settled ~next link =
       ignore settled;
       cost link ~src:next
 
+let c_spt_scratch = Rtr_obs.Metrics.counter "spt.from_scratch"
+
 let spt g ~root ?(direction = Spt.From_root) ?(node_ok = fun _ -> true)
     ?(link_ok = fun _ -> true) ?cost () =
+  Rtr_obs.Metrics.Counter.incr c_spt_scratch;
   let cost =
     match cost with Some c -> c | None -> fun id ~src -> Graph.cost g id ~src
   in

@@ -1,3 +1,7 @@
+let c_repairs = Rtr_obs.Metrics.counter "spt.repairs"
+let c_repaired_nodes = Rtr_obs.Metrics.counter "spt.repaired_nodes"
+let c_restores = Rtr_obs.Metrics.counter "spt.restores"
+
 let step_cost g ~direction ~settled ~next link =
   match (direction : Spt.direction) with
   | Spt.From_root -> Graph.cost g link ~src:settled
@@ -95,10 +99,13 @@ let remove (t : Spt.t) ?(dead_nodes = []) ?(dead_links = []) ~node_ok ~link_ok
   let count = ref 0 in
   Array.iter (fun b -> if b then incr count) affected;
   repair t ~affected ~node_ok ~link_ok;
+  Rtr_obs.Metrics.Counter.incr c_repairs;
+  Rtr_obs.Metrics.Counter.add c_repaired_nodes !count;
   !count
 
 let restore (t : Spt.t) ?(new_nodes = []) ?(new_links = []) ~node_ok ~link_ok
     () =
+  Rtr_obs.Metrics.Counter.incr c_restores;
   let g = t.Spt.graph in
   let dist = t.Spt.dist
   and parent_node = t.Spt.parent_node

@@ -1,3 +1,6 @@
+let c_push = Rtr_obs.Metrics.counter "pqueue.push"
+let c_pop = Rtr_obs.Metrics.counter "pqueue.pop"
+
 type t = {
   mutable prio : int array;
   mutable tag : int array;
@@ -54,6 +57,7 @@ let rec sift_down h i =
   end
 
 let push h ~prio ~tag =
+  Rtr_obs.Metrics.Counter.incr c_push;
   if h.size = Array.length h.prio then grow h;
   h.prio.(h.size) <- prio;
   h.tag.(h.size) <- tag;
@@ -63,6 +67,7 @@ let push h ~prio ~tag =
 let pop h =
   if h.size = 0 then None
   else begin
+    Rtr_obs.Metrics.Counter.incr c_pop;
     let p = h.prio.(0) and t = h.tag.(0) in
     h.size <- h.size - 1;
     if h.size > 0 then begin

@@ -1,0 +1,320 @@
+(* Log-scale histogram bucketing, DDSketch-style: bucket [i] covers
+   (gamma^(i-1), gamma^i]; a value is represented by the bucket's
+   geometric midpoint, bounding relative error by (gamma-1)/2. *)
+let gamma = 1.05
+let log_gamma = log gamma
+
+let bucket_of v = int_of_float (Float.ceil (log v /. log_gamma))
+let bucket_value i = (gamma ** float_of_int i) *. (2.0 /. (1.0 +. gamma))
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_zero : int;
+  h_buckets : (int, int ref) Hashtbl.t;
+}
+
+module Counter = struct
+  type t = int ref
+
+  let incr = incr
+  let add t n = t := !t + n
+  let value t = !t
+end
+
+module Gauge = struct
+  type t = float ref
+
+  let set t v = t := v
+  let set_max t v = if v > !t then t := v
+  let value t = !t
+end
+
+module Histogram = struct
+  type t = hist
+
+  let observe t v =
+    t.h_count <- t.h_count + 1;
+    t.h_sum <- t.h_sum +. v;
+    if v < t.h_min then t.h_min <- v;
+    if v > t.h_max then t.h_max <- v;
+    if v <= 0.0 then t.h_zero <- t.h_zero + 1
+    else
+      let i = bucket_of v in
+      match Hashtbl.find_opt t.h_buckets i with
+      | Some r -> incr r
+      | None -> Hashtbl.replace t.h_buckets i (ref 1)
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+
+  (* Shared with Snapshot.quantile: walk buckets in index order until
+     the cumulative count reaches the target rank. *)
+  let quantile_of ~count ~zero ~min_v ~max_v buckets q =
+    if count = 0 then Float.nan
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = Float.max 1.0 (Float.ceil (q *. float_of_int count)) in
+      let sorted = List.sort compare buckets in
+      let estimate =
+        if float_of_int zero >= target then 0.0
+        else
+          let rec walk cum = function
+            | [] -> max_v
+            | (i, n) :: rest ->
+                let cum = cum + n in
+                if float_of_int cum >= target then bucket_value i
+                else walk cum rest
+          in
+          walk zero sorted
+      in
+      Float.max min_v (Float.min max_v estimate)
+    end
+
+  let quantile t q =
+    let buckets =
+      Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.h_buckets []
+    in
+    quantile_of ~count:t.h_count ~zero:t.h_zero ~min_v:t.h_min ~max_v:t.h_max
+      buckets q
+end
+
+type metric =
+  | M_counter of int ref
+  | M_gauge of float ref
+  | M_hist of hist
+
+type registry = (string, metric) Hashtbl.t
+
+let create () : registry = Hashtbl.create 64
+let default : registry = create ()
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_hist _ -> "histogram"
+
+let register registry name make match_ =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+      match match_ m with
+      | Some handle -> handle
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name m)))
+  | None ->
+      let m, handle = make () in
+      Hashtbl.replace registry name m;
+      handle
+
+let counter ?(registry = default) name =
+  register registry name
+    (fun () ->
+      let r = ref 0 in
+      (M_counter r, r))
+    (function M_counter r -> Some r | _ -> None)
+
+let gauge ?(registry = default) name =
+  register registry name
+    (fun () ->
+      let r = ref 0.0 in
+      (M_gauge r, r))
+    (function M_gauge r -> Some r | _ -> None)
+
+let fresh_hist () =
+  {
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+    h_zero = 0;
+    h_buckets = Hashtbl.create 16;
+  }
+
+let histogram ?(registry = default) name =
+  register registry name
+    (fun () ->
+      let h = fresh_hist () in
+      (M_hist h, h))
+    (function M_hist h -> Some h | _ -> None)
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter r -> r := 0
+      | M_gauge r -> r := 0.0
+      | M_hist h ->
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- Float.infinity;
+          h.h_max <- Float.neg_infinity;
+          h.h_zero <- 0;
+          Hashtbl.reset h.h_buckets)
+    registry
+
+(* --- snapshots ------------------------------------------------------ *)
+
+module Snapshot = struct
+  type entry =
+    | S_counter of int
+    | S_gauge of float
+    | S_hist of {
+        count : int;
+        sum : float;
+        min_v : float;
+        max_v : float;
+        zero : int;
+        buckets : (int * int) list;  (* sorted by bucket index *)
+      }
+
+  type t = (string * entry) list  (* sorted by name *)
+
+  let empty = []
+
+  let merge_buckets a b =
+    let rec go a b =
+      match (a, b) with
+      | [], r | r, [] -> r
+      | (i, n) :: ra, (j, m) :: rb ->
+          if i < j then (i, n) :: go ra b
+          else if j < i then (j, m) :: go a rb
+          else (i, n + m) :: go ra rb
+    in
+    go a b
+
+  let merge_entry name a b =
+    match (a, b) with
+    | S_counter x, S_counter y -> S_counter (x + y)
+    | S_gauge x, S_gauge y -> S_gauge (Float.max x y)
+    | S_hist x, S_hist y ->
+        S_hist
+          {
+            count = x.count + y.count;
+            sum = x.sum +. y.sum;
+            min_v = Float.min x.min_v y.min_v;
+            max_v = Float.max x.max_v y.max_v;
+            zero = x.zero + y.zero;
+            buckets = merge_buckets x.buckets y.buckets;
+          }
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Snapshot.merge: %S has mismatched kinds" name)
+
+  let merge a b =
+    let rec go a b =
+      match (a, b) with
+      | [], r | r, [] -> r
+      | (ka, va) :: ra, (kb, vb) :: rb ->
+          let c = String.compare ka kb in
+          if c < 0 then (ka, va) :: go ra b
+          else if c > 0 then (kb, vb) :: go a rb
+          else (ka, merge_entry ka va vb) :: go ra rb
+    in
+    go a b
+
+  let counter t name =
+    match List.assoc_opt name t with
+    | Some (S_counter n) -> Some n
+    | _ -> None
+
+  let gauge t name =
+    match List.assoc_opt name t with
+    | Some (S_gauge g) -> Some g
+    | _ -> None
+
+  let quantile t name q =
+    match List.assoc_opt name t with
+    | Some (S_hist h) when h.count > 0 ->
+        Some
+          (Histogram.quantile_of ~count:h.count ~zero:h.zero ~min_v:h.min_v
+             ~max_v:h.max_v h.buckets q)
+    | _ -> None
+
+  let hist_json (h : entry) =
+    match h with
+    | S_hist { count; sum; min_v; max_v; zero; buckets } ->
+        let quantile q =
+          Histogram.quantile_of ~count ~zero ~min_v ~max_v buckets q
+        in
+        Json.Obj
+          [
+            ("count", Json.Int count);
+            ("sum", Json.Float sum);
+            ("min", if count = 0 then Json.Null else Json.Float min_v);
+            ("max", if count = 0 then Json.Null else Json.Float max_v);
+            ("p50", if count = 0 then Json.Null else Json.Float (quantile 0.5));
+            ("p90", if count = 0 then Json.Null else Json.Float (quantile 0.9));
+            ("p99", if count = 0 then Json.Null else Json.Float (quantile 0.99));
+            ("zero", Json.Int zero);
+            ( "buckets",
+              Json.Arr
+                (List.map
+                   (fun (i, n) -> Json.Arr [ Json.Int i; Json.Int n ])
+                   buckets) );
+          ]
+    | _ -> assert false
+
+  let to_json t =
+    let pick f = List.filter_map f t in
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj
+            (pick (function
+              | name, S_counter n -> Some (name, Json.Int n)
+              | _ -> None)) );
+        ( "gauges",
+          Json.Obj
+            (pick (function
+              | name, S_gauge g -> Some (name, Json.Float g)
+              | _ -> None)) );
+        ( "histograms",
+          Json.Obj
+            (pick (function
+              | name, (S_hist _ as h) -> Some (name, hist_json h)
+              | _ -> None)) );
+      ]
+end
+
+let snapshot ?(registry = default) () : Snapshot.t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let entry =
+        match m with
+        | M_counter r -> Snapshot.S_counter !r
+        | M_gauge r -> Snapshot.S_gauge !r
+        | M_hist h ->
+            Snapshot.S_hist
+              {
+                count = h.h_count;
+                sum = h.h_sum;
+                min_v = h.h_min;
+                max_v = h.h_max;
+                zero = h.h_zero;
+                buckets =
+                  Hashtbl.fold (fun i r acc -> (i, !r) :: acc) h.h_buckets []
+                  |> List.sort compare;
+              }
+      in
+      (name, entry) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let write_file ?manifest path snap =
+  let doc =
+    Json.Obj
+      ((match manifest with
+       | Some m -> [ ("manifest", m) ]
+       | None -> [])
+      @ [ ("metrics", Snapshot.to_json snap) ])
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n')

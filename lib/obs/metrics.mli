@@ -1,0 +1,81 @@
+(** Metrics registry: named counters, gauges, and log-scale histograms.
+
+    Handles are created once (typically at module initialisation) and
+    updated on hot paths with a single mutable write — cheap enough to
+    leave permanently enabled.  [snapshot] captures an immutable view;
+    snapshots [merge] associatively so per-shard registries can be
+    combined.  Not thread-safe: the simulator is single-domain. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val set_max : t -> float -> unit
+  (** Keep the running maximum (e.g. a high-water mark). *)
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Values [<= 0.] land in a dedicated zero bucket. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val quantile : t -> float -> float
+  (** Approximate quantile (log-scale buckets, ~2.5% relative error).
+      [quantile t 0.5] is the median.  Returns [nan] when empty. *)
+end
+
+type registry
+
+val create : unit -> registry
+
+val default : registry
+(** The process-wide registry all built-in instrumentation uses. *)
+
+val counter : ?registry:registry -> string -> Counter.t
+val gauge : ?registry:registry -> string -> Gauge.t
+val histogram : ?registry:registry -> string -> Histogram.t
+(** Find-or-create by name.  Raises [Invalid_argument] if the name is
+    already registered as a different metric kind. *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every metric (handles stay valid). *)
+
+module Snapshot : sig
+  type t
+
+  val empty : t
+
+  val merge : t -> t -> t
+  (** Associative and commutative: counters add, gauges keep the max,
+      histograms pool their buckets.  Raises [Invalid_argument] when
+      the same name has different kinds in the two snapshots. *)
+
+  val counter : t -> string -> int option
+  val gauge : t -> string -> float option
+
+  val quantile : t -> string -> float -> float option
+  (** Quantile of a histogram entry; [None] if absent or empty. *)
+
+  val to_json : t -> Json.t
+end
+
+val snapshot : ?registry:registry -> unit -> Snapshot.t
+
+val write_file : ?manifest:Json.t -> string -> Snapshot.t -> unit
+(** Write [{"manifest": ..., "metrics": ...}] to a file (atomic enough
+    for our purposes: single [open]/[write]/[close]). *)

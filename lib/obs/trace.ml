@@ -1,0 +1,111 @@
+type attrs = (string * string) list
+
+type sink = {
+  on_span :
+    name:string -> start:float -> dur:float -> depth:int -> attrs:attrs -> unit;
+  on_event : name:string -> time:float -> attrs:attrs -> unit;
+  on_flush : unit -> unit;
+}
+
+let sink : sink option ref = ref None
+let clock : (unit -> float) ref = ref Unix.gettimeofday
+let depth = ref 0
+
+let set_sink s = sink := s
+let enabled () = Option.is_some !sink
+let set_clock f = clock := f
+let now () = !clock ()
+
+let with_ ?(attrs = []) name f =
+  match !sink with
+  | None -> f ()
+  | Some s -> (
+      let start = !clock () in
+      let d = !depth in
+      depth := d + 1;
+      let emit () =
+        depth := d;
+        s.on_span ~name ~start ~dur:(!clock () -. start) ~depth:d ~attrs
+      in
+      match f () with
+      | v ->
+          emit ();
+          v
+      | exception e ->
+          emit ();
+          raise e)
+
+let event ?(attrs = []) name =
+  match !sink with
+  | None -> ()
+  | Some s -> s.on_event ~name ~time:(!clock ()) ~attrs
+
+let flush () = match !sink with None -> () | Some s -> s.on_flush ()
+
+(* --- sinks ---------------------------------------------------------- *)
+
+let attrs_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs)
+
+let jsonl_sink oc =
+  let buf = Buffer.create 256 in
+  let line fields =
+    Buffer.clear buf;
+    Json.to_buffer buf (Json.Obj fields);
+    Buffer.add_char buf '\n';
+    Buffer.output_buffer oc buf
+  in
+  {
+    on_span =
+      (fun ~name ~start ~dur ~depth ~attrs ->
+        line
+          [
+            ("type", Json.String "span");
+            ("name", Json.String name);
+            ("t", Json.Float start);
+            ("dur", Json.Float dur);
+            ("depth", Json.Int depth);
+            ("attrs", attrs_json attrs);
+          ]);
+    on_event =
+      (fun ~name ~time ~attrs ->
+        line
+          [
+            ("type", Json.String "event");
+            ("name", Json.String name);
+            ("t", Json.Float time);
+            ("attrs", attrs_json attrs);
+          ]);
+    on_flush = (fun () -> Stdlib.flush oc);
+  }
+
+type record =
+  | Span of {
+      name : string;
+      start : float;
+      dur : float;
+      depth : int;
+      attrs : attrs;
+    }
+  | Event of { name : string; time : float; attrs : attrs }
+
+let memory_sink () =
+  let acc = ref [] in
+  let s =
+    {
+      on_span =
+        (fun ~name ~start ~dur ~depth ~attrs ->
+          acc := Span { name; start; dur; depth; attrs } :: !acc);
+      on_event =
+        (fun ~name ~time ~attrs -> acc := Event { name; time; attrs } :: !acc);
+      on_flush = ignore;
+    }
+  in
+  (s, fun () -> List.rev !acc)
+
+let install_file_sink path =
+  let oc = open_out path in
+  set_sink (Some (jsonl_sink oc));
+  at_exit (fun () ->
+      (match !sink with Some s -> s.on_flush () | None -> ());
+      close_out_noerr oc)

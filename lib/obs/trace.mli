@@ -1,0 +1,59 @@
+(** Span tracing with a pluggable sink.
+
+    When no sink is installed (the default), [with_] is a single
+    dereference and a tail call — no allocation, no clock read — so
+    instrumentation can stay in hot paths permanently.  When a sink is
+    installed, each span records its wall-clock start, duration,
+    nesting depth, and optional key/value attributes. *)
+
+type attrs = (string * string) list
+
+type sink = {
+  on_span :
+    name:string -> start:float -> dur:float -> depth:int -> attrs:attrs -> unit;
+  on_event : name:string -> time:float -> attrs:attrs -> unit;
+  on_flush : unit -> unit;
+}
+
+val set_sink : sink option -> unit
+(** Install ([Some]) or remove ([None]) the process-wide sink. *)
+
+val enabled : unit -> bool
+
+val set_clock : (unit -> float) -> unit
+(** Override the clock (default [Unix.gettimeofday]); tests inject a
+    deterministic one. *)
+
+val now : unit -> float
+(** Read the current clock. *)
+
+val with_ : ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span named [name].  The span is
+    emitted when [f] returns or raises. *)
+
+val event : ?attrs:attrs -> string -> unit
+(** Emit a point-in-time event (no-op when disabled). *)
+
+val flush : unit -> unit
+
+val jsonl_sink : out_channel -> sink
+(** One JSON object per line:
+    [{"type":"span","name":...,"t":...,"dur":...,"depth":...,"attrs":{...}}]. *)
+
+type record =
+  | Span of {
+      name : string;
+      start : float;
+      dur : float;
+      depth : int;
+      attrs : attrs;
+    }
+  | Event of { name : string; time : float; attrs : attrs }
+
+val memory_sink : unit -> sink * (unit -> record list)
+(** In-memory sink for tests; the getter returns records in emission
+    order. *)
+
+val install_file_sink : string -> unit
+(** Open [path], install a JSONL sink on it, and register an [at_exit]
+    hook that flushes and closes it. *)

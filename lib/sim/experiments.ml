@@ -1,5 +1,11 @@
 module Isp = Rtr_topo.Isp
 module Delay = Rtr_routing.Delay
+module Metrics = Rtr_obs.Metrics
+module Trace = Rtr_obs.Trace
+
+let c_topologies = Metrics.counter "experiments.topologies"
+let c_scenarios_generated = Metrics.counter "experiments.scenarios_generated"
+let h_case_throughput = Metrics.histogram "experiments.cases_per_topology"
 
 type config = {
   presets : Isp.preset list;
@@ -9,14 +15,22 @@ type config = {
   mrc_k : int option;
 }
 
+let default_quota = 2000
+
 let default_config () =
   let quota =
     match Sys.getenv_opt "REPRO_CASES" with
     | Some s -> (
         match int_of_string_opt (String.trim s) with
         | Some n when n > 0 -> n
-        | _ -> 2000)
-    | None -> 2000
+        | Some _ | None ->
+            Printf.eprintf
+              "warning: REPRO_CASES=%S is not a positive integer; using the \
+               default of %d\n\
+               %!"
+              s default_quota;
+            default_quota)
+    | None -> default_quota
   in
   {
     presets = Isp.table2;
@@ -37,6 +51,9 @@ type topo_data = {
 let collect ?(log = fun _ -> ()) config =
   List.map
     (fun preset ->
+      Trace.with_ "experiments.topology"
+        ~attrs:[ ("as", preset.Isp.as_name) ]
+      @@ fun () ->
       let topo = Isp.load preset in
       let g = Rtr_topo.Topology.graph topo in
       let table = Rtr_routing.Route_table.compute g in
@@ -93,6 +110,10 @@ let collect ?(log = fun _ -> ()) config =
       log
         (Printf.sprintf "%s: %d recoverable + %d irrecoverable cases (%d areas)"
            preset.Isp.as_name !n_rec !n_irr !scenarios);
+      Metrics.Counter.incr c_topologies;
+      Metrics.Counter.add c_scenarios_generated !scenarios;
+      Metrics.Histogram.observe h_case_throughput
+        (float_of_int (!n_rec + !n_irr));
       {
         preset;
         topo;

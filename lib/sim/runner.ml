@@ -5,6 +5,10 @@ module Phase1 = Rtr_core.Phase1
 module Rtr = Rtr_core.Rtr
 module Fcp = Rtr_baselines.Fcp
 module Mrc = Rtr_baselines.Mrc
+module Metrics = Rtr_obs.Metrics
+
+let c_scenarios = Metrics.counter "runner.scenarios"
+let c_cases = Metrics.counter "runner.cases"
 
 type result = {
   case : Scenario.case;
@@ -99,6 +103,9 @@ let run_case g topo sessions ~mrc (case : Scenario.case) damage =
   }
 
 let run_scenario ~mrc (scenario : Scenario.t) =
+  Rtr_obs.Trace.with_ "runner.scenario" @@ fun () ->
+  Metrics.Counter.incr c_scenarios;
+  Metrics.Counter.add c_cases (List.length scenario.Scenario.cases);
   let topo = scenario.Scenario.topo in
   let g = Rtr_topo.Topology.graph topo in
   let sessions = Hashtbl.create 16 in

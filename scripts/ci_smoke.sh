@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI smoke: build, run the test suites, then exercise the observability
+# path end to end — a quick bench emitting a metrics snapshot and an
+# rtr_sim run emitting both a trace and a snapshot — and fail if any
+# emitted artifact is not valid JSON / JSONL.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+REPRO_CASES=50 dune exec bench/main.exe -- --quick --metrics BENCH_smoke.json
+
+trace=$(mktemp -t rtr_smoke_trace.XXXXXX)
+metrics=$(mktemp -t rtr_smoke_metrics.XXXXXX)
+trap 'rm -f "$trace" "$metrics"' EXIT
+
+dune exec bin/rtr_sim.exe -- run --topo AS209 \
+  --trace "$trace" --metrics "$metrics" > /dev/null
+
+dune exec tools/json_check.exe -- BENCH_smoke.json "$trace" "$metrics"
+
+echo "ci_smoke: OK"
