@@ -13,6 +13,7 @@
 module Experiments = Rtr_sim.Experiments
 module Report = Rtr_sim.Report
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Damage = Rtr_failure.Damage
 module Metrics = Rtr_obs.Metrics
 module Trace = Rtr_obs.Trace
@@ -105,7 +106,8 @@ open Toolkit
 (* Shared fixtures, built once. *)
 let topo = lazy (Rtr_topo.Isp.load_by_name "AS209")
 let graph_of t = Rtr_topo.Topology.graph t
-let table = lazy (Rtr_routing.Route_table.compute (graph_of (Lazy.force topo)))
+let table =
+  lazy (Rtr_routing.Route_table.compute (View.full (graph_of (Lazy.force topo))))
 
 let damage =
   lazy
@@ -128,8 +130,7 @@ let a_case =
                if
                  c <> v
                  && Damage.node_ok d c
-                 && Rtr_graph.Bfs.reachable g ~node_ok:(Damage.node_ok d)
-                      ~link_ok:(Damage.link_ok d) v c
+                 && Rtr_graph.Bfs.reachable (Damage.view d) v c
                then c
                else pick ((c + 1) mod Graph.n_nodes g)
              in
@@ -139,7 +140,8 @@ let a_case =
      in
      find 0)
 
-let spt = lazy (Rtr_graph.Dijkstra.spt (graph_of (Lazy.force topo)) ~root:0 ())
+let spt =
+  lazy (Rtr_graph.Dijkstra.spt (View.full (graph_of (Lazy.force topo))) ~root:0 ())
 let mrc = lazy (Rtr_baselines.Mrc.build_auto (graph_of (Lazy.force topo)))
 
 let bench_tests () =
@@ -151,6 +153,7 @@ let bench_tests () =
   let base_spt = Lazy.force spt in
   let dead = Damage.failed_links d in
   let link_ok id = Damage.link_ok d id in
+  let damaged_view = View.remove_links (View.full g) dead in
   let mrc = Lazy.force mrc in
   [
     (* Table II: building a calibrated topology (generation plus
@@ -167,7 +170,7 @@ let bench_tests () =
     (* Table III kernels: one full recovery per scheme. *)
     Test.make ~name:"table3/rtr-session"
       (Staged.stage (fun () ->
-           let s = Rtr_core.Rtr.start t d ~initiator ~trigger in
+           let s = Rtr_core.Rtr.start t d ~initiator ~trigger () in
            ignore (Rtr_core.Rtr.recover s ~dst)));
     Test.make ~name:"table3/fcp-recovery"
       (Staged.stage (fun () ->
@@ -195,17 +198,28 @@ let bench_tests () =
     (* Ablation: phase 2's incremental SPT repair vs a full SPF. *)
     Test.make ~name:"ablation/spt-scratch"
       (Staged.stage (fun () ->
-           ignore (Rtr_graph.Dijkstra.spt g ~root:0 ~link_ok ())));
+           ignore (Rtr_graph.Dijkstra.spt damaged_view ~root:0 ())));
     Test.make ~name:"ablation/spt-incremental"
       (Staged.stage (fun () ->
            let c = Rtr_graph.Spt.copy base_spt in
            ignore
              (Rtr_graph.Incremental_spt.remove c ~dead_links:dead
-                ~node_ok:(fun _ -> true)
-                ~link_ok ())));
+                ~view:damaged_view ())));
+    (* Ablation: bitset views vs the closure filters they replaced, on
+       the identical damaged-Dijkstra workload. *)
+    Test.make ~name:"ablation/spt-closure"
+      (Staged.stage (fun () ->
+           ignore (Rtr_graph.Dijkstra.spt_filtered g ~root:0 ~link_ok ())));
+    Test.make ~name:"ablation/spt-view"
+      (Staged.stage (fun () ->
+           ignore
+             (Rtr_graph.Dijkstra.spt
+                (View.remove_links (View.full g) dead)
+                ~root:0 ())));
     (* Ablation: the routing substrate itself. *)
     Test.make ~name:"ablation/route-table-58"
-      (Staged.stage (fun () -> ignore (Rtr_routing.Route_table.compute g)));
+      (Staged.stage (fun () ->
+           ignore (Rtr_routing.Route_table.compute (View.full g))));
     Test.make ~name:"ablation/mrc-build"
       (Staged.stage (fun () -> ignore (Rtr_baselines.Mrc.build g ~k:6)));
     Test.make ~name:"ablation/igp-convergence"
@@ -296,6 +310,18 @@ let () =
   Option.iter Rtr_obs.Trace.install_file_sink !trace_path;
   let t0 = Unix.gettimeofday () in
   timed "reproduce" reproduce;
+  (* Headline throughput: recovery cases simulated per wall-clock
+     second of the reproduction stage. *)
+  (let snap = Metrics.snapshot () in
+   match
+     ( Metrics.Snapshot.counter snap "runner.cases",
+       Metrics.Snapshot.gauge snap "bench.wall_s.reproduce" )
+   with
+   | Some cases, Some wall when wall > 0.0 ->
+       Metrics.Gauge.set
+         (Metrics.gauge "bench.cases_per_sec.reproduce")
+         (float_of_int cases /. wall)
+   | _ -> ());
   timed "motivation" motivation;
   timed "microbench" run_benchmarks;
   let wall_s = Unix.gettimeofday () -. t0 in

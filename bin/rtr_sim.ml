@@ -300,7 +300,8 @@ let run_cmd =
     @@ fun () ->
     let topo = Isp.load_by_name topo_name in
     let g = Rtr_topo.Topology.graph topo in
-    let table = Rtr_routing.Route_table.compute g in
+    let cache = Rtr_sim.Topo_cache.create topo in
+    let table = Rtr_sim.Topo_cache.table cache in
     let rng = Rtr_util.Rng.make seed in
     let scenario = Rtr_sim.Scenario.generate topo table rng () in
     Format.printf "topology: %a@." Rtr_topo.Topology.pp topo;
@@ -325,8 +326,9 @@ let run_cmd =
           | Recoverable -> "recoverable"
           | Irrecoverable -> "irrecoverable");
         let session =
-          Rtr_core.Rtr.start topo scenario.damage ~initiator:case.initiator
-            ~trigger:case.trigger
+          Rtr_core.Rtr.start topo scenario.damage
+            ~base_spt:(Rtr_sim.Topo_cache.base_spt cache case.initiator)
+            ~initiator:case.initiator ~trigger:case.trigger ()
         in
         let p1 = Rtr_core.Rtr.phase1 session in
         Format.printf "phase 1 walk (%d hops, %.1f ms): %s@."
@@ -380,7 +382,7 @@ let draw_cmd =
       else begin
         let topo = Isp.load_by_name topo_name in
         let g = Rtr_topo.Topology.graph topo in
-        let table = Rtr_routing.Route_table.compute g in
+        let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
         let rng = Rtr_util.Rng.make seed in
         let scenario = Rtr_sim.Scenario.generate topo table rng () in
         let case =
@@ -401,7 +403,12 @@ let draw_cmd =
       match case with
       | None -> ([], None)
       | Some (initiator, trigger, dst, area) -> (
-          let session = Rtr_core.Rtr.start topo damage ~initiator ~trigger in
+          let cache = Rtr_sim.Topo_cache.create topo in
+          let session =
+            Rtr_core.Rtr.start topo damage
+              ~base_spt:(Rtr_sim.Topo_cache.base_spt cache initiator)
+              ~initiator ~trigger ()
+          in
           let p1 = Rtr_core.Rtr.phase1 session in
           let walk = Rtr_viz.Svg.Walk p1.Rtr_core.Phase1.walk in
           match Rtr_core.Rtr.recover session ~dst with

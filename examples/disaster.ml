@@ -14,7 +14,7 @@ let () =
   in
   let topo = Rtr_topo.Isp.load_by_name as_name in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
   let mrc = Rtr_baselines.Mrc.build_auto g in
   Format.printf "Backbone: %a@." Rtr_topo.Topology.pp topo;
   Format.printf "MRC precomputed %d routing configurations (%d routers \

@@ -11,7 +11,7 @@ module Scenario = Rtr_sim.Scenario
 let () =
   let topo = Rtr_topo.Isp.load_by_name "AS3320" in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
   let rng = Rtr_util.Rng.make 7 in
   let scenario = Scenario.generate topo table rng () in
   Format.printf "Failure: %a on %s -> %a@.@." Rtr_failure.Area.pp

@@ -15,7 +15,7 @@ let pv ppf v = Format.fprintf ppf "v%d" v
 let () =
   let topo = Rtr_topo.Isp.load_by_name "AS701" in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
   let rng = Rtr_util.Rng.make 42 in
   (* Look for a run where single-area RTR breaks (two areas interact)
      but the multi-area extension still delivers. *)
@@ -30,10 +30,8 @@ let () =
       in
       let interesting (c : Scenario.case) =
         Damage.node_ok damage c.Scenario.dst
-        && Rtr_graph.Bfs.reachable g
-             ~node_ok:(Damage.node_ok damage)
-             ~link_ok:(Damage.link_ok damage)
-             c.Scenario.initiator c.Scenario.dst
+        && Rtr_graph.Bfs.reachable (Damage.view damage) c.Scenario.initiator
+             c.Scenario.dst
         &&
         let r =
           Multi_area.recover topo damage ~initiator:c.Scenario.initiator
@@ -78,7 +76,7 @@ let () =
   (* Contrast: plain single-session RTR breaks on the second area. *)
   let plain =
     Rtr_core.Rtr.start topo damage ~initiator:case.Scenario.initiator
-      ~trigger:case.Scenario.trigger
+      ~trigger:case.Scenario.trigger ()
   in
   match Rtr_core.Rtr.recover plain ~dst:case.Scenario.dst with
   | Rtr_core.Rtr.False_path { dropped_at; _ } ->

@@ -11,19 +11,14 @@ module Scenario = Rtr_sim.Scenario
 let () =
   let topo = Rtr_topo.Isp.load_by_name "AS1239" in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
   let rng = Rtr_util.Rng.make 2012 in
   (* Search for a scenario that actually partitions the live graph. *)
   let rec find tries =
     if tries > 500 then failwith "no partitioning scenario found"
     else
       let s = Scenario.generate topo table rng ~r_min:250.0 ~r_max:300.0 () in
-      let comps =
-        Rtr_graph.Components.compute g
-          ~node_ok:(Damage.node_ok s.Scenario.damage)
-          ~link_ok:(Damage.link_ok s.Scenario.damage)
-          ()
-      in
+      let comps = Rtr_graph.Components.compute (Damage.view s.Scenario.damage) in
       let irr =
         List.filter
           (fun (c : Scenario.case) -> c.Scenario.kind = Scenario.Irrecoverable)
@@ -50,7 +45,7 @@ let () =
     (fun (c : Scenario.case) ->
       let session =
         Rtr_core.Rtr.start topo scenario.Scenario.damage
-          ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger
+          ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger ()
       in
       incr rtr_calcs;
       (match Rtr_core.Rtr.recover session ~dst:c.Scenario.dst with

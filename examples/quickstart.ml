@@ -26,7 +26,7 @@ let () =
   Format.printf "Topology: %a@.@." Rtr_topo.Topology.pp topo;
 
   (* 1. Steady state: the IGP's default route from v7 to v17. *)
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
   let default =
     Option.get
       (Rtr_routing.Route_table.default_path table ~src:PE.source
@@ -54,6 +54,7 @@ let () =
 
   let session =
     Rtr_core.Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger
+      ()
   in
 
   (* 4. Phase 1: the packet circles the failure area collecting failed
@@ -76,10 +77,8 @@ let () =
         (Rtr_graph.Path.hops path);
       let best =
         Option.get
-          (Rtr_graph.Dijkstra.distance g ~src:PE.initiator ~dst:PE.destination
-             ~node_ok:(Damage.node_ok damage)
-             ~link_ok:(Damage.link_ok damage)
-             ())
+          (Rtr_graph.Dijkstra.distance (Damage.view damage) ~src:PE.initiator
+             ~dst:PE.destination)
       in
       Format.printf "Shortest possible after the failure: %d hops -> %s@." best
         (if best = Rtr_graph.Path.hops path then "optimal (Theorem 2 holds)"

@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Damage = Rtr_failure.Damage
 module Path = Rtr_graph.Path
 module Dijkstra = Rtr_graph.Dijkstra
@@ -23,10 +24,15 @@ let run topo damage ~initiator ~dst =
   let g = Rtr_topo.Topology.graph topo in
   let carried = Array.make (Graph.n_links g) false in
   let carried_rev = ref [] in
+  (* The packet's view of the network: pre-failure map minus every
+     carried failure.  Updated incrementally as links join the header. *)
+  let view = ref (View.full g) in
+  let fresh = ref [] in
   let carry id =
     if not carried.(id) then begin
       carried.(id) <- true;
-      carried_rev := id :: !carried_rev
+      carried_rev := id :: !carried_rev;
+      fresh := id :: !fresh
     end
   in
   let journey_rev = ref [ initiator ] in
@@ -51,9 +57,12 @@ let run topo damage ~initiator ~dst =
        they visit. *)
     Graph.iter_neighbors g current (fun v id ->
         if Damage.neighbor_unreachable damage v id then carry id);
-    let link_ok id = not carried.(id) in
+    if !fresh <> [] then begin
+      view := View.remove_links !view !fresh;
+      fresh := []
+    end;
     incr sp_calcs;
-    let spt = Dijkstra.spt g ~root:current ~link_ok () in
+    let spt = Dijkstra.spt !view ~root:current () in
     match Spt.path spt dst with
     | None -> finish ~delivered:false ~discarded_at:(Some current)
     | Some path -> follow path

@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Damage = Rtr_failure.Damage
 module Path = Rtr_graph.Path
 module Dijkstra = Rtr_graph.Dijkstra
@@ -155,11 +156,14 @@ let build g ~k =
       let next = Array.init k (fun _ -> [||])
       and dist = Array.init k (fun _ -> [||]) in
       for c = 0 to k - 1 do
+        (* MRC's configurations are precomputed failure views: each one
+           masks the links its isolated nodes may not carry transit on. *)
+        let view_c = View.create g ~link_ok:(usable c) () in
         let next_c = Array.make n [||] and dist_c = Array.make n [||] in
         for dst = 0 to n - 1 do
           let spt =
-            Dijkstra.spt g ~root:dst ~direction:Spt.To_root
-              ~link_ok:(usable c) ~cost:(config_cost c) ()
+            Dijkstra.spt view_c ~root:dst ~direction:Spt.To_root
+              ~cost:(config_cost c) ()
           in
           next_c.(dst) <- Array.init n (fun src -> Spt.parent_node spt src);
           dist_c.(dst) <- Array.init n (fun src -> Spt.dist spt src)

@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Damage = Rtr_failure.Damage
 module Dijkstra = Rtr_graph.Dijkstra
 module Spt = Rtr_graph.Spt
@@ -10,11 +11,13 @@ let c_creates = Metrics.counter "phase2.creates"
 let c_repaired_nodes = Metrics.counter "phase2.repaired_nodes"
 let c_sp_calcs = Metrics.counter "phase2.sp_calcs"
 let c_cache_hits = Metrics.counter "phase2.cache_hits"
+let c_spt_cloned = Metrics.counter "phase2.spt_cloned"
+let c_spt_fresh = Metrics.counter "phase2.spt_fresh"
 
 type t = {
   topo : Rtr_topo.Topology.t;
   initiator : Graph.node;
-  removed : bool array;
+  view : View.t;
   removed_list : Graph.link_id list;
   spt : Spt.t;
   cache : (Graph.node, Rtr_graph.Path.t option) Hashtbl.t;
@@ -22,7 +25,7 @@ type t = {
   repaired : int;
 }
 
-let create topo damage ?(extra_removed = []) ~phase1 () =
+let create topo damage ?base_spt ?(extra_removed = []) ~phase1 () =
   let g = Rtr_topo.Topology.graph topo in
   let initiator = phase1.Phase1.initiator in
   let removed = Array.make (Graph.n_links g) false in
@@ -34,21 +37,34 @@ let create topo damage ?(extra_removed = []) ~phase1 () =
   let removed_list =
     List.filter (fun id -> removed.(id)) (List.init (Graph.n_links g) Fun.id)
   in
+  let view = View.remove_links (View.full g) removed_list in
   (* The initiator already holds its pre-failure SPF tree; phase 2 only
-     repairs it around the removed links. *)
-  let spt = Dijkstra.spt g ~root:initiator ~direction:Spt.From_root () in
-  let link_ok id = not removed.(id) in
+     repairs it around the removed links.  A cached pre-failure tree
+     (see Topo_cache in the simulator) is cloned instead of recomputed. *)
+  let spt =
+    match base_spt with
+    | Some base ->
+        if base.Spt.graph != g then
+          invalid_arg "Phase2.create: base_spt over a different graph";
+        if base.Spt.root <> initiator then
+          invalid_arg "Phase2.create: base_spt rooted elsewhere";
+        if base.Spt.direction <> Spt.From_root then
+          invalid_arg "Phase2.create: base_spt has wrong direction";
+        Metrics.Counter.incr c_spt_cloned;
+        Spt.copy base
+    | None ->
+        Metrics.Counter.incr c_spt_fresh;
+        Dijkstra.spt (View.full g) ~root:initiator ()
+  in
   let repaired =
-    Incremental_spt.remove spt ~dead_links:removed_list
-      ~node_ok:(fun _ -> true)
-      ~link_ok ()
+    Incremental_spt.remove spt ~dead_links:removed_list ~view ()
   in
   Metrics.Counter.incr c_creates;
   Metrics.Counter.add c_repaired_nodes repaired;
   {
     topo;
     initiator;
-    removed;
+    view;
     removed_list;
     spt;
     cache = Hashtbl.create 16;
@@ -58,6 +74,7 @@ let create topo damage ?(extra_removed = []) ~phase1 () =
 
 let initiator t = t.initiator
 let removed_links t = t.removed_list
+let view t = t.view
 
 let recovery_path t ~dst =
   match Hashtbl.find_opt t.cache dst with

@@ -15,6 +15,7 @@ type t
 val create :
   Rtr_topo.Topology.t ->
   Rtr_failure.Damage.t ->
+  ?base_spt:Rtr_graph.Spt.t ->
   ?extra_removed:Graph.link_id list ->
   phase1:Phase1.result ->
   unit ->
@@ -23,9 +24,19 @@ val create :
     initiator's {e local} knowledge (its own unreachable neighbours) —
     phase 2 never peeks at the global failure state.  [extra_removed]
     carries failure information already in the packet header, used by
-    the multiple-failure-area extension (Sec. III-E). *)
+    the multiple-failure-area extension (Sec. III-E).
+
+    [base_spt] is the initiator's pre-failure [From_root] SPF tree,
+    e.g. from the simulator's per-topology cache; it is cloned (the
+    original is never mutated) and incrementally repaired, skipping the
+    from-scratch Dijkstra.  Raises [Invalid_argument] if it is rooted
+    elsewhere, oriented [To_root] or built over a different graph. *)
 
 val initiator : t -> Graph.node
+
+val view : t -> Rtr_graph.View.t
+(** The initiator's post-phase-1 failure view: the full graph minus
+    [removed_links]. *)
 
 val removed_links : t -> Graph.link_id list
 (** The links absent from the view: phase-1 collection plus

@@ -27,10 +27,13 @@ type t
 val start :
   Rtr_topo.Topology.t ->
   Rtr_failure.Damage.t ->
+  ?base_spt:Rtr_graph.Spt.t ->
   initiator:Graph.node ->
   trigger:Graph.node ->
+  unit ->
   t
-(** Runs phase 1 and prepares phase 2. *)
+(** Runs phase 1 and prepares phase 2.  [base_spt] is the initiator's
+    cached pre-failure SPF tree, forwarded to {!Phase2.create}. *)
 
 val phase1 : t -> Phase1.result
 val phase2 : t -> Phase2.t

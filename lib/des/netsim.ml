@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Damage = Rtr_failure.Damage
 module Route_table = Rtr_routing.Route_table
 module Delay = Rtr_routing.Delay
@@ -100,7 +101,7 @@ type packet = {
 type session =
   | Collecting of { first_hop : Graph.node }
   | Ready of {
-      link_removed : bool array;
+      view : View.t;
       cache : (Graph.node, Graph.node list option) Hashtbl.t;
     }
 
@@ -214,26 +215,24 @@ let sweep_next sim hdr ~at ~reference =
 (* Phase 2, from header contents plus the initiator's own adjacencies
    only. *)
 let install_ready sim initiator collected =
-  let removed = Array.make (Graph.n_links sim.g) false in
-  List.iter (fun id -> removed.(id) <- true) collected;
-  List.iter
-    (fun (_, id) -> removed.(id) <- true)
-    (Damage.unreachable_neighbors sim.damage sim.g initiator);
-  let ready = Ready { link_removed = removed; cache = Hashtbl.create 8 } in
+  let removed =
+    collected
+    @ List.map snd (Damage.unreachable_neighbors sim.damage sim.g initiator)
+  in
+  let view = View.remove_links (View.full sim.g) removed in
+  let ready = Ready { view; cache = Hashtbl.create 8 } in
   Hashtbl.replace sim.sessions initiator ready;
   ready
 
-let recovery_route sim initiator ready dst =
+let recovery_route initiator ready dst =
   match ready with
   | Collecting _ -> assert false
-  | Ready { link_removed; cache } -> (
+  | Ready { view; cache } -> (
       match Hashtbl.find_opt cache dst with
       | Some r -> r
       | None ->
           let route =
-            Rtr_graph.Dijkstra.shortest_path sim.g ~src:initiator ~dst
-              ~link_ok:(fun id -> not link_removed.(id))
-              ()
+            Rtr_graph.Dijkstra.shortest_path view ~src:initiator ~dst
             |> Option.map Rtr_graph.Path.nodes
           in
           Hashtbl.replace cache dst route;
@@ -347,7 +346,7 @@ and handle_phase1 sim t packet hdr ~at ~from =
         end
 
 and dispatch_recovered sim t packet ~at ~ready =
-  match recovery_route sim at ready packet.dst with
+  match recovery_route at ready packet.dst with
   | None -> drop sim t Unreachable_in_view
   | Some route -> (
       (* route = at :: rest *)
@@ -396,12 +395,8 @@ let run topo damage config =
       g;
       damage;
       config;
-      pre = Route_table.compute g;
-      post =
-        Route_table.compute
-          ~node_ok:(Damage.node_ok damage)
-          ~link_ok:(Damage.link_ok damage)
-          g;
+      pre = Route_table.compute (View.full g);
+      post = Route_table.compute (Damage.view damage);
       convergence = Convergence.compute config.igp g damage;
       queue = Event_queue.create ();
       sessions = Hashtbl.create 16;

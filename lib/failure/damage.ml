@@ -1,12 +1,23 @@
 module Graph = Rtr_graph.Graph
 
-type t = { graph : Graph.t; node_failed : bool array; link_failed : bool array }
+type t = {
+  graph : Graph.t;
+  node_failed : bool array;
+  link_failed : bool array;
+  view : Rtr_graph.View.t;
+}
 
 let seal graph node_failed link_failed =
   (* Links incident to a failed router are unusable no matter what. *)
   Graph.iter_links graph (fun id u v ->
       if node_failed.(u) || node_failed.(v) then link_failed.(id) <- true);
-  { graph; node_failed; link_failed }
+  let view =
+    Rtr_graph.View.create graph
+      ~node_ok:(fun v -> not node_failed.(v))
+      ~link_ok:(fun id -> not link_failed.(id))
+      ()
+  in
+  { graph; node_failed; link_failed; view }
 
 let apply topo area =
   let graph = Rtr_topo.Topology.graph topo in
@@ -32,11 +43,13 @@ let none graph = of_failed graph ~nodes:[] ~links:[]
 
 let merge a b =
   if a.graph != b.graph then invalid_arg "Damage.merge: different graphs";
-  {
-    graph = a.graph;
-    node_failed = Array.map2 ( || ) a.node_failed b.node_failed;
-    link_failed = Array.map2 ( || ) a.link_failed b.link_failed;
-  }
+  let node_failed = Array.map2 ( || ) a.node_failed b.node_failed in
+  let link_failed = Array.map2 ( || ) a.link_failed b.link_failed in
+  (* Both inputs are sealed, so the union is sealed too; still go
+     through [seal] so the view is rebuilt consistently. *)
+  seal a.graph node_failed link_failed
+
+let view t = t.view
 
 let node_ok t v = not t.node_failed.(v)
 let link_ok t l = not t.link_failed.(l)

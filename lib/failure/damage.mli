@@ -24,6 +24,11 @@ val none : Graph.t -> t
 val merge : t -> t -> t
 (** Union of two damages on the same graph — multiple failure areas. *)
 
+val view : t -> Rtr_graph.View.t
+(** The surviving network as a failure view: everything not failed.
+    Computed once when the damage is sealed — callers share one bitset
+    pair instead of re-deriving closures per traversal. *)
+
 val node_ok : t -> Graph.node -> bool
 val link_ok : t -> Graph.link_id -> bool
 

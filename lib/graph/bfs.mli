@@ -1,4 +1,4 @@
-(** Breadth-first search under liveness filters.
+(** Breadth-first search over a failure view.
 
     Used for hop-count distances, reachability classification of failed
     routing paths, and as an independent oracle against which Dijkstra
@@ -9,25 +9,23 @@ type result = {
   parent : int array;  (** predecessor node on a shortest hop path; [-1] at the source and for unreachable nodes *)
 }
 
-val run :
+val run : View.t -> source:Graph.node -> result
+(** Nodes and links masked out by the view are never visited.  If the
+    source itself is masked out, every distance is [max_int].  Ties
+    resolve toward the smallest parent id (neighbours are scanned in
+    ascending order). *)
+
+val run_filtered :
   Graph.t ->
   source:Graph.node ->
   ?node_ok:(Graph.node -> bool) ->
   ?link_ok:(Graph.link_id -> bool) ->
   unit ->
   result
-(** Nodes failing [node_ok] are never visited; links failing [link_ok]
-    are never traversed.  If the source itself fails [node_ok], every
-    distance is [max_int].  Ties resolve toward the smallest parent id
-    (neighbours are scanned in ascending order). *)
+(** @deprecated Closure-pair reference implementation, kept as the
+    oracle for the view/closure equivalence suite. *)
 
-val reachable :
-  Graph.t ->
-  ?node_ok:(Graph.node -> bool) ->
-  ?link_ok:(Graph.link_id -> bool) ->
-  Graph.node ->
-  Graph.node ->
-  bool
+val reachable : View.t -> Graph.node -> Graph.node -> bool
 
 val path_to : result -> Graph.node -> Path.t option
 (** Reconstructs the shortest hop path from the BFS source, if the node

@@ -1,6 +1,32 @@
 type t = { id : int array; count : int }
 
-let compute g ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true) () =
+let compute view =
+  let g = View.graph view in
+  let n = Graph.n_nodes g in
+  let id = Array.make n (-1) in
+  let count = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if View.node_ok view s && id.(s) = -1 then begin
+      let c = !count in
+      incr count;
+      id.(s) <- c;
+      Queue.push s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        View.iter_neighbors view u (fun v _ ->
+            if id.(v) = -1 then begin
+              id.(v) <- c;
+              Queue.push v q
+            end)
+      done
+    end
+  done;
+  { id; count = !count }
+
+(* Closure-pair reference implementation: the equivalence oracle. *)
+let compute_filtered g ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true) ()
+    =
   let n = Graph.n_nodes g in
   let id = Array.make n (-1) in
   let count = ref 0 in
@@ -32,4 +58,4 @@ let sizes t =
   Array.iter (fun c -> if c >= 0 then s.(c) <- s.(c) + 1) t.id;
   s
 
-let is_connected g = count (compute g ()) <= 1
+let is_connected g = count (compute (View.full g)) <= 1

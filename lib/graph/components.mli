@@ -6,18 +6,23 @@
 
 type t
 
-val compute :
+val compute : View.t -> t
+(** Components among the nodes and links live in the view. *)
+
+val compute_filtered :
   Graph.t ->
   ?node_ok:(Graph.node -> bool) ->
   ?link_ok:(Graph.link_id -> bool) ->
   unit ->
   t
+(** @deprecated Closure-pair reference implementation, kept as the
+    oracle for the view/closure equivalence suite. *)
 
 val count : t -> int
 (** Number of components among live nodes. *)
 
 val id_of : t -> Graph.node -> int
-(** Component id of a node ([-1] for a node failing [node_ok]). *)
+(** Component id of a node ([-1] for a masked-out node). *)
 
 val same : t -> Graph.node -> Graph.node -> bool
 (** Whether two nodes are live and in the same component. *)

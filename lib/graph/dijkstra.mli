@@ -1,4 +1,4 @@
-(** Dijkstra's algorithm over filtered graphs.
+(** Dijkstra's algorithm over failure views.
 
     All shortest-path computations in the reproduction go through this
     module, so the experiment harness can count them (the paper's
@@ -7,16 +7,14 @@
     [Rtr_sim.Metrics]. *)
 
 val spt :
-  Graph.t ->
+  View.t ->
   root:Graph.node ->
   ?direction:Spt.direction ->
-  ?node_ok:(Graph.node -> bool) ->
-  ?link_ok:(Graph.link_id -> bool) ->
   ?cost:(Graph.link_id -> src:Graph.node -> int) ->
   unit ->
   Spt.t
 (** Single-source shortest paths from/towards [root] (default
-    [From_root]), visiting only nodes and links that pass the filters.
+    [From_root]), visiting only nodes and links live in the view.
     Ties are broken deterministically: the heap orders equal distances
     by node id, and among equal-cost predecessors the smallest node id
     wins, so two runs over the same inputs yield the same tree.
@@ -25,20 +23,20 @@ val spt :
     link is crossed out of); MRC's restricted-link weights use this.
     Costs must stay positive. *)
 
-val shortest_path :
+val spt_filtered :
   Graph.t ->
-  src:Graph.node ->
-  dst:Graph.node ->
+  root:Graph.node ->
+  ?direction:Spt.direction ->
   ?node_ok:(Graph.node -> bool) ->
   ?link_ok:(Graph.link_id -> bool) ->
+  ?cost:(Graph.link_id -> src:Graph.node -> int) ->
   unit ->
-  Path.t option
+  Spt.t
+(** @deprecated Closure-pair reference implementation, kept as the
+    oracle for the view/closure equivalence suite.  [spt (View.create
+    g ~node_ok ~link_ok ())] is bit-for-bit equivalent and faster. *)
 
-val distance :
-  Graph.t ->
-  src:Graph.node ->
-  dst:Graph.node ->
-  ?node_ok:(Graph.node -> bool) ->
-  ?link_ok:(Graph.link_id -> bool) ->
-  unit ->
-  int option
+val shortest_path :
+  View.t -> src:Graph.node -> dst:Graph.node -> Path.t option
+
+val distance : View.t -> src:Graph.node -> dst:Graph.node -> int option

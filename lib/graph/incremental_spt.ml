@@ -12,7 +12,7 @@ let step_cost g ~direction ~settled ~next link =
 (* Dijkstra restricted to the [affected] set, seeded from the frontier
    of still-valid nodes.  Shared by [remove] (after invalidating
    subtrees) and usable on any subset. *)
-let repair (t : Spt.t) ~affected ~node_ok ~link_ok =
+let repair (t : Spt.t) ~affected ~view =
   let g = t.Spt.graph in
   let n = Graph.n_nodes g in
   let dist = t.Spt.dist
@@ -20,10 +20,9 @@ let repair (t : Spt.t) ~affected ~node_ok ~link_ok =
   and parent_link = t.Spt.parent_link in
   let heap = Pqueue.create () in
   let seed v =
-    if node_ok v then
-      Graph.iter_neighbors g v (fun u id ->
-          if link_ok id && node_ok u && (not affected.(u)) && dist.(u) < max_int
-          then begin
+    if View.node_ok view v then
+      View.iter_neighbors view v (fun u id ->
+          if (not affected.(u)) && dist.(u) < max_int then begin
             let cand =
               dist.(u) + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id
             in
@@ -46,9 +45,8 @@ let repair (t : Spt.t) ~affected ~node_ok ~link_ok =
     | Some (d, u) ->
         if affected.(u) && (not settled.(u)) && d = dist.(u) then begin
           settled.(u) <- true;
-          Graph.iter_neighbors g u (fun v id ->
-              if affected.(v) && (not settled.(v)) && link_ok id && node_ok v
-              then begin
+          View.iter_neighbors view u (fun v id ->
+              if affected.(v) && not settled.(v) then begin
                 let cand =
                   d + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id
                 in
@@ -65,8 +63,9 @@ let repair (t : Spt.t) ~affected ~node_ok ~link_ok =
   in
   drain ()
 
-let remove (t : Spt.t) ?(dead_nodes = []) ?(dead_links = []) ~node_ok ~link_ok
-    () =
+let remove (t : Spt.t) ?(dead_nodes = []) ?(dead_links = []) ~view () =
+  if View.graph view != t.Spt.graph then
+    invalid_arg "Incremental_spt.remove: view over a different graph";
   let g = t.Spt.graph in
   let n = Graph.n_nodes g in
   let node_dead = Array.make n false in
@@ -98,13 +97,14 @@ let remove (t : Spt.t) ?(dead_nodes = []) ?(dead_links = []) ~node_ok ~link_ok
   done;
   let count = ref 0 in
   Array.iter (fun b -> if b then incr count) affected;
-  repair t ~affected ~node_ok ~link_ok;
+  repair t ~affected ~view;
   Rtr_obs.Metrics.Counter.incr c_repairs;
   Rtr_obs.Metrics.Counter.add c_repaired_nodes !count;
   !count
 
-let restore (t : Spt.t) ?(new_nodes = []) ?(new_links = []) ~node_ok ~link_ok
-    () =
+let restore (t : Spt.t) ?(new_nodes = []) ?(new_links = []) ~view () =
+  if View.graph view != t.Spt.graph then
+    invalid_arg "Incremental_spt.restore: view over a different graph";
   Rtr_obs.Metrics.Counter.incr c_restores;
   let g = t.Spt.graph in
   let dist = t.Spt.dist
@@ -123,7 +123,8 @@ let restore (t : Spt.t) ?(new_nodes = []) ?(new_links = []) ~node_ok ~link_ok
   in
   let try_link id =
     let u, v = Graph.endpoints g id in
-    if link_ok id && node_ok u && node_ok v then begin
+    if View.link_ok view id && View.node_ok view u && View.node_ok view v
+    then begin
       if dist.(u) < max_int then
         offer v
           (dist.(u) + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id)
@@ -137,25 +138,24 @@ let restore (t : Spt.t) ?(new_nodes = []) ?(new_links = []) ~node_ok ~link_ok
   List.iter try_link new_links;
   List.iter
     (fun v ->
-      if node_ok v then Graph.iter_neighbors g v (fun _ id -> try_link id))
+      if View.node_ok view v then
+        Graph.iter_neighbors g v (fun _ id -> try_link id))
     new_nodes;
   let rec drain () =
     match Pqueue.pop heap with
     | None -> ()
     | Some (d, u) ->
         if d = dist.(u) then
-          Graph.iter_neighbors g u (fun v id ->
-              if link_ok id && node_ok v then begin
-                let cand =
-                  d + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id
-                in
-                if cand < dist.(v) then begin
-                  if dist.(v) = max_int then incr improved;
-                  dist.(v) <- cand;
-                  parent_node.(v) <- u;
-                  parent_link.(v) <- id;
-                  Pqueue.push heap ~prio:cand ~tag:v
-                end
+          View.iter_neighbors view u (fun v id ->
+              let cand =
+                d + step_cost g ~direction:t.Spt.direction ~settled:u ~next:v id
+              in
+              if cand < dist.(v) then begin
+                if dist.(v) = max_int then incr improved;
+                dist.(v) <- cand;
+                parent_node.(v) <- u;
+                parent_link.(v) <- id;
+                Pqueue.push heap ~prio:cand ~tag:v
               end);
         drain ()
   in

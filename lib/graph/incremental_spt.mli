@@ -9,30 +9,29 @@
 
     Both entry points mutate the tree in place.  Distances after a
     repair are guaranteed equal to a from-scratch Dijkstra over the same
-    filters (property-tested); parent pointers may differ on ties. *)
+    view (property-tested); parent pointers may differ on ties. *)
 
 val remove :
   Spt.t ->
   ?dead_nodes:Graph.node list ->
   ?dead_links:Graph.link_id list ->
-  node_ok:(Graph.node -> bool) ->
-  link_ok:(Graph.link_id -> bool) ->
+  view:View.t ->
   unit ->
   int
 (** Repairs the tree after the given nodes/links stop being usable.
-    [node_ok]/[link_ok] must describe liveness {e after} the removal
-    (i.e. they reject the dead elements).  Returns the number of nodes
-    whose distance had to be recomputed — the measure of how "local"
-    the failure was. *)
+    [view] must describe liveness {e after} the removal (i.e. it
+    excludes the dead elements).  Raises [Invalid_argument] if the view
+    is over a different graph than the tree.  Returns the number of
+    nodes whose distance had to be recomputed — the measure of how
+    "local" the failure was. *)
 
 val restore :
   Spt.t ->
   ?new_nodes:Graph.node list ->
   ?new_links:Graph.link_id list ->
-  node_ok:(Graph.node -> bool) ->
-  link_ok:(Graph.link_id -> bool) ->
+  view:View.t ->
   unit ->
   int
 (** Dual operation: elements coming back up (e.g. after repair /
-    convergence).  Filters describe liveness after the restoration.
+    convergence).  The view describes liveness after the restoration.
     Returns the number of improved nodes. *)

@@ -41,7 +41,23 @@ let cost g p =
 
 let mem_node p v = List.mem v p.rev
 
-let is_valid g ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true) p =
+let is_valid view p =
+  let g = View.graph view in
+  let rec loop = function
+    | a :: (b :: _ as rest) ->
+        View.node_ok view a
+        && (match Graph.find_link g b a with
+           | Some id -> View.link_ok view id
+           | None -> false)
+        && loop rest
+    | [ a ] -> View.node_ok view a
+    | [] -> true
+  in
+  loop p.rev
+
+(* Closure-pair reference implementation: the equivalence oracle. *)
+let is_valid_filtered g ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true) p
+    =
   let rec loop = function
     | a :: (b :: _ as rest) ->
         node_ok a

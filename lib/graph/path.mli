@@ -29,14 +29,18 @@ val cost : Graph.t -> t -> int
 
 val mem_node : t -> Graph.node -> bool
 
-val is_valid :
+val is_valid : View.t -> t -> bool
+(** Whether every consecutive pair is adjacent and every node/link is
+    live in the view (the source must be live too). *)
+
+val is_valid_filtered :
   Graph.t ->
   ?node_ok:(Graph.node -> bool) ->
   ?link_ok:(Graph.link_id -> bool) ->
   t ->
   bool
-(** Whether every consecutive pair is adjacent and every node/link
-    passes the filters (the source must pass [node_ok] too). *)
+(** @deprecated Closure-pair reference implementation, kept as the
+    oracle for the view/closure equivalence suite. *)
 
 val append_hop : t -> Graph.node -> t
 (** Extends the path by one node at the destination end.  O(1). *)

@@ -1,0 +1,76 @@
+(** A failure view: the graph an algorithm is allowed to see.
+
+    RTR's Theorem 2 is a statement about the recovery initiator's {e
+    view} — the pre-failure topology minus the failed elements it has
+    learnt about.  Everything that traverses a possibly-damaged graph
+    in this library does so through a value of this type: an immutable
+    [Graph.t] plus bitset liveness masks over node and link ids.
+
+    Masks are int-array bitsets (32 bits per word), so membership is a
+    shift-and-mask ([O(1)], no closure call) and the derivation
+    operations ([full], [remove_links], [inter], ...) cost O(words).
+    Views never mutate; deriving one copies only the changed mask.
+
+    The predicate-based constructors ([create]) and the [_filtered]
+    reference entry points that remain on the traversal modules are
+    the compatibility bridge from the old [?node_ok]/[?link_ok]
+    closure-pair convention. *)
+
+type t
+
+val graph : t -> Graph.t
+
+(** {1 Construction} *)
+
+val full : Graph.t -> t
+(** Everything usable.  O(words). *)
+
+val create :
+  Graph.t ->
+  ?node_ok:(Graph.node -> bool) ->
+  ?link_ok:(Graph.link_id -> bool) ->
+  unit ->
+  t
+(** Evaluates each predicate once per element (O(n + m)); omitted
+    predicates default to everything-usable. *)
+
+val of_failed : Graph.t -> nodes:Graph.node list -> links:Graph.link_id list -> t
+(** Everything usable except the listed elements.  Unlike
+    [Damage.of_failed] this performs no incident-link closure: the
+    masks are exactly what the caller gives. *)
+
+(** {1 Derivation} *)
+
+val remove_links : t -> Graph.link_id list -> t
+(** A view with the given links additionally masked out.  O(words +
+    length). *)
+
+val remove_nodes : t -> Graph.node list -> t
+
+val inter : t -> t -> t
+(** Intersection of liveness (union of failures) — the multi-area
+    merge.  Raises [Invalid_argument] on different graphs.  O(words). *)
+
+(** {1 Membership} *)
+
+val node_ok : t -> Graph.node -> bool
+val link_ok : t -> Graph.link_id -> bool
+
+val n_live_nodes : t -> int
+val n_live_links : t -> int
+
+(** {1 Masked adjacency}
+
+    The neighbour iteration every traversal hot loop uses: only pairs
+    whose link {e and} endpoint are both live are yielded, in the same
+    (ascending neighbour id) order as [Graph.iter_neighbors]. *)
+
+val iter_neighbors : t -> Graph.node -> (Graph.node -> Graph.link_id -> unit) -> unit
+
+val fold_neighbors :
+  t -> Graph.node -> init:'a -> f:('a -> Graph.node -> Graph.link_id -> 'a) -> 'a
+
+val equal : t -> t -> bool
+(** Same graph (physically) and identical masks. *)
+
+val pp : Format.formatter -> t -> unit

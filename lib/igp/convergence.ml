@@ -18,6 +18,7 @@ let compute (cfg : Igp_config.t) g damage =
   in
   (* Multi-source BFS over the surviving graph: flooding distance from
      the nearest detector. *)
+  let view = Damage.view damage in
   let flood_hops = Array.make n max_int in
   let q = Queue.create () in
   List.iter
@@ -27,12 +28,8 @@ let compute (cfg : Igp_config.t) g damage =
     detectors;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Graph.iter_neighbors g u (fun v id ->
-        if
-          Damage.link_ok damage id
-          && Damage.node_ok damage v
-          && flood_hops.(v) = max_int
-        then begin
+    Rtr_graph.View.iter_neighbors view u (fun v _ ->
+        if flood_hops.(v) = max_int then begin
           flood_hops.(v) <- flood_hops.(u) + 1;
           Queue.push v q
         end)

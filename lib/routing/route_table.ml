@@ -1,5 +1,6 @@
 module Graph = Rtr_graph.Graph
 module Dijkstra = Rtr_graph.Dijkstra
+module View = Rtr_graph.View
 module Spt = Rtr_graph.Spt
 
 type t = {
@@ -10,21 +11,53 @@ type t = {
   dist_to : int array array;
 }
 
-let compute ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true) graph =
+let compute view =
+  let graph = View.graph view in
   let n = Graph.n_nodes graph in
   let next = Array.make n [||]
   and next_lnk = Array.make n [||]
   and dist_to = Array.make n [||] in
   for dst = 0 to n - 1 do
-    let spt =
-      Dijkstra.spt graph ~root:dst ~direction:Spt.To_root ~node_ok ~link_ok ()
-    in
+    let spt = Dijkstra.spt view ~root:dst ~direction:Spt.To_root () in
     let dist_row = Array.init n (fun src -> Spt.dist spt src) in
     let next_row = Array.make n (-1) and link_row = Array.make n (-1) in
     for src = 0 to n - 1 do
       if src <> dst && dist_row.(src) < max_int then begin
         (* Deterministic choice independent of Dijkstra's internal tie
            handling: smallest neighbour on some shortest path. *)
+        View.iter_neighbors view src (fun v id ->
+            if
+              next_row.(src) = -1
+              && dist_row.(v) < max_int
+              && Graph.cost graph id ~src + dist_row.(v) = dist_row.(src)
+            then begin
+              next_row.(src) <- v;
+              link_row.(src) <- id
+            end)
+      end
+    done;
+    next.(dst) <- next_row;
+    next_lnk.(dst) <- link_row;
+    dist_to.(dst) <- dist_row
+  done;
+  { graph; next; next_lnk; dist_to }
+
+(* Closure-pair reference implementation: the equivalence oracle. *)
+let compute_filtered ?(node_ok = fun _ -> true) ?(link_ok = fun _ -> true)
+    graph =
+  let n = Graph.n_nodes graph in
+  let next = Array.make n [||]
+  and next_lnk = Array.make n [||]
+  and dist_to = Array.make n [||] in
+  for dst = 0 to n - 1 do
+    let spt =
+      Dijkstra.spt_filtered graph ~root:dst ~direction:Spt.To_root ~node_ok
+        ~link_ok ()
+    in
+    let dist_row = Array.init n (fun src -> Spt.dist spt src) in
+    let next_row = Array.make n (-1) and link_row = Array.make n (-1) in
+    for src = 0 to n - 1 do
+      if src <> dst && dist_row.(src) < max_int then begin
         Graph.iter_neighbors graph src (fun v id ->
             if
               next_row.(src) = -1
@@ -65,3 +98,7 @@ let default_path t ~src ~dst =
     in
     Some (Rtr_graph.Path.of_nodes (walk [] src))
   end
+
+let equal a b =
+  a.graph == b.graph && a.next = b.next && a.next_lnk = b.next_lnk
+  && a.dist_to = b.dist_to

@@ -9,17 +9,22 @@
     p_ij. *)
 
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 
 type t
 
-val compute :
+val compute : View.t -> t
+(** O(n * Dijkstra) over the live part of the view.  Over [View.full g]
+    this is the pre-failure routing state; over a damage view it is the
+    table the IGP converges to after the failed elements are removed. *)
+
+val compute_filtered :
   ?node_ok:(Graph.node -> bool) ->
   ?link_ok:(Graph.link_id -> bool) ->
   Graph.t ->
   t
-(** O(n * Dijkstra).  Without filters this is the pre-failure routing
-    state; with filters it is the table the IGP converges to after the
-    filtered-out elements fail. *)
+(** @deprecated Closure-pair reference implementation, kept as the
+    oracle for the view/closure equivalence suite. *)
 
 val graph : t -> Graph.t
 
@@ -35,3 +40,8 @@ val dist : t -> src:Graph.node -> dst:Graph.node -> int
 
 val default_path : t -> src:Graph.node -> dst:Graph.node -> Rtr_graph.Path.t option
 (** The full default routing path, by following [next_hop]. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the routing state (same underlying graph,
+    same next hops, links and distances) — the equivalence suite's
+    notion of "bit-for-bit identical tables". *)

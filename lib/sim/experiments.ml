@@ -56,7 +56,8 @@ let collect ?(log = fun _ -> ()) config =
       @@ fun () ->
       let topo = Isp.load preset in
       let g = Rtr_topo.Topology.graph topo in
-      let table = Rtr_routing.Route_table.compute g in
+      let cache = Topo_cache.create topo in
+      let table = Topo_cache.table cache in
       let mrc =
         match config.mrc_k with
         | Some k -> (
@@ -97,7 +98,8 @@ let collect ?(log = fun _ -> ()) config =
         in
         if kept <> [] then begin
           let results =
-            Runner.run_scenario ~mrc { scenario with Scenario.cases = kept }
+            Runner.run_scenario ~cache ~mrc
+              { scenario with Scenario.cases = kept }
           in
           List.iter
             (fun (r : Runner.result) ->
@@ -229,7 +231,8 @@ let table3 data =
       f2 (max_stretch (fun r -> r.Runner.rtr_stretch) cases);
       f2 (max_stretch (fun r -> r.Runner.fcp_stretch) cases);
       f2 (max_stretch (fun r -> r.Runner.mrc_stretch) cases);
-      "1";
+      string_of_int
+        (Stats.max_int_list (List.map Runner.rtr_sp_calculations cases));
       string_of_int
         (Stats.max_int_list (List.map (fun r -> r.Runner.fcp_calcs) cases));
     ]
@@ -298,8 +301,15 @@ let fig8 data =
 let fig9 data =
   let xs = range 1.0 11.0 1.0 in
   let rtr =
-    { label = "RTR"; points = List.map (fun x -> (x, 1.0)) xs }
-    (* one calculation per case, always *)
+    (* measured, not asserted: ≤ 1 calculation per case (0 when the
+       session's per-destination cache already held the path) *)
+    match
+      List.concat_map
+        (fun d -> List.map Runner.rtr_sp_calculations d.recoverable)
+        data
+    with
+    | [] -> { label = "RTR"; points = List.map (fun x -> (x, 1.0)) xs }
+    | calcs -> { label = "RTR"; points = Cdf.sample (Cdf.of_ints calcs) ~xs }
   in
   let fcp =
     List.map
@@ -391,9 +401,7 @@ let fig11 ?(log = fun _ -> ()) ?(areas_per_radius = 200) ?radii config =
     List.map
       (fun (preset : Isp.preset) ->
         let topo = Isp.load preset in
-        let table =
-          Rtr_routing.Route_table.compute (Rtr_topo.Topology.graph topo)
-        in
+        let table = Topo_cache.table (Topo_cache.create topo) in
         let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 11) in
         let points =
           List.map
@@ -431,7 +439,15 @@ let fig11 ?(log = fun _ -> ()) ?(areas_per_radius = 200) ?radii config =
 
 let fig12 data =
   let xs = range 1.0 45.0 2.0 in
-  let rtr = { label = "RTR"; points = List.map (fun x -> (x, 1.0)) xs } in
+  let rtr =
+    match
+      List.concat_map
+        (fun d -> List.map Runner.rtr_sp_calculations d.irrecoverable)
+        data
+    with
+    | [] -> { label = "RTR"; points = List.map (fun x -> (x, 1.0)) xs }
+    | calcs -> { label = "RTR"; points = Cdf.sample (Cdf.of_ints calcs) ~xs }
+  in
   let fcp =
     List.map
       (fun d ->
@@ -484,14 +500,15 @@ let fig13 data =
 let table4 data =
   let row d =
     let irr = d.irrecoverable in
+    let rtr_calcs = List.map Runner.rtr_sp_calculations irr in
     let fcp_calcs = List.map (fun r -> r.Runner.fcp_calcs) irr in
     let rtr_tx = List.map (fun r -> r.Runner.rtr_wasted_tx) irr in
     let fcp_tx = List.map (fun r -> r.Runner.fcp_wasted_tx) irr in
     [
       d.preset.Isp.as_name;
-      "1.0";
+      f2 (Stats.mean_int rtr_calcs);
       f2 (Stats.mean_int fcp_calcs);
-      "1";
+      string_of_int (Stats.max_int_list rtr_calcs);
       string_of_int (Stats.max_int_list fcp_calcs);
       f2 (Stats.mean_int rtr_tx);
       f2 (Stats.mean_int fcp_tx);
@@ -501,14 +518,15 @@ let table4 data =
   in
   let all_irr = List.concat_map (fun d -> d.irrecoverable) data in
   let overall =
+    let rtr_calcs = List.map Runner.rtr_sp_calculations all_irr in
     let fcp_calcs = List.map (fun r -> r.Runner.fcp_calcs) all_irr in
     let rtr_tx = List.map (fun r -> r.Runner.rtr_wasted_tx) all_irr in
     let fcp_tx = List.map (fun r -> r.Runner.fcp_wasted_tx) all_irr in
     [
       "Overall";
-      "1.0";
+      f2 (Stats.mean_int rtr_calcs);
       f2 (Stats.mean_int fcp_calcs);
-      "1";
+      string_of_int (Stats.max_int_list rtr_calcs);
       string_of_int (Stats.max_int_list fcp_calcs);
       f2 (Stats.mean_int rtr_tx);
       f2 (Stats.mean_int fcp_tx);
@@ -517,13 +535,14 @@ let table4 data =
     ]
   in
   let savings =
+    let rtr_calcs = Stats.mean_int (List.map Runner.rtr_sp_calculations all_irr) in
     let fcp_calcs = Stats.mean_int (List.map (fun r -> r.Runner.fcp_calcs) all_irr) in
     let rtr_tx = Stats.mean_int (List.map (fun r -> r.Runner.rtr_wasted_tx) all_irr) in
     let fcp_tx = Stats.mean_int (List.map (fun r -> r.Runner.fcp_wasted_tx) all_irr) in
     let save a b = if b > 0.0 then 100.0 *. (1.0 -. (a /. b)) else 0.0 in
     [
       "RTR saves";
-      Printf.sprintf "%.1f%% computation" (save 1.0 fcp_calcs);
+      Printf.sprintf "%.1f%% computation" (save rtr_calcs fcp_calcs);
       "";
       "";
       "";
@@ -565,7 +584,8 @@ let ablation_constraints ?(cases = 500) config =
   let row (preset : Isp.preset) =
     let topo = Isp.load preset in
     let g = Rtr_topo.Topology.graph topo in
-    let table = Rtr_routing.Route_table.compute g in
+    let cache = Topo_cache.create topo in
+    let table = Topo_cache.table cache in
     let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 23) in
     let n_done = ref 0 in
     let ok_on = ref 0 and ok_off = ref 0 in
@@ -586,6 +606,7 @@ let ablation_constraints ?(cases = 500) config =
               in
               let p2 =
                 Rtr_core.Phase2.create topo scenario.Scenario.damage
+                  ~base_spt:(Topo_cache.base_spt cache c.Scenario.initiator)
                   ~phase1:p1 ()
               in
               let delivered =
@@ -656,7 +677,8 @@ let extension_bidir ?(cases = 500) config =
   let row (preset : Isp.preset) =
     let topo = Isp.load preset in
     let g = Rtr_topo.Topology.graph topo in
-    let table = Rtr_routing.Route_table.compute g in
+    let cache = Topo_cache.create topo in
+    let table = Topo_cache.table cache in
     let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 31) in
     let n_done = ref 0 in
     let single_hops = ref 0 and first_hops = ref 0 and both_hops = ref 0 in
@@ -685,13 +707,14 @@ let extension_bidir ?(cases = 500) config =
               Rtr_core.Bidir.run topo scenario.Scenario.damage
                 ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger ()
             in
+            let base_spt = Topo_cache.base_spt cache c.Scenario.initiator in
             let p2_single =
-              Rtr_core.Phase2.create topo scenario.Scenario.damage
+              Rtr_core.Phase2.create topo scenario.Scenario.damage ~base_spt
                 ~phase1:bid.Rtr_core.Bidir.right ()
             in
             let p2_merged =
               Rtr_core.Bidir.phase2_of_merged topo scenario.Scenario.damage
-                bid
+                ~base_spt bid
             in
             if delivered p2_single then incr ok_single;
             if delivered p2_merged then incr ok_merged;
@@ -748,7 +771,7 @@ let ablation_mrc_k ?(cases = 500) ?(ks = [ 4; 6; 8; 12; 16 ]) config =
   let row (preset : Isp.preset) =
     let topo = Isp.load preset in
     let g = Rtr_topo.Topology.graph topo in
-    let table = Rtr_routing.Route_table.compute g in
+    let table = Topo_cache.table (Topo_cache.create topo) in
     let mrcs =
       List.map
         (fun k ->
@@ -808,8 +831,8 @@ let ablation_mrc_k ?(cases = 500) ?(ks = [ 4; 6; 8; 12; 16 ]) config =
 let instance_variance ?(cases = 400) ?(instances = 5) config =
   let module Damage = Rtr_failure.Damage in
   let rate_on topo seed =
-    let g = Rtr_topo.Topology.graph topo in
-    let table = Rtr_routing.Route_table.compute g in
+    let cache = Topo_cache.create topo in
+    let table = Topo_cache.table cache in
     let rng = Rtr_util.Rng.make seed in
     let n_done = ref 0 and ok = ref 0 in
     while !n_done < cases do
@@ -820,7 +843,8 @@ let instance_variance ?(cases = 400) ?(instances = 5) config =
             incr n_done;
             let session =
               Rtr_core.Rtr.start topo scenario.Scenario.damage
-                ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger
+                ~base_spt:(Topo_cache.base_spt cache c.Scenario.initiator)
+                ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger ()
             in
             match Rtr_core.Rtr.recover session ~dst:c.Scenario.dst with
             | Rtr_core.Rtr.Recovered _ -> incr ok

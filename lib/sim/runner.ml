@@ -19,6 +19,7 @@ type result = {
   rtr_stretch : float option;
   rtr_route_bytes : int;
   rtr_wasted_tx : int;
+  rtr_calcs : int;
   fcp_delivered : bool;
   fcp_stretch : float option;
   fcp_calcs : int;
@@ -35,22 +36,31 @@ let stretch_of g ~shortest_after path =
       Some (float_of_int (Path.cost g path) /. float_of_int best)
   | Some _ -> Some 1.0
 
-let run_case g topo sessions ~mrc (case : Scenario.case) damage =
+let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
+  (* One RTR session per (initiator, trigger): phase 1's walk starts at
+     the trigger, so two different triggers at the same initiator are
+     distinct sessions with possibly different collected failures. *)
   let session =
-    match Hashtbl.find_opt sessions case.Scenario.initiator with
+    let key = (case.Scenario.initiator, case.Scenario.trigger) in
+    match Hashtbl.find_opt sessions key with
     | Some s -> s
     | None ->
-        let s =
-          Rtr.start topo damage ~initiator:case.Scenario.initiator
-            ~trigger:case.Scenario.trigger
+        let base_spt =
+          Option.map (fun c -> Topo_cache.base_spt c case.Scenario.initiator)
+            cache
         in
-        Hashtbl.replace sessions case.Scenario.initiator s;
+        let s =
+          Rtr.start topo damage ?base_spt ~initiator:case.Scenario.initiator
+            ~trigger:case.Scenario.trigger ()
+        in
+        Hashtbl.replace sessions key s;
         s
   in
   let p1 = Rtr.phase1 session in
   let rtr_p1_bytes =
     List.map (fun s -> s.Phase1.header_bytes) p1.Phase1.steps
   in
+  let calcs_before = Rtr.sp_calculations session in
   let rtr_recovered, rtr_stretch, rtr_route_bytes, rtr_wasted_tx =
     match Rtr.recover session ~dst:case.Scenario.dst with
     | Rtr.Recovered path ->
@@ -63,6 +73,7 @@ let run_case g topo sessions ~mrc (case : Scenario.case) damage =
         let bytes = Header.rtr_phase2 ~hops:(Path.hops path) in
         (false, None, bytes, hops_done * (Header.payload_bytes + bytes))
   in
+  let rtr_calcs = Rtr.sp_calculations session - calcs_before in
   let fcp =
     Fcp.run topo damage ~initiator:case.Scenario.initiator
       ~dst:case.Scenario.dst
@@ -93,6 +104,7 @@ let run_case g topo sessions ~mrc (case : Scenario.case) damage =
     rtr_stretch;
     rtr_route_bytes;
     rtr_wasted_tx;
+    rtr_calcs;
     fcp_delivered = fcp.Fcp.delivered;
     fcp_stretch;
     fcp_calcs = fcp.Fcp.sp_calculations;
@@ -102,7 +114,7 @@ let run_case g topo sessions ~mrc (case : Scenario.case) damage =
     mrc_stretch;
   }
 
-let run_scenario ~mrc (scenario : Scenario.t) =
+let run_scenario ?cache ~mrc (scenario : Scenario.t) =
   Rtr_obs.Trace.with_ "runner.scenario" @@ fun () ->
   Metrics.Counter.incr c_scenarios;
   Metrics.Counter.add c_cases (List.length scenario.Scenario.cases);
@@ -110,7 +122,8 @@ let run_scenario ~mrc (scenario : Scenario.t) =
   let g = Rtr_topo.Topology.graph topo in
   let sessions = Hashtbl.create 16 in
   List.map
-    (fun case -> run_case g topo sessions ~mrc case scenario.Scenario.damage)
+    (fun case ->
+      run_case g topo ?cache sessions ~mrc case scenario.Scenario.damage)
     scenario.Scenario.cases
 
-let rtr_sp_calculations _ = 1
+let rtr_sp_calculations r = r.rtr_calcs

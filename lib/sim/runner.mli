@@ -1,8 +1,11 @@
 (** Per-test-case execution of the three schemes.
 
-    For every case of a scenario this runs RTR (phase 1 shared across
-    cases with the same initiator, as the protocol prescribes), FCP and
-    MRC, and reduces each to the metrics the paper's evaluation uses. *)
+    For every case of a scenario this runs RTR (one session per
+    [(initiator, trigger)] pair — phase 1's walk starts at the trigger,
+    so the same initiator with different triggers runs phase 1 anew,
+    while cases sharing both reuse the session as the protocol
+    prescribes), FCP and MRC, and reduces each to the metrics the
+    paper's evaluation uses. *)
 
 type result = {
   case : Scenario.case;
@@ -22,6 +25,10 @@ type result = {
       (** irrecoverable cases: byte-hops spent on a false path before
           the packet was discarded (0 when unreachability was
           recognised at the initiator) *)
+  rtr_calcs : int;
+      (** shortest-path calculations this case actually cost the
+          session: 1 for a fresh destination, 0 when the per-destination
+          cache already held the path *)
   (* FCP *)
   fcp_delivered : bool;
   fcp_stretch : float option;
@@ -33,8 +40,12 @@ type result = {
   mrc_stretch : float option;
 }
 
-val run_scenario : mrc:Rtr_baselines.Mrc.t -> Scenario.t -> result list
+val run_scenario :
+  ?cache:Topo_cache.t -> mrc:Rtr_baselines.Mrc.t -> Scenario.t -> result list
+(** [cache], when given, must be the cache of the scenario's topology;
+    each session's phase 2 then clones the initiator's cached
+    pre-failure SPT instead of running Dijkstra from scratch. *)
 
 val rtr_sp_calculations : result -> int
-(** Always 1: the paper's accounting for RTR (one calculation per
-    destination, cached). *)
+(** [rtr_calcs] — the paper's accounting for RTR: at most one
+    calculation per destination, cached thereafter. *)

@@ -23,7 +23,8 @@ type t = {
 let of_area topo table area =
   let g = Rtr_topo.Topology.graph topo in
   let damage = Damage.apply topo area in
-  let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+  let view = Damage.view damage in
+  let node_ok = Damage.node_ok damage in
   let n = Graph.n_nodes g in
   (* One damaged-graph SPT per initiator gives every case's optimality
      yardstick; computed lazily since most nodes initiate nothing. *)
@@ -32,7 +33,7 @@ let of_area topo table area =
     match Hashtbl.find_opt spt_cache u with
     | Some spt -> spt
     | None ->
-        let spt = Rtr_graph.Dijkstra.spt g ~root:u ~node_ok ~link_ok () in
+        let spt = Rtr_graph.Dijkstra.spt view ~root:u () in
         Hashtbl.replace spt_cache u spt;
         spt
   in
@@ -77,8 +78,9 @@ let generate topo table rng ?(r_min = 100.0) ?(r_max = 300.0) () =
 
 let count_failed_paths topo table damage =
   let g = Rtr_topo.Topology.graph topo in
-  let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
-  let comps = Rtr_graph.Components.compute g ~node_ok ~link_ok () in
+  let view = Damage.view damage in
+  let node_ok = Damage.node_ok damage in
+  let comps = Rtr_graph.Components.compute view in
   let n = Graph.n_nodes g in
   let recoverable = ref 0 and irrecoverable = ref 0 in
   for s = 0 to n - 1 do
@@ -88,9 +90,7 @@ let count_failed_paths topo table damage =
           match Route_table.default_path table ~src:s ~dst:t with
           | None -> ()
           | Some path ->
-              let failed =
-                not (Rtr_graph.Path.is_valid g ~node_ok ~link_ok path)
-              in
+              let failed = not (Rtr_graph.Path.is_valid view path) in
               if failed then
                 if node_ok t && Rtr_graph.Components.same comps s t then
                   incr recoverable

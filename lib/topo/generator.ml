@@ -85,7 +85,7 @@ let random_geometric rng ~name ~n ~radius ?(width = Embedding.default_width)
      node in the first, until connected. *)
   let connected () =
     let g = Rtr_graph.Graph.build ~n ~edges:!edges in
-    let comps = Rtr_graph.Components.compute g () in
+    let comps = Rtr_graph.Components.compute (Rtr_graph.View.full g) in
     if Rtr_graph.Components.count comps <= 1 then None else Some comps
   in
   let rec patch () =

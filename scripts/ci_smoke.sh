@@ -21,4 +21,7 @@ dune exec bin/rtr_sim.exe -- run --topo AS209 \
 
 dune exec tools/json_check.exe -- BENCH_smoke.json "$trace" "$metrics"
 
+# The committed bench series must stay valid JSON too.
+dune exec tools/json_check.exe -- BENCH_*.json
+
 echo "ci_smoke: OK"

@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Bfs = Rtr_graph.Bfs
 module Path = Rtr_graph.Path
 
@@ -7,7 +8,7 @@ let ring n =
 
 let test_ring_distances () =
   let g = ring 6 in
-  let r = Bfs.run g ~source:0 () in
+  let r = Bfs.run (View.full g) ~source:0 in
   Alcotest.(check (list int))
     "distances around the ring"
     [ 0; 1; 2; 3; 2; 1 ]
@@ -15,7 +16,7 @@ let test_ring_distances () =
 
 let test_unreachable () =
   let g = Graph.build ~n:4 ~edges:[ (0, 1); (2, 3) ] in
-  let r = Bfs.run g ~source:0 () in
+  let r = Bfs.run (View.full g) ~source:0 in
   Alcotest.(check bool) "far component" true (r.Bfs.dist.(2) = max_int);
   Alcotest.(check int) "parent unset" (-1) (r.Bfs.parent.(3));
   Alcotest.(check (option (list int)))
@@ -25,31 +26,34 @@ let test_unreachable () =
 let test_filters () =
   let g = ring 6 in
   (* Cut node 1: the other way around remains. *)
-  let r = Bfs.run g ~source:0 ~node_ok:(fun v -> v <> 1) () in
+  let r = Bfs.run (View.create g ~node_ok:(fun v -> v <> 1) ()) ~source:0 in
   Alcotest.(check int) "detour distance" 4 r.Bfs.dist.(2);
   let link01 = Option.get (Graph.find_link g 0 1) in
-  let r2 = Bfs.run g ~source:0 ~link_ok:(fun id -> id <> link01) () in
+  let r2 =
+    Bfs.run (View.create g ~link_ok:(fun id -> id <> link01) ()) ~source:0
+  in
   Alcotest.(check int) "link cut detour" 5 r2.Bfs.dist.(1)
 
 let test_dead_source () =
   let g = ring 4 in
-  let r = Bfs.run g ~source:0 ~node_ok:(fun v -> v <> 0) () in
+  let r = Bfs.run (View.create g ~node_ok:(fun v -> v <> 0) ()) ~source:0 in
   Alcotest.(check bool) "nothing reached" true
     (Array.for_all (fun d -> d = max_int) r.Bfs.dist)
 
 let test_path_reconstruction () =
   let g = ring 6 in
-  let r = Bfs.run g ~source:0 () in
+  let r = Bfs.run (View.full g) ~source:0 in
   let p = Option.get (Bfs.path_to r 3) in
   Alcotest.(check int) "shortest hops" 3 (Path.hops p);
   Alcotest.(check int) "starts at source" 0 (Path.source p);
   Alcotest.(check int) "ends at target" 3 (Path.destination p);
-  Alcotest.(check bool) "valid" true (Path.is_valid g p)
+  Alcotest.(check bool) "valid" true (Path.is_valid (View.full g) p)
 
 let test_reachable () =
   let g = Graph.build ~n:4 ~edges:[ (0, 1); (2, 3) ] in
-  Alcotest.(check bool) "same component" true (Bfs.reachable g 0 1);
-  Alcotest.(check bool) "different" false (Bfs.reachable g 0 3)
+  let v = View.full g in
+  Alcotest.(check bool) "same component" true (Bfs.reachable v 0 1);
+  Alcotest.(check bool) "different" false (Bfs.reachable v 0 3)
 
 let bfs_triangle_inequality =
   QCheck.Test.make ~name:"bfs distances obey the edge triangle inequality"
@@ -57,7 +61,7 @@ let bfs_triangle_inequality =
     QCheck.(pair (int_range 2 40) (int_range 0 60))
     (fun (n, extra) ->
       let g = Helpers.random_connected_graph ~seed:(n + (extra * 100)) ~n ~extra in
-      let r = Bfs.run g ~source:0 () in
+      let r = Bfs.run (View.full g) ~source:0 in
       Graph.fold_links g ~init:true ~f:(fun acc _ u v ->
           acc && abs (r.Bfs.dist.(u) - r.Bfs.dist.(v)) <= 1))
 

@@ -1,16 +1,17 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Components = Rtr_graph.Components
 
 let test_connected () =
   let g = Graph.build ~n:3 ~edges:[ (0, 1); (1, 2) ] in
-  let c = Components.compute g () in
+  let c = Components.compute (View.full g) in
   Alcotest.(check int) "one component" 1 (Components.count c);
   Alcotest.(check bool) "same" true (Components.same c 0 2);
   Alcotest.(check bool) "is_connected" true (Components.is_connected g)
 
 let test_two_components () =
   let g = Graph.build ~n:5 ~edges:[ (0, 1); (2, 3); (3, 4) ] in
-  let c = Components.compute g () in
+  let c = Components.compute (View.full g) in
   Alcotest.(check int) "two" 2 (Components.count c);
   Alcotest.(check bool) "separate" false (Components.same c 1 2);
   Alcotest.(check (list int))
@@ -19,14 +20,14 @@ let test_two_components () =
 
 let test_failed_nodes_excluded () =
   let g = Graph.build ~n:3 ~edges:[ (0, 1); (1, 2) ] in
-  let c = Components.compute g ~node_ok:(fun v -> v <> 1) () in
+  let c = Components.compute (View.create g ~node_ok:(fun v -> v <> 1) ()) in
   Alcotest.(check int) "cut vertex splits" 2 (Components.count c);
   Alcotest.(check int) "dead node id" (-1) (Components.id_of c 1);
   Alcotest.(check bool) "dead never same" false (Components.same c 1 1)
 
 let test_link_filter () =
   let g = Graph.build ~n:2 ~edges:[ (0, 1) ] in
-  let c = Components.compute g ~link_ok:(fun _ -> false) () in
+  let c = Components.compute (View.create g ~link_ok:(fun _ -> false) ()) in
   Alcotest.(check int) "all isolated" 2 (Components.count c)
 
 let components_partition =
@@ -35,7 +36,7 @@ let components_partition =
     (fun n ->
       let g = Helpers.random_connected_graph ~seed:n ~n ~extra:n in
       let node_ok v = v mod 3 <> 0 in
-      let c = Components.compute g ~node_ok () in
+      let c = Components.compute (View.create g ~node_ok ()) in
       let sizes = Components.sizes c in
       let live = ref 0 in
       for v = 0 to n - 1 do

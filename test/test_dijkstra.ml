@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Dijkstra = Rtr_graph.Dijkstra
 module Spt = Rtr_graph.Spt
 module Path = Rtr_graph.Path
@@ -12,20 +13,20 @@ let weighted_diamond () =
 let test_weighted_shortest () =
   let g = weighted_diamond () in
   Alcotest.(check (option int)) "distance" (Some 2)
-    (Dijkstra.distance g ~src:0 ~dst:3 ());
-  let p = Option.get (Dijkstra.shortest_path g ~src:0 ~dst:3 ()) in
+    (Dijkstra.distance (View.full g) ~src:0 ~dst:3);
+  let p = Option.get (Dijkstra.shortest_path (View.full g) ~src:0 ~dst:3) in
   Alcotest.(check (list int)) "path" [ 0; 1; 3 ] (Path.nodes p)
 
 let test_asymmetric () =
   let g = Graph.build_weighted ~n:3 ~edges:[ (0, 1, 1, 9); (1, 2, 1, 9) ] in
   Alcotest.(check (option int)) "forward" (Some 2)
-    (Dijkstra.distance g ~src:0 ~dst:2 ());
+    (Dijkstra.distance (View.full g) ~src:0 ~dst:2);
   Alcotest.(check (option int)) "reverse dearer" (Some 18)
-    (Dijkstra.distance g ~src:2 ~dst:0 ())
+    (Dijkstra.distance (View.full g) ~src:2 ~dst:0)
 
 let test_to_root_direction () =
   let g = Graph.build_weighted ~n:3 ~edges:[ (0, 1, 1, 9); (1, 2, 1, 9) ] in
-  let t = Dijkstra.spt g ~root:2 ~direction:Spt.To_root () in
+  let t = Dijkstra.spt (View.full g) ~root:2 ~direction:Spt.To_root () in
   (* dist is the cost of travelling TO the root. *)
   Alcotest.(check int) "node 0 to root" 2 (Spt.dist t 0);
   let p = Option.get (Spt.path t 0) in
@@ -34,9 +35,13 @@ let test_to_root_direction () =
 let test_filters_and_unreachable () =
   let g = weighted_diamond () in
   Alcotest.(check (option int)) "forced detour" (Some 6)
-    (Dijkstra.distance g ~src:0 ~dst:3 ~node_ok:(fun v -> v <> 1) ());
+    (Dijkstra.distance
+       (View.create g ~node_ok:(fun v -> v <> 1) ())
+       ~src:0 ~dst:3);
   Alcotest.(check (option int)) "cut off" None
-    (Dijkstra.distance g ~src:0 ~dst:3 ~node_ok:(fun v -> v <> 1 && v <> 2) ())
+    (Dijkstra.distance
+       (View.create g ~node_ok:(fun v -> v <> 1 && v <> 2) ())
+       ~src:0 ~dst:3)
 
 let test_cost_override () =
   let g = weighted_diamond () in
@@ -46,18 +51,20 @@ let test_cost_override () =
     ignore src;
     if (u, v) = (0, 2) then 1 else 10
   in
-  let t = Dijkstra.spt g ~root:0 ~cost () in
+  let t = Dijkstra.spt (View.full g) ~root:0 ~cost () in
   Alcotest.(check int) "override respected" 1 (Spt.dist t 2);
   Alcotest.(check int) "other path dearer" 10 (Spt.dist t 1)
 
 let test_dead_root () =
   let g = weighted_diamond () in
-  let t = Dijkstra.spt g ~root:0 ~node_ok:(fun v -> v <> 0) () in
+  let t =
+    Dijkstra.spt (View.create g ~node_ok:(fun v -> v <> 0) ()) ~root:0 ()
+  in
   Alcotest.(check bool) "nothing reached" true (not (Spt.reached t 3))
 
 let test_spt_path_and_children () =
   let g = weighted_diamond () in
-  let t = Dijkstra.spt g ~root:0 () in
+  let t = Dijkstra.spt (View.full g) ~root:0 () in
   Alcotest.(check int) "root dist" 0 (Spt.dist t 0);
   Alcotest.(check int) "root parent" (-1) (Spt.parent_node t 0);
   let kids = Spt.children t in
@@ -71,8 +78,8 @@ let matches_bfs_on_unit_costs =
     QCheck.(pair (int_range 2 40) (int_range 0 80))
     (fun (n, extra) ->
       let g = Helpers.random_connected_graph ~seed:(n * 131 + extra) ~n ~extra in
-      let d = Dijkstra.spt g ~root:0 () in
-      let b = Bfs.run g ~source:0 () in
+      let d = Dijkstra.spt (View.full g) ~root:0 () in
+      let b = Bfs.run (View.full g) ~source:0 in
       List.for_all
         (fun v -> Spt.dist d v = b.Bfs.dist.(v))
         (List.init n Fun.id))
@@ -83,12 +90,13 @@ let paths_are_valid_and_match_dist =
     QCheck.(int_range 2 30)
     (fun n ->
       let g = Helpers.random_weighted_graph ~seed:n ~n ~extra:n ~max_cost:9 in
-      let t = Dijkstra.spt g ~root:0 () in
+      let t = Dijkstra.spt (View.full g) ~root:0 () in
       List.for_all
         (fun v ->
           match Spt.path t v with
           | None -> not (Spt.reached t v)
-          | Some p -> Path.is_valid g p && Path.cost g p = Spt.dist t v)
+          | Some p ->
+              Path.is_valid (View.full g) p && Path.cost g p = Spt.dist t v)
         (List.init n Fun.id))
 
 let deterministic =
@@ -96,7 +104,8 @@ let deterministic =
     QCheck.(int_range 2 30)
     (fun n ->
       let g = Helpers.random_weighted_graph ~seed:(n * 7) ~n ~extra:n ~max_cost:4 in
-      let t1 = Dijkstra.spt g ~root:0 () and t2 = Dijkstra.spt g ~root:0 () in
+      let t1 = Dijkstra.spt (View.full g) ~root:0 ()
+      and t2 = Dijkstra.spt (View.full g) ~root:0 () in
       t1.Spt.dist = t2.Spt.dist
       && t1.Spt.parent_node = t2.Spt.parent_node)
 

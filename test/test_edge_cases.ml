@@ -5,6 +5,7 @@
 open Rtr_geom
 module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
+module View = Rtr_graph.View
 module Rtr = Rtr_core.Rtr
 module Path = Rtr_graph.Path
 
@@ -27,7 +28,7 @@ let theorem2_polygon_areas =
       let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
       List.for_all
         (fun (initiator, trigger) ->
-          let session = Rtr.start topo damage ~initiator ~trigger in
+          let session = Rtr.start topo damage ~initiator ~trigger () in
           List.for_all
             (fun dst ->
               if dst = initiator then true
@@ -35,13 +36,17 @@ let theorem2_polygon_areas =
                 match Rtr.recover session ~dst with
                 | Rtr.Recovered path -> (
                     match
-                      Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
-                        ~node_ok ~link_ok ()
+                      Rtr_graph.Dijkstra.distance
+                        (View.create g ~node_ok ~link_ok ())
+                        ~src:initiator ~dst
                     with
                     | Some best -> Path.cost g path = best
                     | None -> false)
                 | Rtr.Unreachable_in_view ->
-                    not (Rtr_graph.Bfs.reachable g ~node_ok ~link_ok initiator dst)
+                    not
+                      (Rtr_graph.Bfs.reachable
+                         (View.create g ~node_ok ~link_ok ())
+                         initiator dst)
                 | Rtr.False_path _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))
         (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
@@ -78,7 +83,7 @@ let theorem2_weighted_costs =
       let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
       List.for_all
         (fun (initiator, trigger) ->
-          let session = Rtr.start topo damage ~initiator ~trigger in
+          let session = Rtr.start topo damage ~initiator ~trigger () in
           List.for_all
             (fun dst ->
               if dst = initiator then true
@@ -86,8 +91,9 @@ let theorem2_weighted_costs =
                 match Rtr.recover session ~dst with
                 | Rtr.Recovered path -> (
                     match
-                      Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
-                        ~node_ok ~link_ok ()
+                      Rtr_graph.Dijkstra.distance
+                        (View.create g ~node_ok ~link_ok ())
+                        ~src:initiator ~dst
                     with
                     | Some best -> Path.cost g path = best
                     | None -> false)
@@ -115,7 +121,7 @@ let test_two_node_graph () =
   in
   let topo = Rtr_topo.Topology.create ~name:"pair" g emb in
   let damage = Damage.of_failed g ~nodes:[] ~links:[ 0 ] in
-  let session = Rtr.start topo damage ~initiator:0 ~trigger:1 in
+  let session = Rtr.start topo damage ~initiator:0 ~trigger:1 () in
   (match Rtr.recover session ~dst:1 with
   | Rtr.Unreachable_in_view -> ()
   | _ -> Alcotest.fail "no alternative path exists");
@@ -140,7 +146,7 @@ let test_clique_single_node_failure () =
   let damage = Damage.of_failed g ~nodes:[ 3 ] ~links:[] in
   for initiator = 0 to n - 1 do
     if initiator <> 3 then begin
-      let session = Rtr.start topo damage ~initiator ~trigger:3 in
+      let session = Rtr.start topo damage ~initiator ~trigger:3 () in
       for dst = 0 to n - 1 do
         if dst <> initiator && dst <> 3 then
           match Rtr.recover session ~dst with

@@ -1,6 +1,7 @@
 module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
 module Fcp = Rtr_baselines.Fcp
+module View = Rtr_graph.View
 module Path = Rtr_graph.Path
 module PE = Rtr_topo.Paper_example
 
@@ -26,7 +27,8 @@ let test_no_failure_single_computation () =
   Alcotest.(check bool) "delivered" true r.Fcp.delivered;
   Alcotest.(check int) "exactly one computation" 1 r.Fcp.sp_calculations;
   Alcotest.(check int) "journey is the shortest path"
-    (Option.get (Rtr_graph.Dijkstra.distance g ~src:PE.source ~dst:PE.destination ()))
+    (Option.get (Rtr_graph.Dijkstra.distance (View.full g) ~src:PE.source
+       ~dst:PE.destination))
     (Path.cost g r.Fcp.journey)
 
 let test_unreachable_discards () =
@@ -68,7 +70,7 @@ let delivers_iff_reachable =
       let topo = Helpers.random_topology ~seed:(salt + (n * 41)) ~n in
       let g = Rtr_topo.Topology.graph topo in
       let damage = Helpers.random_damage ~seed:(salt * 3) topo in
-      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      let view = Damage.view damage in
       List.for_all
         (fun (initiator, _) ->
           List.for_all
@@ -76,8 +78,7 @@ let delivers_iff_reachable =
               if dst = initiator then true
               else
                 let r = Fcp.run topo damage ~initiator ~dst in
-                r.Fcp.delivered
-                = Rtr_graph.Bfs.reachable g ~node_ok ~link_ok initiator dst)
+                r.Fcp.delivered = Rtr_graph.Bfs.reachable view initiator dst)
             (List.init (Graph.n_nodes g) Fun.id))
         (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
@@ -108,10 +109,7 @@ let journey_walks_live_ground =
               if dst = initiator then true
               else
                 let r = Fcp.run topo damage ~initiator ~dst in
-                Path.is_valid g
-                  ~node_ok:(Damage.node_ok damage)
-                  ~link_ok:(Damage.link_ok damage)
-                  r.Fcp.journey)
+                Path.is_valid (Damage.view damage) r.Fcp.journey)
             (List.init (Graph.n_nodes g) Fun.id))
         (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 

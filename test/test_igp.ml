@@ -74,12 +74,7 @@ let partitioned_component_never_hears =
          converged_at = infinity. *)
       let d = Damage.of_failed g ~nodes:[ 0 ] ~links:[] in
       let c = Convergence.compute Igp_config.tuned g d in
-      let comps =
-        Rtr_graph.Components.compute g
-          ~node_ok:(Damage.node_ok d)
-          ~link_ok:(Damage.link_ok d)
-          ()
-      in
+      let comps = Rtr_graph.Components.compute (Damage.view d) in
       let detector_comps =
         List.map (Rtr_graph.Components.id_of comps) (Convergence.detectors c)
       in

@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Dijkstra = Rtr_graph.Dijkstra
 module Spt = Rtr_graph.Spt
 module Inc = Rtr_graph.Incremental_spt
@@ -7,76 +8,57 @@ let dists t = Array.copy t.Spt.dist
 
 let test_single_link_removal () =
   let g = Graph.build ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3); (0, 3) ] in
-  let t = Dijkstra.spt g ~root:0 () in
+  let t = Dijkstra.spt (View.full g) ~root:0 () in
   Alcotest.(check int) "before" 1 (Spt.dist t 1);
   let link01 = Option.get (Graph.find_link g 0 1) in
-  let link_ok id = id <> link01 in
-  let touched =
-    Inc.remove t ~dead_links:[ link01 ] ~node_ok:(fun _ -> true) ~link_ok ()
-  in
+  let view = View.remove_links (View.full g) [ link01 ] in
+  let touched = Inc.remove t ~dead_links:[ link01 ] ~view () in
   Alcotest.(check bool) "some repair happened" true (touched >= 1);
   Alcotest.(check int) "detour to 1" 3 (Spt.dist t 1);
   Alcotest.(check int) "2 via 3" 2 (Spt.dist t 2)
 
 let test_disconnection () =
   let g = Graph.build ~n:3 ~edges:[ (0, 1); (1, 2) ] in
-  let t = Dijkstra.spt g ~root:0 () in
+  let t = Dijkstra.spt (View.full g) ~root:0 () in
   let link12 = Option.get (Graph.find_link g 1 2) in
-  ignore
-    (Inc.remove t ~dead_links:[ link12 ]
-       ~node_ok:(fun _ -> true)
-       ~link_ok:(fun id -> id <> link12)
-       ());
+  let view = View.remove_links (View.full g) [ link12 ] in
+  ignore (Inc.remove t ~dead_links:[ link12 ] ~view ());
   Alcotest.(check bool) "2 cut off" true (not (Spt.reached t 2));
   Alcotest.(check int) "1 untouched" 1 (Spt.dist t 1)
 
 let test_node_removal () =
   let g = Graph.build ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3); (0, 3) ] in
-  let t = Dijkstra.spt g ~root:0 () in
-  let node_ok v = v <> 1 in
-  ignore
-    (Inc.remove t ~dead_nodes:[ 1 ] ~node_ok ~link_ok:(fun _ -> true) ());
+  let t = Dijkstra.spt (View.full g) ~root:0 () in
+  let view = View.create g ~node_ok:(fun v -> v <> 1) () in
+  ignore (Inc.remove t ~dead_nodes:[ 1 ] ~view ());
   Alcotest.(check bool) "dead node unreachable" true (not (Spt.reached t 1));
   Alcotest.(check int) "2 rerouted" 2 (Spt.dist t 2)
 
 let test_root_death () =
   let g = Graph.build ~n:2 ~edges:[ (0, 1) ] in
-  let t = Dijkstra.spt g ~root:0 () in
-  ignore
-    (Inc.remove t ~dead_nodes:[ 0 ]
-       ~node_ok:(fun v -> v <> 0)
-       ~link_ok:(fun _ -> true)
-       ());
+  let t = Dijkstra.spt (View.full g) ~root:0 () in
+  let view = View.create g ~node_ok:(fun v -> v <> 0) () in
+  ignore (Inc.remove t ~dead_nodes:[ 0 ] ~view ());
   Alcotest.(check bool) "everything invalid" true (not (Spt.reached t 1))
 
 let test_restore_roundtrip () =
   let g = Graph.build ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3); (0, 3) ] in
-  let t = Dijkstra.spt g ~root:0 () in
+  let t = Dijkstra.spt (View.full g) ~root:0 () in
   let original = dists t in
   let link01 = Option.get (Graph.find_link g 0 1) in
-  let without id = id <> link01 in
-  ignore
-    (Inc.remove t ~dead_links:[ link01 ] ~node_ok:(fun _ -> true)
-       ~link_ok:without ());
-  let improved =
-    Inc.restore t ~new_links:[ link01 ]
-      ~node_ok:(fun _ -> true)
-      ~link_ok:(fun _ -> true)
-      ()
-  in
+  let damaged = View.remove_links (View.full g) [ link01 ] in
+  ignore (Inc.remove t ~dead_links:[ link01 ] ~view:damaged ());
+  let improved = Inc.restore t ~new_links:[ link01 ] ~view:(View.full g) () in
   ignore improved;
   Alcotest.(check (array int)) "distances restored" original (dists t)
 
 let test_restore_reconnects_node () =
   let g = Graph.build ~n:3 ~edges:[ (0, 1); (1, 2) ] in
-  let t = Dijkstra.spt g ~root:0 ~node_ok:(fun v -> v <> 2) () in
-  Alcotest.(check bool) "2 initially out" true (not (Spt.reached t 2));
-  let improved =
-    Inc.restore t ~new_nodes:[ 2 ]
-      ~node_ok:(fun _ -> true)
-      ~link_ok:(fun _ -> true)
-      ()
+  let t =
+    Dijkstra.spt (View.create g ~node_ok:(fun v -> v <> 2) ()) ~root:0 ()
   in
+  Alcotest.(check bool) "2 initially out" true (not (Spt.reached t 2));
+  let improved = Inc.restore t ~new_nodes:[ 2 ] ~view:(View.full g) () in
   Alcotest.(check int) "one node improved" 1 improved;
   Alcotest.(check int) "now reachable" 2 (Spt.dist t 2)
 
@@ -100,12 +82,10 @@ let matches_scratch direction =
           (fun _ -> Rtr_util.Rng.bool rng)
           (List.init (Graph.n_links g) Fun.id)
       in
-      let is_dead = Array.make (Graph.n_links g) false in
-      List.iter (fun id -> is_dead.(id) <- true) dead;
-      let link_ok id = not is_dead.(id) in
-      let t = Dijkstra.spt g ~root:0 ~direction () in
-      ignore (Inc.remove t ~dead_links:dead ~node_ok:(fun _ -> true) ~link_ok ());
-      let fresh = Dijkstra.spt g ~root:0 ~direction ~link_ok () in
+      let view = View.remove_links (View.full g) dead in
+      let t = Dijkstra.spt (View.full g) ~root:0 ~direction () in
+      ignore (Inc.remove t ~dead_links:dead ~view ());
+      let fresh = Dijkstra.spt view ~root:0 ~direction () in
       t.Spt.dist = fresh.Spt.dist)
 
 let restore_matches_scratch =
@@ -122,16 +102,11 @@ let restore_matches_scratch =
           (fun _ -> Rtr_util.Rng.bool rng)
           (List.init (Graph.n_links g) Fun.id)
       in
-      let is_dead = Array.make (Graph.n_links g) false in
-      List.iter (fun id -> is_dead.(id) <- true) dead;
       (* Start from the damaged tree, then bring the links back. *)
-      let t = Dijkstra.spt g ~root:0 ~link_ok:(fun id -> not is_dead.(id)) () in
-      ignore
-        (Inc.restore t ~new_links:dead
-           ~node_ok:(fun _ -> true)
-           ~link_ok:(fun _ -> true)
-           ());
-      let fresh = Dijkstra.spt g ~root:0 () in
+      let damaged = View.remove_links (View.full g) dead in
+      let t = Dijkstra.spt damaged ~root:0 () in
+      ignore (Inc.restore t ~new_links:dead ~view:(View.full g) ());
+      let fresh = Dijkstra.spt (View.full g) ~root:0 () in
       t.Spt.dist = fresh.Spt.dist)
 
 let suite =

@@ -1,6 +1,7 @@
 module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
 module Mrc = Rtr_baselines.Mrc
+module View = Rtr_graph.View
 module Path = Rtr_graph.Path
 
 let ring n =
@@ -34,7 +35,9 @@ let test_backbones_connected () =
   for c = 0 to Mrc.n_configs mrc - 1 do
     let isolated = Mrc.isolated_in mrc c in
     let node_ok v = not (List.mem v isolated) in
-    let comps = Rtr_graph.Components.compute g ~node_ok () in
+    let comps =
+      Rtr_graph.Components.compute (View.create g ~node_ok ())
+    in
     Alcotest.(check int)
       (Printf.sprintf "config %d backbone connected" c)
       1
@@ -108,10 +111,7 @@ let delivered_paths_are_live =
               else
                 match Mrc.recover mrc damage ~initiator ~trigger ~dst with
                 | Mrc.Delivered p ->
-                    Path.is_valid g
-                      ~node_ok:(Damage.node_ok damage)
-                      ~link_ok:(Damage.link_ok damage)
-                      p
+                    Path.is_valid (Damage.view damage) p
                     && Path.destination p = dst
                 | Mrc.Dropped _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))

@@ -42,7 +42,6 @@ let two_area_damage topo =
 
 let test_two_areas_recovered () =
   let topo = ladder () in
-  let g = Rtr_topo.Topology.graph topo in
   let damage = two_area_damage topo in
   let r =
     Multi_area.recover topo damage ~initiator:1 ~trigger:2 ~dst:4 ()
@@ -53,10 +52,7 @@ let test_two_areas_recovered () =
   Alcotest.(check int) "journey ends at the destination" 4
     (Path.destination journey);
   Alcotest.(check bool) "journey survives the damage" true
-    (Path.is_valid g
-       ~node_ok:(Damage.node_ok damage)
-       ~link_ok:(Damage.link_ok damage)
-       journey)
+    (Path.is_valid (Damage.view damage) journey)
 
 let test_single_area_is_single_leg () =
   let topo = ladder () in
@@ -105,16 +101,14 @@ let multi_area_delivers_when_reachable =
       let d1 = Helpers.random_damage ~seed:salt topo in
       let d2 = Helpers.random_damage ~seed:(salt + 1) topo in
       let damage = Damage.merge d1 d2 in
-      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      let view = Damage.view damage in
       List.for_all
         (fun (initiator, trigger) ->
           List.for_all
             (fun dst ->
               if dst = initiator || not (Damage.node_ok damage dst) then true
               else
-                let reachable =
-                  Rtr_graph.Bfs.reachable g ~node_ok ~link_ok initiator dst
-                in
+                let reachable = Rtr_graph.Bfs.reachable view initiator dst in
                 (* The carried failure set grows strictly with every
                    leg, so |E| initiations always suffice. *)
                 let r =

@@ -4,6 +4,7 @@
 module PE = Rtr_topo.Paper_example
 module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
+module View = Rtr_graph.View
 module Phase1 = Rtr_core.Phase1
 
 let damage () =
@@ -67,15 +68,14 @@ let test_recovery_is_shortest () =
   let damage = damage () in
   let session =
     Rtr_core.Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger
+      ()
   in
   match Rtr_core.Rtr.recover session ~dst:PE.destination with
   | Rtr_core.Rtr.Recovered path ->
       let best =
         Option.get
-          (Rtr_graph.Dijkstra.distance g ~src:PE.initiator ~dst:PE.destination
-             ~node_ok:(Damage.node_ok damage)
-             ~link_ok:(Damage.link_ok damage)
-             ())
+          (Rtr_graph.Dijkstra.distance (Damage.view damage) ~src:PE.initiator
+             ~dst:PE.destination)
       in
       Alcotest.(check int) "optimal recovery path" best
         (Rtr_graph.Path.cost g path)
@@ -85,7 +85,7 @@ let test_default_path_of_fig1 () =
   (* Fig. 1/2: the routing path from v7 to v17 runs v7 v6 v11 v15 v17
      and the failure disconnects it at e6,11. *)
   let topo = PE.topology () in
-  let table = Rtr_routing.Route_table.compute (Rtr_topo.Topology.graph topo) in
+  let table = Rtr_routing.Route_table.compute (View.full (Rtr_topo.Topology.graph topo)) in
   let p =
     Option.get
       (Rtr_routing.Route_table.default_path table ~src:PE.source

@@ -35,19 +35,20 @@ let test_weighted_cost_direction () =
   Alcotest.(check int) "reverse" 1 (Path.cost g (Path.of_nodes [ 1; 0 ]))
 
 let test_is_valid () =
+  let module View = Rtr_graph.View in
   let g = line () in
   let p = Path.of_nodes [ 0; 1; 2 ] in
-  Alcotest.(check bool) "valid" true (Path.is_valid g p);
+  Alcotest.(check bool) "valid" true (Path.is_valid (View.full g) p);
   Alcotest.(check bool)
     "node filter" false
-    (Path.is_valid g ~node_ok:(fun v -> v <> 1) p);
+    (Path.is_valid (View.create g ~node_ok:(fun v -> v <> 1) ()) p);
   let link01 = Option.get (Graph.find_link g 0 1) in
   Alcotest.(check bool)
     "link filter" false
-    (Path.is_valid g ~link_ok:(fun id -> id <> link01) p);
+    (Path.is_valid (View.create g ~link_ok:(fun id -> id <> link01) ()) p);
   Alcotest.(check bool)
     "broken adjacency" false
-    (Path.is_valid g (Path.of_nodes [ 0; 2 ]))
+    (Path.is_valid (View.full g) (Path.of_nodes [ 0; 2 ]))
 
 let test_append_hop () =
   let p = Path.of_nodes [ 0; 1 ] in

@@ -2,6 +2,7 @@ module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
 module Phase1 = Rtr_core.Phase1
 module Phase2 = Rtr_core.Phase2
+module View = Rtr_graph.View
 module Path = Rtr_graph.Path
 module PE = Rtr_topo.Paper_example
 
@@ -84,7 +85,7 @@ let test_uncollectable_failure_gives_false_path () =
     Damage.of_failed g ~nodes:[ PE.v 16; PE.v 17; PE.v 12 ] ~links:[]
   in
   let session =
-    Rtr_core.Rtr.start topo damage ~initiator:(PE.v 11) ~trigger:(PE.v 12)
+    Rtr_core.Rtr.start topo damage ~initiator:(PE.v 11) ~trigger:(PE.v 12) ()
   in
   match Rtr_core.Rtr.recover session ~dst:(PE.v 18) with
   | Rtr_core.Rtr.False_path { dropped_at; _ } ->
@@ -130,7 +131,9 @@ let incremental_equals_scratch =
           List.for_all
             (fun dst ->
               let expected =
-                Rtr_graph.Dijkstra.distance g ~src:initiator ~dst ~link_ok ()
+                Rtr_graph.Dijkstra.distance
+                  (View.create g ~link_ok ())
+                  ~src:initiator ~dst
               in
               Phase2.recovery_distance p2 ~dst = expected)
             (List.filter (fun v -> v <> initiator)

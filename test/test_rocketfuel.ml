@@ -80,7 +80,7 @@ let test_cch_end_to_end_recovery () =
   let g = Topology.graph t in
   let l01 = Option.get (Graph.find_link g 0 1) in
   let damage = Rtr_failure.Damage.of_failed g ~nodes:[] ~links:[ l01 ] in
-  let session = Rtr_core.Rtr.start t damage ~initiator:0 ~trigger:1 in
+  let session = Rtr_core.Rtr.start t damage ~initiator:0 ~trigger:1 () in
   match Rtr_core.Rtr.recover session ~dst:1 with
   | Rtr_core.Rtr.Recovered path ->
       Alcotest.(check int) "detour via denver" 2 (Rtr_graph.Path.hops path)

@@ -1,4 +1,5 @@
 module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
 module Route_table = Rtr_routing.Route_table
 module Path = Rtr_graph.Path
 
@@ -7,7 +8,7 @@ let ring n =
 
 let test_next_hop_basics () =
   let g = ring 6 in
-  let t = Route_table.compute g in
+  let t = Route_table.compute (View.full g) in
   Alcotest.(check (option int)) "clockwise" (Some 1)
     (Route_table.next_hop t ~src:0 ~dst:2);
   Alcotest.(check (option int)) "counterclockwise" (Some 5)
@@ -17,13 +18,13 @@ let test_next_hop_basics () =
 let test_deterministic_tie_break () =
   (* 0->3 via 1 or 2, both 2 hops: the smaller next hop wins. *)
   let g = Graph.build ~n:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ] in
-  let t = Route_table.compute g in
+  let t = Route_table.compute (View.full g) in
   Alcotest.(check (option int)) "smallest id" (Some 1)
     (Route_table.next_hop t ~src:0 ~dst:3)
 
 let test_default_path_consistent () =
   let g = ring 8 in
-  let t = Route_table.compute g in
+  let t = Route_table.compute (View.full g) in
   let p = Option.get (Route_table.default_path t ~src:0 ~dst:3) in
   Alcotest.(check (list int)) "hop-by-hop path" [ 0; 1; 2; 3 ] (Path.nodes p);
   Alcotest.(check int) "dist matches" 3 (Route_table.dist t ~src:0 ~dst:3)
@@ -34,7 +35,7 @@ let test_asymmetric_costs () =
     Graph.build_weighted ~n:3
       ~edges:[ (0, 1, 1, 1); (1, 2, 1, 1); (0, 2, 10, 1) ]
   in
-  let t = Route_table.compute g in
+  let t = Route_table.compute (View.full g) in
   Alcotest.(check (option int)) "expensive direction detours" (Some 1)
     (Route_table.next_hop t ~src:0 ~dst:2);
   Alcotest.(check (option int)) "cheap direction direct" (Some 0)
@@ -44,7 +45,7 @@ let test_asymmetric_costs () =
 
 let test_disconnected () =
   let g = Graph.build ~n:4 ~edges:[ (0, 1); (2, 3) ] in
-  let t = Route_table.compute g in
+  let t = Route_table.compute (View.full g) in
   Alcotest.(check (option int)) "no hop" None (Route_table.next_hop t ~src:0 ~dst:3);
   Alcotest.(check bool) "dist inf" true (Route_table.dist t ~src:0 ~dst:3 = max_int);
   Alcotest.(check (option (list int)))
@@ -56,7 +57,7 @@ let paths_are_shortest =
     QCheck.(pair (int_range 3 25) (int_range 0 40))
     (fun (n, extra) ->
       let g = Helpers.random_connected_graph ~seed:(n + (extra * 53)) ~n ~extra in
-      let t = Route_table.compute g in
+      let t = Route_table.compute (View.full g) in
       let ok = ref true in
       for s = 0 to n - 1 do
         for d = 0 to n - 1 do
@@ -65,7 +66,7 @@ let paths_are_shortest =
             | None -> ok := false
             | Some p ->
                 let best =
-                  Option.get (Rtr_graph.Dijkstra.distance g ~src:s ~dst:d ())
+                  Option.get (Rtr_graph.Dijkstra.distance (View.full g) ~src:s ~dst:d)
                 in
                 if Path.cost g p <> best then ok := false
           end
@@ -78,7 +79,7 @@ let next_link_matches_next_hop =
     QCheck.(int_range 3 20)
     (fun n ->
       let g = Helpers.random_connected_graph ~seed:(n * 3) ~n ~extra:n in
-      let t = Route_table.compute g in
+      let t = Route_table.compute (View.full g) in
       let ok = ref true in
       for s = 0 to n - 1 do
         for d = 0 to n - 1 do

@@ -1,5 +1,6 @@
 module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
+module View = Rtr_graph.View
 module Rtr = Rtr_core.Rtr
 module Path = Rtr_graph.Path
 module PE = Rtr_topo.Paper_example
@@ -11,17 +12,14 @@ let paper_session () =
     Damage.of_failed g ~nodes:[ PE.failed_router ] ~links:(PE.cut_links ())
   in
   (topo, g, damage,
-   Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger)
+   Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger ())
 
 let test_paper_recovery () =
-  let _, g, damage, session = paper_session () in
+  let _, _, damage, session = paper_session () in
   match Rtr.recover session ~dst:PE.destination with
   | Rtr.Recovered path ->
       Alcotest.(check bool) "survives the true damage" true
-        (Path.is_valid g
-           ~node_ok:(Damage.node_ok damage)
-           ~link_ok:(Damage.link_ok damage)
-           path);
+        (Path.is_valid (Damage.view damage) path);
       Alcotest.(check int) "one calculation" 1 (Rtr.sp_calculations session)
   | _ -> Alcotest.fail "expected recovery"
 
@@ -52,7 +50,7 @@ let theorem3_single_link_failure =
       let link_ok id = id <> failed_link in
       let still_connected =
         Rtr_graph.Components.count
-          (Rtr_graph.Components.compute g ~link_ok ())
+          (Rtr_graph.Components.compute (View.create g ~link_ok ()))
         = 1
       in
       QCheck.assume still_connected;
@@ -60,7 +58,7 @@ let theorem3_single_link_failure =
       let u, v = Graph.endpoints g failed_link in
       List.for_all
         (fun (initiator, trigger) ->
-          let session = Rtr.start topo damage ~initiator ~trigger in
+          let session = Rtr.start topo damage ~initiator ~trigger () in
           List.for_all
             (fun dst ->
               if dst = initiator then true
@@ -69,8 +67,9 @@ let theorem3_single_link_failure =
                 | Rtr.Recovered path ->
                     let best =
                       Option.get
-                        (Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
-                           ~link_ok ())
+                        (Rtr_graph.Dijkstra.distance
+                           (View.create g ~link_ok ())
+                           ~src:initiator ~dst)
                     in
                     Path.cost g path = best
                 | Rtr.Unreachable_in_view | Rtr.False_path _ -> false)
@@ -89,7 +88,7 @@ let theorem2_recovered_is_optimal =
       let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
       List.for_all
         (fun (initiator, trigger) ->
-          let session = Rtr.start topo damage ~initiator ~trigger in
+          let session = Rtr.start topo damage ~initiator ~trigger () in
           List.for_all
             (fun dst ->
               if dst = initiator then true
@@ -97,8 +96,9 @@ let theorem2_recovered_is_optimal =
                 match Rtr.recover session ~dst with
                 | Rtr.Recovered path -> (
                     match
-                      Rtr_graph.Dijkstra.distance g ~src:initiator ~dst
-                        ~node_ok ~link_ok ()
+                      Rtr_graph.Dijkstra.distance
+                        (View.create g ~node_ok ~link_ok ())
+                        ~src:initiator ~dst
                     with
                     | Some best -> Path.cost g path = best
                     | None -> false)
@@ -119,14 +119,17 @@ let no_false_unreachable =
       let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
       List.for_all
         (fun (initiator, trigger) ->
-          let session = Rtr.start topo damage ~initiator ~trigger in
+          let session = Rtr.start topo damage ~initiator ~trigger () in
           List.for_all
             (fun dst ->
               if dst = initiator then true
               else
                 match Rtr.recover session ~dst with
                 | Rtr.Unreachable_in_view ->
-                    not (Rtr_graph.Bfs.reachable g ~node_ok ~link_ok initiator dst)
+                    not
+                      (Rtr_graph.Bfs.reachable
+                         (View.create g ~node_ok ~link_ok ())
+                         initiator dst)
                 | Rtr.Recovered _ | Rtr.False_path _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))
         (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))

@@ -4,7 +4,7 @@ module Scenario = Rtr_sim.Scenario
 let small_run () =
   let topo = Rtr_topo.Isp.load_by_name "AS1239" in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
   let mrc = Rtr_baselines.Mrc.build_auto g in
   let rng = Rtr_util.Rng.make 31 in
   let rec first_nonempty tries =
@@ -72,9 +72,78 @@ let test_mrc_invariants () =
       | false, None -> ())
     results
 
+(* Regression: sessions must be keyed by (initiator, trigger), not by
+   initiator alone.  Phase 1's walk starts at the trigger, so two cases
+   sharing an initiator but detecting through different triggers are
+   distinct sessions — a cache keyed on the initiator only would hand
+   the second case the first case's walk. *)
+let test_sessions_keyed_by_initiator_and_trigger () =
+  let topo = Rtr_topo.Paper_example.topology () in
+  let g = Rtr_topo.Topology.graph topo in
+  let table = Rtr_routing.Route_table.compute (Rtr_graph.View.full g) in
+  let module PE = Rtr_topo.Paper_example in
+  let damage =
+    Rtr_failure.Damage.of_failed g ~nodes:[ PE.failed_router ]
+      ~links:(PE.cut_links ())
+  in
+  (* Find a live router that detects the failure through two distinct
+     dead-end neighbours (e.g. a neighbour of the failed router that
+     also lost a cut link). *)
+  let initiator, triggers =
+    let rec find u =
+      if u >= Rtr_graph.Graph.n_nodes g then
+        Alcotest.fail "expected an initiator with two distinct triggers"
+      else if Rtr_failure.Damage.node_ok damage u then
+        match
+          List.map fst (Rtr_failure.Damage.unreachable_neighbors damage g u)
+        with
+        | _ :: _ :: _ as ts -> (u, ts)
+        | _ -> find (u + 1)
+      else find (u + 1)
+    in
+    find 0
+  in
+  match triggers with
+  | t1 :: t2 :: _ ->
+      let case trigger =
+        {
+          Scenario.initiator;
+          trigger;
+          dst = PE.destination;
+          kind = Scenario.Recoverable;
+          shortest_after = None;
+        }
+      in
+      let scenario =
+        {
+          Scenario.topo;
+          table;
+          area =
+            Rtr_failure.Area.disc
+              ~center:(Rtr_geom.Point.make 0.0 0.0)
+              ~radius:1.0;
+          damage;
+          cases = [ case t1; case t2 ];
+        }
+      in
+      let mrc = Rtr_baselines.Mrc.build_auto g in
+      let results = Runner.run_scenario ~mrc scenario in
+      List.iter2
+        (fun trigger (r : Runner.result) ->
+          let p1 =
+            Rtr_core.Phase1.run topo damage ~initiator ~trigger ()
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "phase-1 hops for trigger v%d" trigger)
+            p1.Rtr_core.Phase1.hops r.Runner.rtr_p1_hops)
+        [ t1; t2 ] results
+  | _ -> Alcotest.fail "expected two distinct triggers at the initiator"
+
 let suite =
   [
     Alcotest.test_case "one result per case" `Quick test_one_result_per_case;
+    Alcotest.test_case "sessions keyed by (initiator, trigger)" `Quick
+      test_sessions_keyed_by_initiator_and_trigger;
     Alcotest.test_case "rtr invariants" `Quick test_rtr_invariants;
     Alcotest.test_case "fcp invariants" `Quick test_fcp_invariants;
     Alcotest.test_case "mrc invariants" `Quick test_mrc_invariants;

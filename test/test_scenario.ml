@@ -1,12 +1,13 @@
 module Graph = Rtr_graph.Graph
 module Damage = Rtr_failure.Damage
+module View = Rtr_graph.View
 module Scenario = Rtr_sim.Scenario
 module PE = Rtr_topo.Paper_example
 
 let paper_scenario () =
   let topo = PE.topology () in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (View.full g) in
   (* An explicit area is awkward for the worked example, so test the
      classifier against a generated one and the worked damage against
      Scenario-independent expectations elsewhere. *)
@@ -34,16 +35,14 @@ let test_cases_are_valid_detections () =
     s.Scenario.cases
 
 let test_kinds_match_reachability () =
-  let topo, _, s = paper_scenario () in
-  let g = Rtr_topo.Topology.graph topo in
+  let _, _, s = paper_scenario () in
   let node_ok = Damage.node_ok s.Scenario.damage in
-  let link_ok = Damage.link_ok s.Scenario.damage in
+  let view = Damage.view s.Scenario.damage in
   List.iter
     (fun (c : Scenario.case) ->
       let reachable =
         node_ok c.Scenario.dst
-        && Rtr_graph.Bfs.reachable g ~node_ok ~link_ok c.Scenario.initiator
-             c.Scenario.dst
+        && Rtr_graph.Bfs.reachable view c.Scenario.initiator c.Scenario.dst
       in
       match c.Scenario.kind with
       | Scenario.Recoverable ->
@@ -70,7 +69,7 @@ let test_cases_deduplicated () =
 let test_of_area_deterministic () =
   let topo = PE.topology () in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (View.full g) in
   let area =
     Rtr_failure.Area.disc ~center:(Rtr_geom.Point.make 310.0 300.0)
       ~radius:50.0
@@ -83,7 +82,7 @@ let test_of_area_deterministic () =
 let test_count_failed_paths () =
   let topo = PE.topology () in
   let g = Rtr_topo.Topology.graph topo in
-  let table = Rtr_routing.Route_table.compute g in
+  let table = Rtr_routing.Route_table.compute (View.full g) in
   (* No damage: nothing failed. *)
   let r0, i0 = Scenario.count_failed_paths topo table (Damage.none g) in
   Alcotest.(check (pair int int)) "no failures" (0, 0) (r0, i0);

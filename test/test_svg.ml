@@ -19,6 +19,7 @@ let paper_render () =
   in
   let session =
     Rtr_core.Rtr.start topo damage ~initiator:PE.initiator ~trigger:PE.trigger
+      ()
   in
   let p1 = Rtr_core.Rtr.phase1 session in
   let path =

@@ -1,0 +1,224 @@
+(* The view/closure equivalence suite: every traversal that was
+   refactored from ?node_ok/?link_ok closure pairs onto Graph.View must
+   produce bit-for-bit identical results.  The [_filtered] entry points
+   kept on each module are the original closure implementations,
+   serving as oracles. *)
+
+module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
+module Dijkstra = Rtr_graph.Dijkstra
+module Bfs = Rtr_graph.Bfs
+module Components = Rtr_graph.Components
+module Spt = Rtr_graph.Spt
+module Path = Rtr_graph.Path
+module Damage = Rtr_failure.Damage
+module Route_table = Rtr_routing.Route_table
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests for the mask algebra itself *)
+
+let diamond () = Graph.build ~n:4 ~edges:[ (0, 1); (1, 3); (0, 2); (2, 3) ]
+
+let test_full () =
+  let g = diamond () in
+  let v = View.full g in
+  Alcotest.(check int) "all nodes live" 4 (View.n_live_nodes v);
+  Alcotest.(check int) "all links live" 4 (View.n_live_links v);
+  for u = 0 to 3 do
+    Alcotest.(check bool) "node live" true (View.node_ok v u)
+  done
+
+let test_of_failed_and_remove () =
+  let g = diamond () in
+  let l01 = Option.get (Graph.find_link g 0 1) in
+  let v = View.of_failed g ~nodes:[ 2 ] ~links:[ l01 ] in
+  Alcotest.(check bool) "node 2 dead" false (View.node_ok v 2);
+  Alcotest.(check bool) "link 0-1 dead" false (View.link_ok v l01);
+  Alcotest.(check int) "three nodes live" 3 (View.n_live_nodes v);
+  Alcotest.(check int) "three links live" 3 (View.n_live_links v);
+  let v2 = View.remove_nodes (View.full g) [ 2 ] in
+  let v2 = View.remove_links v2 [ l01 ] in
+  Alcotest.(check bool) "derivation agrees" true (View.equal v v2);
+  (* Deriving never mutates the parent. *)
+  Alcotest.(check bool) "parent untouched" true
+    (View.node_ok (View.full g) 2)
+
+let test_inter () =
+  let g = diamond () in
+  let a = View.of_failed g ~nodes:[ 1 ] ~links:[] in
+  let b = View.of_failed g ~nodes:[ 2 ] ~links:[] in
+  let i = View.inter a b in
+  Alcotest.(check bool) "1 dead in inter" false (View.node_ok i 1);
+  Alcotest.(check bool) "2 dead in inter" false (View.node_ok i 2);
+  Alcotest.(check int) "two nodes live" 2 (View.n_live_nodes i);
+  let h = Graph.build ~n:4 ~edges:[ (0, 1) ] in
+  Alcotest.check_raises "different graphs rejected"
+    (Invalid_argument "View.inter: different graphs") (fun () ->
+      ignore (View.inter a (View.full h)))
+
+let test_masked_adjacency () =
+  let g = diamond () in
+  let l01 = Option.get (Graph.find_link g 0 1) in
+  let v = View.remove_links (View.full g) [ l01 ] in
+  let seen = ref [] in
+  View.iter_neighbors v 0 (fun n id -> seen := (n, id) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "only the live neighbour"
+    [ (2, Option.get (Graph.find_link g 0 2)) ]
+    (List.rev !seen);
+  let n =
+    View.fold_neighbors v 0 ~init:0 ~f:(fun acc _ _ -> acc + 1)
+  in
+  Alcotest.(check int) "fold agrees" 1 n
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence properties on randomly damaged topologies *)
+
+(* A random view plus the matching closure pair, from a random disc
+   damage on a generated topology. *)
+let damaged_instance ~seed ~n =
+  let topo = Helpers.random_topology ~seed ~n in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = Helpers.random_damage ~seed:(seed * 3 + 1) topo in
+  (g, Damage.view damage, Damage.node_ok damage, Damage.link_ok damage)
+
+let spt_equal (a : Spt.t) (b : Spt.t) =
+  a.Spt.dist = b.Spt.dist
+  && a.Spt.parent_node = b.Spt.parent_node
+  && a.Spt.parent_link = b.Spt.parent_link
+
+let dijkstra_matches_oracle direction =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "view dijkstra = closure oracle (%s)"
+         (match direction with
+         | Spt.From_root -> "from_root"
+         | Spt.To_root -> "to_root"))
+    ~count:80
+    QCheck.(pair (int_range 5 35) (int_range 0 500))
+    (fun (n, salt) ->
+      let g, view, node_ok, link_ok = damaged_instance ~seed:(n + salt) ~n in
+      let root = salt mod n in
+      let v = Dijkstra.spt view ~root ~direction () in
+      let o =
+        Dijkstra.spt_filtered g ~root ~direction ~node_ok ~link_ok ()
+      in
+      spt_equal v o)
+
+let bfs_matches_oracle =
+  QCheck.Test.make ~name:"view bfs = closure oracle" ~count:80
+    QCheck.(pair (int_range 5 35) (int_range 0 500))
+    (fun (n, salt) ->
+      let g, view, node_ok, link_ok =
+        damaged_instance ~seed:(n * 7 + salt) ~n
+      in
+      let source = salt mod n in
+      let v = Bfs.run view ~source in
+      let o = Bfs.run_filtered g ~source ~node_ok ~link_ok () in
+      v.Bfs.dist = o.Bfs.dist && v.Bfs.parent = o.Bfs.parent)
+
+let components_match_oracle =
+  QCheck.Test.make ~name:"view components = closure oracle" ~count:80
+    QCheck.(pair (int_range 5 35) (int_range 0 500))
+    (fun (n, salt) ->
+      let g, view, node_ok, link_ok =
+        damaged_instance ~seed:(n * 13 + salt) ~n
+      in
+      let v = Components.compute view in
+      let o = Components.compute_filtered g ~node_ok ~link_ok () in
+      Components.count v = Components.count o
+      && List.for_all
+           (fun u -> Components.id_of v u = Components.id_of o u)
+           (List.init n Fun.id))
+
+let route_table_matches_oracle =
+  QCheck.Test.make ~name:"view route table = closure oracle" ~count:30
+    QCheck.(pair (int_range 5 25) (int_range 0 300))
+    (fun (n, salt) ->
+      let g, view, node_ok, link_ok =
+        damaged_instance ~seed:(n * 17 + salt) ~n
+      in
+      Route_table.equal
+        (Route_table.compute view)
+        (Route_table.compute_filtered ~node_ok ~link_ok g))
+
+let path_validity_matches_oracle =
+  QCheck.Test.make ~name:"view path validity = closure oracle" ~count:80
+    QCheck.(pair (int_range 5 30) (int_range 0 500))
+    (fun (n, salt) ->
+      let g, view, node_ok, link_ok =
+        damaged_instance ~seed:(n * 23 + salt) ~n
+      in
+      (* Walk a random path over the undamaged graph; validity under
+         the damage must agree between view and closures. *)
+      let rng = Rtr_util.Rng.make (salt + 5) in
+      let rec walk u acc steps =
+        if steps = 0 then List.rev acc
+        else
+          let nbrs =
+            Graph.fold_neighbors g u ~init:[] ~f:(fun l v _ -> v :: l)
+          in
+          match nbrs with
+          | [] -> List.rev acc
+          | _ ->
+              let v = List.nth nbrs (Rtr_util.Rng.int rng (List.length nbrs)) in
+              walk v (v :: acc) (steps - 1)
+      in
+      let start = salt mod n in
+      let p = Path.of_nodes (walk start [ start ] (1 + (salt mod 6))) in
+      Path.is_valid view p = Path.is_valid_filtered g ~node_ok ~link_ok p)
+
+(* The same equivalences on a real (Rocketfuel-format) topology with
+   asymmetric weights, exercising the parser-fed path. *)
+let weights_sample =
+  {|Seattle,WA Portland,OR 2.5
+Portland,OR Seattle,WA 2.5
+Seattle,WA Denver,CO 10
+Denver,CO Seattle,WA 12
+Denver,CO Portland,OR 8.4
+Portland,OR Denver,CO 8.4
+Denver,CO Chicago,IL 6
+Chicago,IL Denver,CO 6
+Chicago,IL Portland,OR 20
+Portland,OR Chicago,IL 19
+|}
+
+let rocketfuel_equivalence =
+  QCheck.Test.make ~name:"rocketfuel: view stack = closure stack" ~count:40
+    QCheck.(int_range 0 1000)
+    (fun salt ->
+      let topo = Rtr_topo.Rocketfuel.of_weights ~seed:1 weights_sample in
+      let g = Rtr_topo.Topology.graph topo in
+      let rng = Rtr_util.Rng.make salt in
+      let dead_links =
+        List.filter
+          (fun _ -> Rtr_util.Rng.bool rng)
+          (List.init (Graph.n_links g) Fun.id)
+      in
+      let damage = Damage.of_failed g ~nodes:[] ~links:dead_links in
+      let view = Damage.view damage in
+      let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+      let root = salt mod Graph.n_nodes g in
+      spt_equal
+        (Dijkstra.spt view ~root ~direction:Spt.To_root ())
+        (Dijkstra.spt_filtered g ~root ~direction:Spt.To_root ~node_ok
+           ~link_ok ())
+      && Route_table.equal
+           (Route_table.compute view)
+           (Route_table.compute_filtered ~node_ok ~link_ok g))
+
+let suite =
+  [
+    Alcotest.test_case "full" `Quick test_full;
+    Alcotest.test_case "of_failed / remove / derive" `Quick
+      test_of_failed_and_remove;
+    Alcotest.test_case "inter" `Quick test_inter;
+    Alcotest.test_case "masked adjacency" `Quick test_masked_adjacency;
+    QCheck_alcotest.to_alcotest (dijkstra_matches_oracle Spt.From_root);
+    QCheck_alcotest.to_alcotest (dijkstra_matches_oracle Spt.To_root);
+    QCheck_alcotest.to_alcotest bfs_matches_oracle;
+    QCheck_alcotest.to_alcotest components_match_oracle;
+    QCheck_alcotest.to_alcotest route_table_matches_oracle;
+    QCheck_alcotest.to_alcotest path_validity_matches_oracle;
+    QCheck_alcotest.to_alcotest rocketfuel_equivalence;
+  ]
