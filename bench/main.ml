@@ -29,11 +29,16 @@ let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
 let quick = ref false
 let metrics_path = ref None
 let trace_path = ref None
+let jobs_override = ref None
 
 let () =
   Arg.parse
     [
       ("--quick", Arg.Set quick, " Smoke mode: 2 topologies, short quotas");
+      ( "--jobs",
+        Arg.Int (fun n -> jobs_override := Some n),
+        "N Worker domains for the reproduction stage (default: RTR_JOBS, \
+         else 1)" );
       ( "--metrics",
         Arg.String (fun p -> metrics_path := Some p),
         "FILE Write the bench datapoint (JSON) to FILE" );
@@ -42,7 +47,10 @@ let () =
         "FILE Write a JSONL span trace to FILE" );
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--quick] [--metrics FILE] [--trace FILE]"
+    "bench [--quick] [--jobs N] [--metrics FILE] [--trace FILE]"
+
+let effective_jobs config =
+  Option.value !jobs_override ~default:config.Experiments.jobs
 
 let timed name f =
   let g = Metrics.gauge (Printf.sprintf "bench.wall_s.%s" name) in
@@ -55,6 +63,7 @@ let timed name f =
 
 let reproduce () =
   let config = Experiments.default_config () in
+  let config = { config with Experiments.jobs = effective_jobs config } in
   let config =
     if !quick then
       let presets =
@@ -330,14 +339,18 @@ let () =
   | None -> ()
   | Some path ->
       let config = Experiments.default_config () in
+      let jobs = effective_jobs config in
       let manifest =
         Rtr_obs.Manifest.make ~wall_s
           ~config:
-            [
-              ( "repro_cases",
-                string_of_int config.Experiments.recoverable_per_topo );
-              ("quick", string_of_bool !quick);
-            ]
+            ([
+               ( "repro_cases",
+                 string_of_int config.Experiments.recoverable_per_topo );
+               ("quick", string_of_bool !quick);
+             ]
+            (* Only recorded when parallel, so a sequential datapoint's
+               manifest keys match the earlier committed BENCH_*.json. *)
+            @ if jobs > 1 then [ ("jobs", string_of_int jobs) ] else [])
           ()
       in
       Metrics.write_file

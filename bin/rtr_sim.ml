@@ -90,7 +90,14 @@ let mrc_k_arg =
   let doc = "Number of MRC configurations (default: smallest feasible)." in
   Arg.(value & opt (some int) None & info [ "mrc-k" ] ~docv:"K" ~doc)
 
-let config_of ~cases ~seed ~topos ~mrc_k =
+let jobs_arg =
+  let doc =
+    "Worker domains for scenario evaluation (default: $(b,RTR_JOBS), else 1). \
+     Results are bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+
+let config_of ~cases ~seed ~topos ~mrc_k ~jobs =
   let base = Experiments.default_config () in
   let presets =
     match topos with
@@ -110,6 +117,7 @@ let config_of ~cases ~seed ~topos ~mrc_k =
     irrecoverable_per_topo = quota base.Experiments.irrecoverable_per_topo;
     seed;
     mrc_k;
+    jobs = Option.value jobs ~default:base.Experiments.jobs;
   }
 
 let emit ?out ~csv_name text csv =
@@ -171,8 +179,8 @@ type which =
   | All
 
 let needs_data_cmd which name doc =
-  let run () cases seed topos mrc_k out =
-    let config = config_of ~cases ~seed ~topos ~mrc_k in
+  let run () cases seed topos mrc_k jobs out =
+    let config = config_of ~cases ~seed ~topos ~mrc_k ~jobs in
     let data = Experiments.collect ~log:log_line config in
     let fig (f : Experiments.figure) = emit_figure ?out f in
     let tbl (t : Experiments.table) =
@@ -203,15 +211,15 @@ let needs_data_cmd which name doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ obs_term $ cases_arg $ seed_arg $ topos_arg $ mrc_k_arg
-      $ out_arg)
+      $ jobs_arg $ out_arg)
 
 let ablation_cmd =
   let cases_arg =
     let doc = "Recoverable cases per topology." in
     Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
   in
-  let run () seed topos cases out =
-    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+  let run () seed topos cases jobs out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None ~jobs in
     let t = Experiments.ablation_constraints ~cases config in
     emit ?out ~csv_name:"ablation_constraints.csv" (Report.render_table t)
       (Report.table_to_csv t)
@@ -219,22 +227,26 @@ let ablation_cmd =
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Constraints 1&2 on/off ablation (not in the paper)")
-    Term.(const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+    Term.(
+      const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ jobs_arg
+      $ out_arg)
 
 let mrc_k_sweep_cmd =
   let cases_arg =
     let doc = "Recoverable cases per topology." in
     Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
   in
-  let run () seed topos cases out =
-    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+  let run () seed topos cases jobs out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None ~jobs in
     let t = Experiments.ablation_mrc_k ~cases config in
     emit ?out ~csv_name:"ablation_mrc_k.csv" (Report.render_table t)
       (Report.table_to_csv t)
   in
   Cmd.v
     (Cmd.info "mrc-k" ~doc:"MRC recovery rate vs configuration count")
-    Term.(const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+    Term.(
+      const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ jobs_arg
+      $ out_arg)
 
 let variance_cmd =
   let cases_arg =
@@ -245,8 +257,8 @@ let variance_cmd =
     let doc = "Regenerated instances per AS." in
     Arg.(value & opt int 5 & info [ "instances" ] ~docv:"K" ~doc)
   in
-  let run () seed topos cases instances out =
-    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+  let run () seed topos cases instances jobs out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None ~jobs in
     let t = Experiments.instance_variance ~cases ~instances config in
     emit ?out ~csv_name:"instance_variance.csv" (Report.render_table t)
       (Report.table_to_csv t)
@@ -256,15 +268,15 @@ let variance_cmd =
        ~doc:"RTR recovery-rate spread across regenerated topology instances")
     Term.(
       const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ instances_arg
-      $ out_arg)
+      $ jobs_arg $ out_arg)
 
 let bidir_cmd =
   let cases_arg =
     let doc = "Recoverable cases per topology." in
     Arg.(value & opt int 500 & info [ "cases" ] ~docv:"N" ~doc)
   in
-  let run () seed topos cases out =
-    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+  let run () seed topos cases jobs out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None ~jobs in
     let t = Experiments.extension_bidir ~cases config in
     emit ?out ~csv_name:"extension_bidir.csv" (Report.render_table t)
       (Report.table_to_csv t)
@@ -272,29 +284,34 @@ let bidir_cmd =
   Cmd.v
     (Cmd.info "bidir"
        ~doc:"Bidirectional-walk extension measurements (not in the paper)")
-    Term.(const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ out_arg)
+    Term.(
+      const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ jobs_arg
+      $ out_arg)
 
 let fig11_cmd =
   let areas_arg =
     let doc = "Failure areas per radius (the paper used 1000)." in
     Arg.(value & opt int 200 & info [ "areas" ] ~docv:"N" ~doc)
   in
-  let run () seed topos areas out =
-    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None in
+  let run () seed topos areas jobs out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k:None ~jobs in
     let f = Experiments.fig11 ~log:log_line ~areas_per_radius:areas config in
     emit_figure ?out f
   in
   Cmd.v
     (Cmd.info "fig11"
        ~doc:"Percentage of irrecoverable failed paths vs failure radius")
-    Term.(const run $ obs_term $ seed_arg $ topos_arg $ areas_arg $ out_arg)
+    Term.(
+      const run $ obs_term $ seed_arg $ topos_arg $ areas_arg $ jobs_arg
+      $ out_arg)
 
 let run_cmd =
   let topo_arg =
     let doc = "Topology name." in
     Arg.(value & opt string "AS209" & info [ "topo" ] ~docv:"AS" ~doc)
   in
-  let run () topo_name seed =
+  let run () topo_name seed jobs =
+    let jobs = Option.value jobs ~default:(Rtr_sim.Parallel.env_jobs ()) in
     Rtr_obs.Trace.with_ "rtr_sim.run"
       ~attrs:[ ("topo", topo_name); ("seed", string_of_int seed) ]
     @@ fun () ->
@@ -350,11 +367,33 @@ let run_cmd =
         | Rtr_core.Rtr.Unreachable_in_view ->
             Format.printf "destination unreachable; packets discarded@."
         | Rtr_core.Rtr.False_path { dropped_at; _ } ->
-            Format.printf "missed failure; packet dropped at v%d@." dropped_at)
+            Format.printf "missed failure; packet dropped at v%d@." dropped_at);
+        (* Evaluate the whole scenario against all three schemes, one
+           single-case scenario per pool task.  The summary carries no
+           jobs-dependent value, so it prints identically at any
+           [--jobs]. *)
+        let mrc = Rtr_baselines.Mrc.build_auto g in
+        let results =
+          Rtr_sim.Parallel.map ~jobs
+            (fun c ->
+              Rtr_sim.Runner.run_scenario ~cache ~mrc
+                { scenario with Rtr_sim.Scenario.cases = [ c ] })
+            (Array.of_list cases)
+        in
+        let count f =
+          Array.fold_left
+            (fun acc rs -> acc + List.length (List.filter f rs))
+            0 results
+        in
+        Format.printf "@.all %d cases: RTR %d, FCP %d, MRC %d delivered@."
+          (List.length cases)
+          (count (fun (r : Rtr_sim.Runner.result) -> r.Rtr_sim.Runner.rtr_recovered))
+          (count (fun r -> r.Rtr_sim.Runner.fcp_delivered))
+          (count (fun r -> r.Rtr_sim.Runner.mrc_delivered))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Inspect one random failure scenario in detail")
-    Term.(const run $ obs_term $ topo_arg $ seed_arg)
+    Term.(const run $ obs_term $ topo_arg $ seed_arg $ jobs_arg)
 
 let draw_cmd =
   let topo_arg =

@@ -16,26 +16,113 @@ type hist = {
   h_buckets : (int, int ref) Hashtbl.t;
 }
 
-module Counter = struct
-  type t = int ref
+let fresh_hist () =
+  {
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+    h_zero = 0;
+    h_buckets = Hashtbl.create 16;
+  }
 
-  let incr = incr
-  let add t n = t := !t + n
-  let value t = !t
+type kind = K_counter | K_gauge | K_hist
+
+type cell = M_counter of int ref | M_gauge of float ref | M_hist of hist
+
+let fresh_cell = function
+  | K_counter -> M_counter (ref 0)
+  | K_gauge -> M_gauge (ref 0.0)
+  | K_hist -> M_hist (fresh_hist ())
+
+(* A registry holds metric *definitions* (name -> slot/kind, guarded by
+   [lock]) plus one store of cells per domain (via [Domain.DLS]).  A
+   handle created on any domain updates the calling domain's own cell,
+   so hot-path updates never contend and per-domain totals can be
+   [snapshot]ted independently and folded back with [absorb] — the
+   mechanism the parallel scenario runner's deterministic merge rides
+   on.  Handles are shared freely across domains; cells are not. *)
+type registry = {
+  lock : Mutex.t;
+  slots : (string, int * kind) Hashtbl.t;
+  mutable defs : (string * kind) array;  (* slot -> (name, kind) *)
+  mutable n_slots : int;
+  cells_key : cell option array ref Domain.DLS.key;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    slots = Hashtbl.create 64;
+    defs = Array.make 64 ("", K_counter);
+    n_slots = 0;
+    cells_key = Domain.DLS.new_key (fun () -> ref [||]);
+  }
+
+let default = create ()
+
+type handle = { reg : registry; slot : int; kind : kind }
+
+(* The calling domain's cell for [h], created on first touch.  The only
+   lock taken is a brief one when the local store must learn the
+   registry's current capacity; the update itself is domain-local. *)
+let cell h =
+  let store = Domain.DLS.get h.reg.cells_key in
+  let arr = !store in
+  if h.slot < Array.length arr then
+    match arr.(h.slot) with
+    | Some c -> c
+    | None ->
+        let c = fresh_cell h.kind in
+        arr.(h.slot) <- Some c;
+        c
+  else begin
+    let cap =
+      Mutex.protect h.reg.lock (fun () -> Array.length h.reg.defs)
+    in
+    let grown = Array.make (max cap (h.slot + 1)) None in
+    Array.blit arr 0 grown 0 (Array.length arr);
+    store := grown;
+    let c = fresh_cell h.kind in
+    grown.(h.slot) <- Some c;
+    c
+  end
+
+module Counter = struct
+  type t = handle
+
+  let cell_of t =
+    match cell t with M_counter r -> r | _ -> assert false
+
+  let incr t = Stdlib.incr (cell_of t)
+
+  let add t n =
+    let r = cell_of t in
+    r := !r + n
+
+  let value t = !(cell_of t)
 end
 
 module Gauge = struct
-  type t = float ref
+  type t = handle
 
-  let set t v = t := v
-  let set_max t v = if v > !t then t := v
-  let value t = !t
+  let cell_of t = match cell t with M_gauge r -> r | _ -> assert false
+  let set t v = cell_of t := v
+
+  let set_max t v =
+    let r = cell_of t in
+    if v > !r then r := v
+
+  let value t = !(cell_of t)
 end
 
 module Histogram = struct
-  type t = hist
+  type t = handle
+
+  let cell_of t = match cell t with M_hist h -> h | _ -> assert false
 
   let observe t v =
+    let t = cell_of t in
     t.h_count <- t.h_count + 1;
     t.h_sum <- t.h_sum +. v;
     if v < t.h_min then t.h_min <- v;
@@ -47,8 +134,8 @@ module Histogram = struct
       | Some r -> incr r
       | None -> Hashtbl.replace t.h_buckets i (ref 1)
 
-  let count t = t.h_count
-  let sum t = t.h_sum
+  let count t = (cell_of t).h_count
+  let sum t = (cell_of t).h_sum
 
   (* Shared with Snapshot.quantile: walk buckets in index order until
      the cumulative count reaches the target rank. *)
@@ -74,6 +161,7 @@ module Histogram = struct
     end
 
   let quantile t q =
+    let t = cell_of t in
     let buckets =
       Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.h_buckets []
     in
@@ -81,80 +169,59 @@ module Histogram = struct
       buckets q
 end
 
-type metric =
-  | M_counter of int ref
-  | M_gauge of float ref
-  | M_hist of hist
-
-type registry = (string, metric) Hashtbl.t
-
-let create () : registry = Hashtbl.create 64
-let default : registry = create ()
-
 let kind_name = function
-  | M_counter _ -> "counter"
-  | M_gauge _ -> "gauge"
-  | M_hist _ -> "histogram"
+  | K_counter -> "counter"
+  | K_gauge -> "gauge"
+  | K_hist -> "histogram"
 
-let register registry name make match_ =
-  match Hashtbl.find_opt registry name with
-  | Some m -> (
-      match match_ m with
-      | Some handle -> handle
-      | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S already registered as a %s" name
-               (kind_name m)))
-  | None ->
-      let m, handle = make () in
-      Hashtbl.replace registry name m;
-      handle
+let register ?(registry = default) name kind =
+  let h =
+    Mutex.protect registry.lock (fun () ->
+        match Hashtbl.find_opt registry.slots name with
+        | Some (slot, k) ->
+            if k <> kind then
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered as a %s" name
+                   (kind_name k));
+            { reg = registry; slot; kind }
+        | None ->
+            let slot = registry.n_slots in
+            if slot >= Array.length registry.defs then begin
+              let grown =
+                Array.make (2 * Array.length registry.defs) ("", K_counter)
+              in
+              Array.blit registry.defs 0 grown 0 slot;
+              registry.defs <- grown
+            end;
+            registry.defs.(slot) <- (name, kind);
+            registry.n_slots <- slot + 1;
+            Hashtbl.replace registry.slots name (slot, kind);
+            { reg = registry; slot; kind })
+  in
+  (* Materialise the cell in the registering domain so never-updated
+     metrics still show up (at zero) in that domain's snapshots. *)
+  ignore (cell h);
+  h
 
-let counter ?(registry = default) name =
-  register registry name
-    (fun () ->
-      let r = ref 0 in
-      (M_counter r, r))
-    (function M_counter r -> Some r | _ -> None)
-
-let gauge ?(registry = default) name =
-  register registry name
-    (fun () ->
-      let r = ref 0.0 in
-      (M_gauge r, r))
-    (function M_gauge r -> Some r | _ -> None)
-
-let fresh_hist () =
-  {
-    h_count = 0;
-    h_sum = 0.0;
-    h_min = Float.infinity;
-    h_max = Float.neg_infinity;
-    h_zero = 0;
-    h_buckets = Hashtbl.create 16;
-  }
-
-let histogram ?(registry = default) name =
-  register registry name
-    (fun () ->
-      let h = fresh_hist () in
-      (M_hist h, h))
-    (function M_hist h -> Some h | _ -> None)
+let counter ?registry name = register ?registry name K_counter
+let gauge ?registry name = register ?registry name K_gauge
+let histogram ?registry name = register ?registry name K_hist
 
 let reset ?(registry = default) () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | M_counter r -> r := 0
-      | M_gauge r -> r := 0.0
-      | M_hist h ->
+  let arr = !(Domain.DLS.get registry.cells_key) in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (M_counter r) -> r := 0
+      | Some (M_gauge r) -> r := 0.0
+      | Some (M_hist h) ->
           h.h_count <- 0;
           h.h_sum <- 0.0;
           h.h_min <- Float.infinity;
           h.h_max <- Float.neg_infinity;
           h.h_zero <- 0;
           Hashtbl.reset h.h_buckets)
-    registry
+    arr
 
 (* --- snapshots ------------------------------------------------------ *)
 
@@ -281,28 +348,61 @@ module Snapshot = struct
 end
 
 let snapshot ?(registry = default) () : Snapshot.t =
-  Hashtbl.fold
-    (fun name m acc ->
-      let entry =
-        match m with
-        | M_counter r -> Snapshot.S_counter !r
-        | M_gauge r -> Snapshot.S_gauge !r
-        | M_hist h ->
-            Snapshot.S_hist
-              {
-                count = h.h_count;
-                sum = h.h_sum;
-                min_v = h.h_min;
-                max_v = h.h_max;
-                zero = h.h_zero;
-                buckets =
-                  Hashtbl.fold (fun i r acc -> (i, !r) :: acc) h.h_buckets []
-                  |> List.sort compare;
-              }
-      in
-      (name, entry) :: acc)
-    registry []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let defs =
+    Mutex.protect registry.lock (fun () ->
+        Array.sub registry.defs 0 registry.n_slots)
+  in
+  let arr = !(Domain.DLS.get registry.cells_key) in
+  let entries = ref [] in
+  Array.iteri
+    (fun slot (name, _) ->
+      if slot < Array.length arr then
+        match arr.(slot) with
+        | None -> ()
+        | Some cell ->
+            let entry =
+              match cell with
+              | M_counter r -> Snapshot.S_counter !r
+              | M_gauge r -> Snapshot.S_gauge !r
+              | M_hist h ->
+                  Snapshot.S_hist
+                    {
+                      count = h.h_count;
+                      sum = h.h_sum;
+                      min_v = h.h_min;
+                      max_v = h.h_max;
+                      zero = h.h_zero;
+                      buckets =
+                        Hashtbl.fold
+                          (fun i r acc -> (i, !r) :: acc)
+                          h.h_buckets []
+                        |> List.sort compare;
+                    }
+            in
+            entries := (name, entry) :: !entries)
+    defs;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !entries
+
+let absorb ?(registry = default) (snap : Snapshot.t) =
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Snapshot.S_counter n -> Counter.add (counter ~registry name) n
+      | Snapshot.S_gauge v -> Gauge.set_max (gauge ~registry name) v
+      | Snapshot.S_hist { count; sum; min_v; max_v; zero; buckets } ->
+          let h = Histogram.cell_of (histogram ~registry name) in
+          h.h_count <- h.h_count + count;
+          h.h_sum <- h.h_sum +. sum;
+          if min_v < h.h_min then h.h_min <- min_v;
+          if max_v > h.h_max then h.h_max <- max_v;
+          h.h_zero <- h.h_zero + zero;
+          List.iter
+            (fun (i, n) ->
+              match Hashtbl.find_opt h.h_buckets i with
+              | Some r -> r := !r + n
+              | None -> Hashtbl.replace h.h_buckets i (ref n))
+            buckets)
+    snap
 
 let write_file ?manifest path snap =
   let doc =

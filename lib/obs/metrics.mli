@@ -4,7 +4,14 @@
     updated on hot paths with a single mutable write — cheap enough to
     leave permanently enabled.  [snapshot] captures an immutable view;
     snapshots [merge] associatively so per-shard registries can be
-    combined.  Not thread-safe: the simulator is single-domain. *)
+    combined.
+
+    Handles may be shared across domains, but the cells they update are
+    domain-local: each domain accumulates into its own storage, and
+    [snapshot]/[reset] act on the calling domain's cells only.  A worker
+    domain therefore snapshots its own totals before exiting and the
+    coordinator folds them back in with [absorb] — updates never contend
+    and the merged totals are independent of scheduling. *)
 
 module Counter : sig
   type t
@@ -53,7 +60,7 @@ val histogram : ?registry:registry -> string -> Histogram.t
     already registered as a different metric kind. *)
 
 val reset : ?registry:registry -> unit -> unit
-(** Zero every metric (handles stay valid). *)
+(** Zero every metric of the calling domain (handles stay valid). *)
 
 module Snapshot : sig
   type t
@@ -75,6 +82,13 @@ module Snapshot : sig
 end
 
 val snapshot : ?registry:registry -> unit -> Snapshot.t
+(** The calling domain's current totals, sorted by name. *)
+
+val absorb : ?registry:registry -> Snapshot.t -> unit
+(** Fold a snapshot (typically taken on a worker domain) into the
+    calling domain's cells, with [merge] semantics: counters add,
+    gauges keep the max, histograms pool their buckets.  Registers any
+    names not yet known to the registry. *)
 
 val write_file : ?manifest:Json.t -> string -> Snapshot.t -> unit
 (** Write [{"manifest": ..., "metrics": ...}] to a file (atomic enough

@@ -9,7 +9,13 @@ type sink = {
 
 let sink : sink option ref = ref None
 let clock : (unit -> float) ref = ref Unix.gettimeofday
-let depth = ref 0
+
+(* Span nesting depth is per-domain — a worker's spans nest under its
+   own shard span, not whatever the coordinator happens to be inside.
+   Sink callbacks write to shared state (an [out_channel], an
+   accumulator list), so emission is serialised by [emit_lock]. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let emit_lock = Mutex.create ()
 
 let set_sink s = sink := s
 let enabled () = Option.is_some !sink
@@ -20,12 +26,15 @@ let with_ ?(attrs = []) name f =
   match !sink with
   | None -> f ()
   | Some s -> (
+      let depth = Domain.DLS.get depth_key in
       let start = !clock () in
       let d = !depth in
       depth := d + 1;
       let emit () =
         depth := d;
-        s.on_span ~name ~start ~dur:(!clock () -. start) ~depth:d ~attrs
+        let dur = !clock () -. start in
+        Mutex.protect emit_lock (fun () ->
+            s.on_span ~name ~start ~dur ~depth:d ~attrs)
       in
       match f () with
       | v ->
@@ -38,9 +47,14 @@ let with_ ?(attrs = []) name f =
 let event ?(attrs = []) name =
   match !sink with
   | None -> ()
-  | Some s -> s.on_event ~name ~time:(!clock ()) ~attrs
+  | Some s ->
+      let time = !clock () in
+      Mutex.protect emit_lock (fun () -> s.on_event ~name ~time ~attrs)
 
-let flush () = match !sink with None -> () | Some s -> s.on_flush ()
+let flush () =
+  match !sink with
+  | None -> ()
+  | Some s -> Mutex.protect emit_lock (fun () -> s.on_flush ())
 
 (* --- sinks ---------------------------------------------------------- *)
 

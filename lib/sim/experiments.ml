@@ -13,6 +13,7 @@ type config = {
   irrecoverable_per_topo : int;
   seed : int;
   mrc_k : int option;
+  jobs : int;
 }
 
 let default_quota = 2000
@@ -38,6 +39,7 @@ let default_config () =
     irrecoverable_per_topo = quota;
     seed = 7;
     mrc_k = None;
+    jobs = Parallel.env_jobs ();
   }
 
 type topo_data = {
@@ -67,7 +69,12 @@ let collect ?(log = fun _ -> ()) config =
         | None -> Rtr_baselines.Mrc.build_auto g
       in
       let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed) in
-      let rec_acc = ref [] and irr_acc = ref [] in
+      (* Generate-then-evaluate.  Generation stays on the one
+         sequential RNG (evaluation never draws from it), so the case
+         stream is identical at any [jobs] — including the pre-split
+         interleaved code this replaces.  The generated scenarios are
+         then independent, which is exactly what the pool needs. *)
+      let work = ref [] in
       let n_rec = ref 0 and n_irr = ref 0 in
       let scenarios = ref 0 in
       while
@@ -82,8 +89,8 @@ let collect ?(log = fun _ -> ()) config =
           | Scenario.Recoverable -> !n_rec < config.recoverable_per_topo
           | Scenario.Irrecoverable -> !n_irr < config.irrecoverable_per_topo
         in
-        (* Quota bookkeeping must happen before running, so count the
-           kept cases per kind as we filter. *)
+        (* Quota bookkeeping must happen before evaluating, so count
+           the kept cases per kind as we filter. *)
         let kept =
           List.filter
             (fun c ->
@@ -96,19 +103,21 @@ let collect ?(log = fun _ -> ()) config =
               else false)
             scenario.Scenario.cases
         in
-        if kept <> [] then begin
-          let results =
-            Runner.run_scenario ~cache ~mrc
-              { scenario with Scenario.cases = kept }
-          in
-          List.iter
-            (fun (r : Runner.result) ->
-              match r.Runner.case.Scenario.kind with
-              | Scenario.Recoverable -> rec_acc := r :: !rec_acc
-              | Scenario.Irrecoverable -> irr_acc := r :: !irr_acc)
-            results
-        end
+        if kept <> [] then
+          work := { scenario with Scenario.cases = kept } :: !work
       done;
+      let shard_results =
+        Parallel.map ~jobs:config.jobs
+          (Runner.run_scenario ~cache ~mrc)
+          (Array.of_list (List.rev !work))
+      in
+      let rec_acc = ref [] and irr_acc = ref [] in
+      Array.iter
+        (List.iter (fun (r : Runner.result) ->
+             match r.Runner.case.Scenario.kind with
+             | Scenario.Recoverable -> rec_acc := r :: !rec_acc
+             | Scenario.Irrecoverable -> irr_acc := r :: !irr_acc))
+        shard_results;
       log
         (Printf.sprintf "%s: %d recoverable + %d irrecoverable cases (%d areas)"
            preset.Isp.as_name !n_rec !n_irr !scenarios);

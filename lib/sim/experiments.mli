@@ -14,11 +14,16 @@ type config = {
   irrecoverable_per_topo : int;
   seed : int;
   mrc_k : int option;  (** [None]: smallest feasible k *)
+  jobs : int;
+      (** Worker domains for scenario evaluation (1 = sequential).
+          Results are independent of this value: generation stays on
+          one sequential RNG and evaluation shards deterministically
+          (see [Parallel.map]). *)
 }
 
 val default_config : unit -> config
 (** Table II presets, quotas from [REPRO_CASES] (default 2,000), seed
-    7, automatic MRC k. *)
+    7, automatic MRC k, jobs from [RTR_JOBS] (default 1). *)
 
 type topo_data = {
   preset : Rtr_topo.Isp.preset;
@@ -29,6 +34,9 @@ type topo_data = {
 }
 
 val collect : ?log:(string -> unit) -> config -> topo_data list
+(** Per topology: generate scenarios sequentially until both quotas
+    are met, then evaluate them across [config.jobs] worker domains.
+    The returned data is bit-identical for every [jobs] value. *)
 
 (** {1 Printable artifacts} *)
 

@@ -1,0 +1,59 @@
+module Metrics = Rtr_obs.Metrics
+module Trace = Rtr_obs.Trace
+module Pool = Rtr_util.Pool
+
+let env_jobs () =
+  match Sys.getenv_opt "RTR_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | Some _ | None ->
+          Printf.eprintf
+            "warning: RTR_JOBS=%S is not a positive integer; running \
+             sequentially\n\
+             %!"
+            s;
+          1)
+  | None -> 1
+
+(* Registered on first parallel run, not at module initialisation: a
+   sequential run must snapshot exactly the pre-pool set of metric
+   names. *)
+let handles =
+  lazy
+    ( Metrics.counter "pool.runs",
+      Metrics.counter "pool.tasks",
+      Metrics.gauge "pool.jobs",
+      Metrics.histogram "pool.worker_tasks",
+      Metrics.histogram "pool.worker_busy_s",
+      Metrics.histogram "pool.worker_idle_s" )
+
+let map ~jobs f input =
+  let n = Array.length input in
+  if jobs <= 1 || n <= 1 then Array.map f input
+  else begin
+    let c_runs, c_tasks, g_jobs, h_tasks, h_busy, h_idle =
+      Lazy.force handles
+    in
+    let snaps = Array.make jobs Metrics.Snapshot.empty in
+    let wrap w body =
+      Trace.with_ "pool.shard" ~attrs:[ ("worker", string_of_int w) ] body;
+      (* Runs in the worker domain: capture its cells before it exits.
+         Publication to the coordinator is ordered by Domain.join. *)
+      snaps.(w) <- Metrics.snapshot ()
+    in
+    let on_stats stats =
+      List.iter
+        (fun (s : Pool.worker_stats) ->
+          Metrics.Histogram.observe h_tasks (float_of_int s.Pool.tasks);
+          Metrics.Histogram.observe h_busy s.Pool.busy_s;
+          Metrics.Histogram.observe h_idle s.Pool.idle_s)
+        stats
+    in
+    let out = Pool.map ~wrap_worker:wrap ~on_stats ~jobs f input in
+    Array.iter Metrics.absorb snaps;
+    Metrics.Counter.incr c_runs;
+    Metrics.Counter.add c_tasks n;
+    Metrics.Gauge.set_max g_jobs (float_of_int (min jobs n));
+    out
+  end

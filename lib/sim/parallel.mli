@@ -1,0 +1,28 @@
+(** Simulator-side bridge to [Rtr_util.Pool]: sharded evaluation with
+    the observability subsystem wired through.
+
+    The pool itself is deliberately ignorant of metrics and tracing;
+    this module installs the seams — a [pool.shard] trace span per
+    worker, a per-domain metrics snapshot folded back into the
+    coordinator with [Metrics.absorb], and [pool.*] scheduling metrics
+    — so callers shard with one function call. *)
+
+val env_jobs : unit -> int
+(** [RTR_JOBS] parsed as a positive integer; 1 (sequential) when the
+    variable is unset, with a warning to stderr when it is set but
+    malformed — mirroring how [REPRO_CASES] is read. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f input] is [Rtr_util.Pool.map] plus observability.
+    Results come back in submission order regardless of scheduling.
+
+    With [jobs <= 1] (or fewer than two tasks) this is exactly
+    [Array.map]: no domains, no [pool.*] metrics registered, so a
+    sequential run's metrics file is byte-identical to the pre-pool
+    code path.  With [jobs > 1], each worker runs under a
+    [pool.shard] span, its metric cells are absorbed into the calling
+    domain's at the join, and [pool.runs]/[pool.tasks]/[pool.jobs]
+    plus per-worker task/busy/idle histograms are recorded.  The
+    [pool.*] scheduling metrics are inherently timing-dependent; every
+    simulation metric absorbed from workers merges to totals
+    independent of the schedule. *)

@@ -13,6 +13,11 @@ let c_spt_misses = Metrics.counter "topo_cache.spt_misses"
 type t = {
   topo : Rtr_topo.Topology.t;
   full_view : View.t;
+  (* One cache is shared by every worker domain of a parallel run, so
+     lookups compute under [lock].  Computing inside the critical
+     section (rather than racing and discarding duplicates) keeps the
+     hit/miss counters exactly what a sequential run would record. *)
+  lock : Mutex.t;
   mutable table : Route_table.t option;
   (* Master pre-failure From_root SPT per initiator.  Consumers clone
      before mutating (Phase2 copies its [base_spt]); the masters here
@@ -22,29 +27,37 @@ type t = {
 
 let create topo =
   let g = Rtr_topo.Topology.graph topo in
-  { topo; full_view = View.full g; table = None; spts = Hashtbl.create 64 }
+  {
+    topo;
+    full_view = View.full g;
+    lock = Mutex.create ();
+    table = None;
+    spts = Hashtbl.create 64;
+  }
 
 let topology t = t.topo
 let full_view t = t.full_view
 
 let table t =
-  match t.table with
-  | Some table ->
-      Metrics.Counter.incr c_table_hits;
-      table
-  | None ->
-      Metrics.Counter.incr c_table_misses;
-      let table = Route_table.compute t.full_view in
-      t.table <- Some table;
-      table
+  Mutex.protect t.lock (fun () ->
+      match t.table with
+      | Some table ->
+          Metrics.Counter.incr c_table_hits;
+          table
+      | None ->
+          Metrics.Counter.incr c_table_misses;
+          let table = Route_table.compute t.full_view in
+          t.table <- Some table;
+          table)
 
 let base_spt t initiator =
-  match Hashtbl.find_opt t.spts initiator with
-  | Some spt ->
-      Metrics.Counter.incr c_spt_hits;
-      spt
-  | None ->
-      Metrics.Counter.incr c_spt_misses;
-      let spt = Dijkstra.spt t.full_view ~root:initiator () in
-      Hashtbl.replace t.spts initiator spt;
-      spt
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.spts initiator with
+      | Some spt ->
+          Metrics.Counter.incr c_spt_hits;
+          spt
+      | None ->
+          Metrics.Counter.incr c_spt_misses;
+          let spt = Dijkstra.spt t.full_view ~root:initiator () in
+          Hashtbl.replace t.spts initiator spt;
+          spt)

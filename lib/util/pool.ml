@@ -1,0 +1,77 @@
+type worker_stats = {
+  worker : int;
+  tasks : int;
+  busy_s : float;
+  idle_s : float;
+}
+
+(* Workers pull the next unclaimed index from a shared cursor and write
+   the result into its submission slot, so reassembly order never
+   depends on scheduling.  A failure parks the first exception in
+   [failed]; the other workers notice the flag before claiming another
+   task and drain out, and the caller re-raises after joining every
+   domain. *)
+let map_domains ~jobs ?wrap_worker ?on_stats f input =
+  let n = Array.length input in
+  let jobs = min jobs n in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let failed = Atomic.make None in
+  let stats = Array.make jobs None in
+  let task_loop w =
+    let t_start = Unix.gettimeofday () in
+    let tasks = ref 0 and busy = ref 0.0 in
+    let rec loop () =
+      if Atomic.get failed = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (let t0 = Unix.gettimeofday () in
+           match f input.(i) with
+           | v ->
+               busy := !busy +. (Unix.gettimeofday () -. t0);
+               incr tasks;
+               results.(i) <- Some v
+           | exception e ->
+               busy := !busy +. (Unix.gettimeofday () -. t0);
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+          loop ()
+        end
+      end
+    in
+    loop ();
+    let wall = Unix.gettimeofday () -. t_start in
+    stats.(w) <-
+      Some
+        {
+          worker = w;
+          tasks = !tasks;
+          busy_s = !busy;
+          idle_s = Float.max 0.0 (wall -. !busy);
+        }
+  in
+  let worker w =
+    (* [task_loop] cannot raise; anything escaping here came from the
+       caller's [wrap_worker] and is propagated like a task failure. *)
+    try
+      match wrap_worker with
+      | None -> task_loop w
+      | Some wrap -> wrap w (fun () -> task_loop w)
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+  in
+  let domains = Array.init jobs (fun w -> Domain.spawn (fun () -> worker w)) in
+  Array.iter Domain.join domains;
+  (match Atomic.get failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Option.iter
+    (fun cb ->
+      cb (Array.to_list stats |> List.filter_map Fun.id))
+    on_stats;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map ?wrap_worker ?on_stats ~jobs f input =
+  if jobs <= 1 || Array.length input <= 1 then Array.map f input
+  else map_domains ~jobs ?wrap_worker ?on_stats f input

@@ -1,0 +1,45 @@
+(** Deterministic fork-join work pool over OCaml 5 domains.
+
+    [map ~jobs f input] evaluates [f] on every element of [input] and
+    returns the results {e in submission order} — [output.(i)] is
+    always [f input.(i)] no matter which domain evaluated it or when it
+    finished — so a parallel run is observationally a [Array.map] as
+    long as [f] itself is deterministic and the tasks are independent.
+    Scheduling is dynamic (workers pull the next unclaimed index), so
+    per-worker shard composition varies run to run; only the reassembly
+    is guaranteed stable.
+
+    The pool is hand-rolled on stdlib [Domain]/[Atomic] machinery only
+    — no external dependencies. *)
+
+type worker_stats = {
+  worker : int;  (** 0-based worker index *)
+  tasks : int;  (** tasks this worker evaluated *)
+  busy_s : float;  (** wall time spent inside [f] *)
+  idle_s : float;  (** wall time spent waiting or coordinating *)
+}
+
+val map :
+  ?wrap_worker:(int -> (unit -> unit) -> unit) ->
+  ?on_stats:(worker_stats list -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** [map ~jobs f input] with [jobs <= 1] (or fewer than two tasks)
+    degenerates to in-line sequential execution on the calling domain:
+    no domain is spawned and neither hook is invoked, so the
+    degenerate case is bit-for-bit the pre-pool code path.
+
+    With [jobs > 1], [min jobs (Array.length input)] worker domains
+    are spawned.  [wrap_worker w body] runs {e inside} worker [w]'s
+    domain around its whole task loop and must call [body] exactly
+    once — the seam where callers install per-domain setup/teardown
+    (metrics snapshots, trace spans).  [on_stats] receives one record
+    per worker after the join.
+
+    If any [f] application raises, the remaining tasks are abandoned,
+    every domain is joined (the pool never wedges), and the first
+    captured exception is re-raised — with its backtrace — in the
+    calling domain.  [f] must be safe to run concurrently with
+    itself. *)

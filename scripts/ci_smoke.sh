@@ -2,7 +2,9 @@
 # CI smoke: build, run the test suites, then exercise the observability
 # path end to end — a quick bench emitting a metrics snapshot and an
 # rtr_sim run emitting both a trace and a snapshot — and fail if any
-# emitted artifact is not valid JSON / JSONL.
+# emitted artifact is not valid JSON / JSONL.  Finally, the determinism
+# gate: the same workload at RTR_JOBS=1 and RTR_JOBS=4 must produce
+# byte-identical reports and (modulo scheduling fields) metrics.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,9 +14,23 @@ dune runtest
 
 REPRO_CASES=50 dune exec bench/main.exe -- --quick --metrics BENCH_smoke.json
 
-trace=$(mktemp -t rtr_smoke_trace.XXXXXX)
-metrics=$(mktemp -t rtr_smoke_metrics.XXXXXX)
-trap 'rm -f "$trace" "$metrics"' EXIT
+# POSIX mktemp: -t template is a GNU-ism (BSD/macOS -t takes a bare
+# prefix), so spell the full template out.  The trace needs a .jsonl
+# suffix (json_check picks line-by-line validation off the extension),
+# and POSIX mktemp can't put the Xs mid-name — rename after creation.
+trace=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_trace.XXXXXX")
+mv "$trace" "$trace.jsonl"
+trace="$trace.jsonl"
+metrics=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_metrics.XXXXXX")
+r1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_r1.XXXXXX")
+r4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_r4.XXXXXX")
+m1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_m1.XXXXXX")
+m4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_m4.XXXXXX")
+c1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_c1.XXXXXX")
+c4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_c4.XXXXXX")
+b1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_b1.XXXXXX")
+b4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_b4.XXXXXX")
+trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4"' EXIT
 
 dune exec bin/rtr_sim.exe -- run --topo AS209 \
   --trace "$trace" --metrics "$metrics" > /dev/null
@@ -24,4 +40,58 @@ dune exec tools/json_check.exe -- BENCH_smoke.json "$trace" "$metrics"
 # The committed bench series must stay valid JSON too.
 dune exec tools/json_check.exe -- BENCH_*.json
 
+# --- determinism gate ------------------------------------------------
+# Parallel evaluation must not change a single byte of the science.
+# The gate runs on rtr_sim rather than the bench binary because the
+# Bechamel microbenchmarks are wall-clock-quota driven — their
+# iteration counts (and the counters they inflate) legitimately differ
+# run to run — whereas the simulator's report and metrics are fully
+# deterministic.  json_canon strips the fields that may differ between
+# the two runs: the manifest (argv embeds the temp paths, wall_s is
+# timing) and the pool.* scheduling metrics that only the parallel run
+# records.
+
+RTR_JOBS=1 dune exec bin/rtr_sim.exe -- table3 --cases 40 \
+  --topos AS209,AS1239 --metrics "$m1" > "$r1" 2> /dev/null
+RTR_JOBS=4 dune exec bin/rtr_sim.exe -- table3 --cases 40 \
+  --topos AS209,AS1239 --metrics "$m4" > "$r4" 2> /dev/null
+
+if ! diff "$r1" "$r4"; then
+  echo "ci_smoke: FAIL — report differs between RTR_JOBS=1 and RTR_JOBS=4" >&2
+  exit 1
+fi
+
+dune exec tools/json_canon.exe -- \
+  --strip manifest \
+  --strip metrics.counters.pool. \
+  --strip metrics.gauges.pool. \
+  --strip metrics.histograms.pool. \
+  "$m1" > "$c1"
+dune exec tools/json_canon.exe -- \
+  --strip manifest \
+  --strip metrics.counters.pool. \
+  --strip metrics.gauges.pool. \
+  --strip metrics.histograms.pool. \
+  "$m4" > "$c4"
+
+if ! diff "$c1" "$c4"; then
+  echo "ci_smoke: FAIL — metrics differ between RTR_JOBS=1 and RTR_JOBS=4" >&2
+  exit 1
+fi
+
+# Same gate on the bench binary's reproduction stage: everything it
+# prints before the microbenchmark section (the paper's tables and
+# figures plus the DES motivation) is deterministic and must not move
+# with RTR_JOBS.
+REPRO_CASES=50 RTR_JOBS=1 dune exec bench/main.exe -- --quick \
+  | awk '/Bechamel microbenchmarks/{exit} {print}' > "$b1"
+REPRO_CASES=50 RTR_JOBS=4 dune exec bench/main.exe -- --quick \
+  | awk '/Bechamel microbenchmarks/{exit} {print}' > "$b4"
+
+if ! diff "$b1" "$b4"; then
+  echo "ci_smoke: FAIL — bench reproduction differs between RTR_JOBS=1 and RTR_JOBS=4" >&2
+  exit 1
+fi
+
+echo "ci_smoke: determinism gate OK (RTR_JOBS=1 == RTR_JOBS=4)"
 echo "ci_smoke: OK"

@@ -18,6 +18,7 @@ let data =
          irrecoverable_per_topo = 120;
          seed = 3;
          mrc_k = None;
+         jobs = 1;
        }
      in
      (config, Experiments.collect config))
@@ -197,6 +198,26 @@ let test_instance_variance_shape () =
       Alcotest.(check (float 1e-6)) "spread = max - min" (f 3 -. f 2) (f 4))
     t.Experiments.rows
 
+(* The tentpole guarantee: collecting on several worker domains yields
+   data structurally identical to the sequential collection — same
+   cases, same results, same order. *)
+let test_jobs_equivalence () =
+  let config, seq = Lazy.force data in
+  let par = Experiments.collect { config with Experiments.jobs = 4 } in
+  Alcotest.(check int) "same topology count" (List.length seq)
+    (List.length par);
+  List.iter2
+    (fun (a : Experiments.topo_data) (b : Experiments.topo_data) ->
+      Alcotest.(check string) "same preset" a.Experiments.preset.Isp.as_name
+        b.Experiments.preset.Isp.as_name;
+      Alcotest.(check int) "same mrc configs" a.Experiments.mrc_configs
+        b.Experiments.mrc_configs;
+      Alcotest.(check bool) "recoverable results identical" true
+        (a.Experiments.recoverable = b.Experiments.recoverable);
+      Alcotest.(check bool) "irrecoverable results identical" true
+        (a.Experiments.irrecoverable = b.Experiments.irrecoverable))
+    seq par
+
 let test_report_rendering () =
   let config, data = Lazy.force data in
   let table_text = Report.render_table (Experiments.table2 config) in
@@ -225,5 +246,6 @@ let suite =
     Alcotest.test_case "ablation mrc-k shape" `Slow test_ablation_mrc_k_shape;
     Alcotest.test_case "instance variance shape" `Slow
       test_instance_variance_shape;
+    Alcotest.test_case "jobs=4 equals jobs=1" `Slow test_jobs_equivalence;
     Alcotest.test_case "report rendering" `Slow test_report_rendering;
   ]

@@ -1,0 +1,91 @@
+module Pool = Rtr_util.Pool
+
+(* Adversarial durations: early tasks sleep longest, so with several
+   workers the late tasks finish first — results must still come back
+   by submission index. *)
+let test_order_under_skew () =
+  let n = 12 in
+  let input = Array.init n (fun i -> i) in
+  let f i =
+    if i < 3 then Unix.sleepf (0.02 *. float_of_int (3 - i));
+    i * i
+  in
+  let out = Pool.map ~jobs:4 f input in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v)
+    out
+
+let test_exception_propagates_and_pool_survives () =
+  let input = Array.init 32 (fun i -> i) in
+  Alcotest.check_raises "task failure re-raised" (Failure "boom") (fun () ->
+      ignore (Pool.map ~jobs:4 (fun i -> if i = 13 then failwith "boom" else i) input));
+  (* The failure joined every domain; a fresh run on the same inputs
+     works — the pool never wedges. *)
+  let out = Pool.map ~jobs:4 (fun i -> i + 1) input in
+  Alcotest.(check int) "subsequent run ok" 32 out.(31)
+
+(* jobs=1 degenerates to in-line execution: same domain, sequential
+   order, no hook invocations. *)
+let test_jobs1_inline () =
+  let self = Domain.self () in
+  let order = ref [] in
+  let wrapped = ref false in
+  let out =
+    Pool.map ~jobs:1
+      ~wrap_worker:(fun _ body ->
+        wrapped := true;
+        body ())
+      ~on_stats:(fun _ -> wrapped := true)
+      (fun i ->
+        Alcotest.(check bool) "same domain" true (Domain.self () = self);
+        order := i :: !order;
+        i)
+      (Array.init 8 (fun i -> i))
+  in
+  Alcotest.(check (list int)) "sequential order" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.rev !order);
+  Alcotest.(check int) "results" 7 out.(7);
+  Alcotest.(check bool) "hooks not invoked" false !wrapped
+
+let test_stats_cover_all_tasks () =
+  let n = 23 in
+  let total = ref 0 in
+  let workers = ref 0 in
+  let out =
+    Pool.map ~jobs:4
+      ~on_stats:(fun stats ->
+        workers := List.length stats;
+        List.iter (fun (s : Pool.worker_stats) -> total := !total + s.Pool.tasks) stats)
+      (fun i -> i)
+      (Array.init n (fun i -> i))
+  in
+  Alcotest.(check int) "all tasks counted" n !total;
+  Alcotest.(check int) "one stats record per worker" 4 !workers;
+  Alcotest.(check int) "results intact" (n - 1) out.(n - 1)
+
+let test_wrap_worker_runs_in_worker () =
+  let self = Domain.self () in
+  let saw_other = Atomic.make false in
+  let _ =
+    Pool.map ~jobs:2
+      ~wrap_worker:(fun _ body ->
+        if Domain.self () <> self then Atomic.set saw_other true;
+        body ())
+      (fun i -> i)
+      (Array.init 8 (fun i -> i))
+  in
+  Alcotest.(check bool) "wrap ran on a spawned domain" true
+    (Atomic.get saw_other)
+
+let suite =
+  [
+    Alcotest.test_case "submission order under skewed durations" `Quick
+      test_order_under_skew;
+    Alcotest.test_case "exception propagates, pool survives" `Quick
+      test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs1_inline;
+    Alcotest.test_case "stats cover all tasks" `Quick
+      test_stats_cover_all_tasks;
+    Alcotest.test_case "wrap_worker runs in worker domain" `Quick
+      test_wrap_worker_runs_in_worker;
+  ]

@@ -45,6 +45,9 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as files) -> files
     | _ ->
+        (* A glob that expanded to nothing must fail loudly, not
+           "validate" zero files. *)
+        prerr_endline "json_check: no files given";
         prerr_endline "usage: json_check FILE...";
         exit 2
   in
