@@ -462,6 +462,144 @@ let draw_cmd =
     (Cmd.info "draw" ~doc:"Render a failure scenario and recovery to SVG")
     Term.(const run $ obs_term $ topo_arg $ seed_arg $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Fuzzing: theorem-oracle campaigns and artifact replay *)
+
+let fuzz_cmd =
+  let module Campaign = Rtr_check.Campaign in
+  let module Oracle = Rtr_check.Oracle in
+  let cases_arg =
+    let doc = "Random failure scenarios to generate and check." in
+    Arg.(value & opt int Campaign.default.Campaign.cases
+         & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let oracle_arg =
+    let all = String.concat ", " (List.map (fun o -> o.Oracle.name) Oracle.all) in
+    let doc =
+      Printf.sprintf
+        "Oracle to run (repeatable; default all). One of: %s." all
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Deliberately inject a protocol bug (e.g. $(b,drop-failed-link)) to \
+       verify the fuzzer catches, shrinks, and records it.  The campaign is \
+       then expected to FAIL."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"BUG" ~doc)
+  in
+  let out_arg =
+    let doc = "Write counterexample artifacts (JSON repro files) into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let run () cases seed jobs oracles inject out =
+    let jobs = Option.value jobs ~default:(Rtr_sim.Parallel.env_jobs ()) in
+    let oracles =
+      match oracles with
+      | [] -> Oracle.all
+      | names ->
+          List.map
+            (fun name ->
+              match Oracle.find name with
+              | Some o -> o
+              | None ->
+                  prerr_endline ("rtr_sim: unknown oracle " ^ name);
+                  exit 2)
+            names
+    in
+    let inject =
+      Option.map
+        (fun name ->
+          match Oracle.injection_of_string name with
+          | Some i -> i
+          | None ->
+              prerr_endline ("rtr_sim: unknown injection " ^ name);
+              exit 2)
+        inject
+    in
+    let config =
+      {
+        Campaign.default with
+        Campaign.cases;
+        seed;
+        jobs;
+        oracles;
+        inject;
+        out_dir = out;
+      }
+    in
+    let outcome = Campaign.run ~log:log_line config in
+    List.iter
+      (fun (c : Campaign.counterexample) ->
+        Format.printf "case %d: %s: %s@." c.Campaign.index
+          c.Campaign.violation.Oracle.oracle c.Campaign.violation.Oracle.detail;
+        Format.printf
+          "  shrunk from %d routers / %d links to %d routers / %d links (%d \
+           evaluations)@."
+          c.Campaign.original.Rtr_check.Spec.n
+          (List.length c.Campaign.original.Rtr_check.Spec.edges)
+          c.Campaign.shrunk.Rtr_check.Spec.n
+          (List.length c.Campaign.shrunk.Rtr_check.Spec.edges)
+          c.Campaign.shrink_evals;
+        Option.iter (Format.printf "  wrote %s@.") c.Campaign.artifact)
+      outcome.Campaign.failures;
+    let n_fail = List.length outcome.Campaign.failures in
+    Format.printf "%d cases, %d violation%s, %d oracle%s@."
+      outcome.Campaign.cases_run n_fail
+      (if n_fail = 1 then "" else "s")
+      (List.length oracles)
+      (if List.length oracles = 1 then "" else "s");
+    if n_fail > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the protocol against the paper's theorems: random topologies \
+          and failures checked by invariant and differential oracles, with \
+          greedy counterexample shrinking.  Exits 1 when a violation is \
+          found.")
+    Term.(
+      const run $ obs_term $ cases_arg $ seed_arg $ jobs_arg $ oracle_arg
+      $ inject_arg $ out_arg)
+
+let replay_cmd =
+  let module Campaign = Rtr_check.Campaign in
+  let module Oracle = Rtr_check.Oracle in
+  let files_arg =
+    let doc = "Artifact files written by $(b,fuzz --out) (or the corpus)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let run () files =
+    let ok = ref true in
+    List.iter
+      (fun file ->
+        let fail msg =
+          ok := false;
+          Format.printf "%s: FAIL (%s)@." file msg
+        in
+        match Result.bind (Campaign.load_file file) Campaign.replay with
+        | Ok (Campaign.Matched None) -> Format.printf "%s: ok (passes)@." file
+        | Ok (Campaign.Matched (Some v)) ->
+            Format.printf "%s: ok (still violates %s: %s)@." file
+              v.Oracle.oracle v.Oracle.detail
+        | Ok (Campaign.Mismatched { expected; got }) ->
+            fail
+              (Printf.sprintf "expected %s, got %s" expected
+                 (match got with
+                 | None -> "a pass"
+                 | Some v -> "a violation: " ^ v.Oracle.detail))
+        | Error msg -> fail msg)
+      files;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run recorded fuzz counterexamples (or corpus scenarios) and \
+          check each still behaves as its artifact expects.")
+    Term.(const run $ obs_term $ files_arg)
+
 let cmds =
   [
     topologies_cmd;
@@ -481,6 +619,8 @@ let cmds =
     needs_data_cmd All "all" "Every table and figure of the evaluation";
     run_cmd;
     draw_cmd;
+    fuzz_cmd;
+    replay_cmd;
   ]
 
 let () =

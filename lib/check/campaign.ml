@@ -1,0 +1,228 @@
+module Json = Rtr_obs.Json
+module Metrics = Rtr_obs.Metrics
+module Trace = Rtr_obs.Trace
+
+type config = {
+  cases : int;
+  seed : int;
+  jobs : int;
+  oracles : Oracle.t list;
+  inject : Oracle.injection option;
+  out_dir : string option;
+  max_shrink_evals : int;
+}
+
+let default =
+  {
+    cases = 200;
+    seed = 42;
+    jobs = 1;
+    oracles = Oracle.all;
+    inject = None;
+    out_dir = None;
+    max_shrink_evals = 2000;
+  }
+
+type counterexample = {
+  index : int;
+  original : Spec.t;
+  shrunk : Spec.t;
+  violation : Oracle.violation;
+  shrink_evals : int;
+  artifact : string option;
+}
+
+type outcome = { cases_run : int; failures : counterexample list }
+
+(* Spec [i] draws from an RNG keyed on [(seed, i)], so it is the same
+   spec no matter how many cases run or how they are sharded. *)
+let spec_rng ~seed ~index =
+  Rtr_util.Rng.make (((seed * 1_000_003) + index) lxor 0x5eed)
+
+let generate_spec ~seed ~index =
+  let rng = spec_rng ~seed ~index in
+  Spec.generate rng ~name:(Printf.sprintf "fuzz-%d-%d" seed index)
+
+let check_with ~inject oracles spec =
+  List.fold_left
+    (fun acc (o : Oracle.t) ->
+      match acc with Some _ -> acc | None -> o.Oracle.run ~inject spec)
+    None oracles
+
+let artifact_json ~oracle ?inject ?seed ?index ?violation ~expect spec =
+  let base =
+    [ ("format", Json.String "rtr-check/1");
+      ("oracle", Json.String oracle.Oracle.name) ]
+  in
+  let opt name f = function Some x -> [ (name, f x) ] | None -> [] in
+  Json.Obj
+    (base
+    @ opt "inject"
+        (fun i -> Json.String (Oracle.injection_to_string i))
+        inject
+    @ opt "seed" (fun s -> Json.Int s) seed
+    @ opt "index" (fun i -> Json.Int i) index
+    @ [
+        ( "expect",
+          Json.String
+            (match expect with `Violation -> "violation" | `Pass -> "pass") );
+      ]
+    @ opt "violation" (fun (v : Oracle.violation) -> Json.String v.detail)
+        violation
+    @ [ ("spec", Spec.to_json spec) ])
+
+let run ?(log = fun _ -> ()) config =
+  Trace.with_ "check.campaign"
+    ~attrs:
+      [
+        ("cases", string_of_int config.cases);
+        ("seed", string_of_int config.seed);
+        ("jobs", string_of_int config.jobs);
+      ]
+  @@ fun () ->
+  let cases_c = Metrics.counter "check.cases" in
+  let violations_c = Metrics.counter "check.violations" in
+  let shrink_h = Metrics.histogram "check.shrink.evals" in
+  let specs =
+    Array.init config.cases (fun index ->
+        (index, generate_spec ~seed:config.seed ~index))
+  in
+  let verdicts =
+    Rtr_sim.Parallel.map ~jobs:config.jobs
+      (fun (_, spec) -> check_with ~inject:config.inject config.oracles spec)
+      specs
+  in
+  Metrics.Counter.add cases_c config.cases;
+  let failures = ref [] in
+  Array.iteri
+    (fun i verdict ->
+      match verdict with
+      | None -> ()
+      | Some (violation : Oracle.violation) ->
+          Metrics.Counter.incr violations_c;
+          let index, original = specs.(i) in
+          log
+            (Printf.sprintf "case %d: %s violated (%s); shrinking..." index
+               violation.Oracle.oracle violation.Oracle.detail);
+          (* Re-check with only the violated oracle so shrinking chases
+             one bug, not whichever oracle trips first on the smaller
+             spec. *)
+          let oracle =
+            match Oracle.find violation.Oracle.oracle with
+            | Some o -> o
+            | None -> assert false
+          in
+          let shrunk, violation', evals =
+            Trace.with_ "check.shrink"
+              ~attrs:[ ("case", string_of_int index) ]
+            @@ fun () ->
+            Shrink.run ~max_evals:config.max_shrink_evals
+              ~check:(fun s -> oracle.Oracle.run ~inject:config.inject s)
+              original violation
+          in
+          Metrics.Histogram.observe shrink_h (float_of_int evals);
+          log
+            (Printf.sprintf
+               "case %d: shrunk to %d routers / %d links in %d evaluations"
+               index shrunk.Spec.n
+               (List.length shrunk.Spec.edges)
+               evals);
+          let artifact =
+            match config.out_dir with
+            | None -> None
+            | Some dir ->
+                let name =
+                  Printf.sprintf "counterexample_%s_%d.json"
+                    violation'.Oracle.oracle index
+                in
+                let json =
+                  artifact_json ~oracle ?inject:config.inject
+                    ~seed:config.seed ~index ~violation:violation'
+                    ~expect:`Violation shrunk
+                in
+                Rtr_sim.Report.save ~dir ~name (Json.to_string json ^ "\n");
+                Some (Filename.concat dir name)
+          in
+          failures :=
+            {
+              index;
+              original;
+              shrunk;
+              violation = violation';
+              shrink_evals = evals;
+              artifact;
+            }
+            :: !failures)
+    verdicts;
+  { cases_run = config.cases; failures = List.rev !failures }
+
+(* --- replay --------------------------------------------------------- *)
+
+type replay_result =
+  | Matched of Oracle.violation option
+  | Mismatched of { expected : string; got : Oracle.violation option }
+
+let ( let* ) = Result.bind
+
+let replay json =
+  (match Json.member "format" json with
+  | Some (Json.String "rtr-check/1") -> Ok ()
+  | Some (Json.String f) -> Error ("unsupported artifact format " ^ f)
+  | _ -> Error "missing artifact format")
+  |> fun format_ok ->
+  let* () = format_ok in
+  let* oracle =
+    match Json.member "oracle" json with
+    | Some (Json.String name) -> (
+        match Oracle.find name with
+        | Some o -> Ok o
+        | None -> Error ("unknown oracle " ^ name))
+    | _ -> Error "missing oracle name"
+  in
+  let* inject =
+    match Json.member "inject" json with
+    | None -> Ok None
+    | Some (Json.String s) -> (
+        match Oracle.injection_of_string s with
+        | Some i -> Ok (Some i)
+        | None -> Error ("unknown injection " ^ s))
+    | Some _ -> Error "bad inject field"
+  in
+  let* expect =
+    match Json.member "expect" json with
+    | Some (Json.String "violation") -> Ok `Violation
+    | Some (Json.String "pass") -> Ok `Pass
+    | None ->
+        (* Older artifacts: the presence of a recorded violation is the
+           expectation. *)
+        Ok
+          (match Json.member "violation" json with
+          | Some _ -> `Violation
+          | None -> `Pass)
+    | Some _ -> Error "bad expect field"
+  in
+  let* spec =
+    match Json.member "spec" json with
+    | Some s -> Spec.of_json s
+    | None -> Error "missing spec"
+  in
+  let got = oracle.Oracle.run ~inject spec in
+  let matched =
+    match (expect, got) with
+    | `Violation, Some _ | `Pass, None -> true
+    | _ -> false
+  in
+  if matched then Ok (Matched got)
+  else
+    Ok
+      (Mismatched
+         {
+           expected =
+             (match expect with `Violation -> "violation" | `Pass -> "pass");
+           got;
+         })
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Json.parse contents
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,71 @@
+(** The fuzzing campaign: generate, evaluate, shrink, persist.
+
+    Spec generation is keyed on [(seed, index)] and the shrinking of
+    each counterexample is sequential, so a campaign's outcome —
+    including every artifact byte — depends only on [(cases, seed,
+    oracles, inject)], never on [jobs].  Oracle evaluation itself is
+    sharded over {!Rtr_sim.Parallel.map}.
+
+    Instrumented under the [check.*] metric namespace
+    ([check.cases], [check.violations], [check.shrink.evals]) and the
+    [check.campaign]/[check.shrink] trace spans. *)
+
+type config = {
+  cases : int;  (** how many random specs to generate *)
+  seed : int;  (** campaign seed; spec [i] derives from [(seed, i)] *)
+  jobs : int;  (** domains for oracle evaluation *)
+  oracles : Oracle.t list;  (** run in order, first violation wins *)
+  inject : Oracle.injection option;
+      (** optional deliberate bug, for testing the fuzzer itself *)
+  out_dir : string option;  (** where to write counterexample artifacts *)
+  max_shrink_evals : int;
+}
+
+val default : config
+(** 200 cases, seed 42, 1 job, every oracle, no injection, no
+    artifacts, 2000 shrink evaluations. *)
+
+type counterexample = {
+  index : int;  (** which generated case failed *)
+  original : Spec.t;
+  shrunk : Spec.t;
+  violation : Oracle.violation;  (** as exhibited by [shrunk] *)
+  shrink_evals : int;
+  artifact : string option;  (** path written, when [out_dir] is set *)
+}
+
+type outcome = { cases_run : int; failures : counterexample list }
+
+val run : ?log:(string -> unit) -> config -> outcome
+(** [log] receives one-line progress messages (default: none). *)
+
+(** {1 Repro artifacts}
+
+    An artifact is a JSON object with [format = "rtr-check/1"], the
+    oracle name, the campaign seed/index it came from, the optional
+    injection, an [expect] field (["violation"] or ["pass"]), and the
+    shrunk spec.  Corpus files use [expect = "pass"]: they are
+    regression scenarios that must stay green. *)
+
+val artifact_json :
+  oracle:Oracle.t ->
+  ?inject:Oracle.injection ->
+  ?seed:int ->
+  ?index:int ->
+  ?violation:Oracle.violation ->
+  expect:[ `Violation | `Pass ] ->
+  Spec.t ->
+  Rtr_obs.Json.t
+
+type replay_result =
+  | Matched of Oracle.violation option
+      (** observed behaviour agrees with the artifact's [expect] *)
+  | Mismatched of { expected : string; got : Oracle.violation option }
+
+val replay : Rtr_obs.Json.t -> (replay_result, string) result
+(** Re-run an artifact's oracle (with its recorded injection) on its
+    spec and compare against [expect].  [Error] means the artifact
+    itself is malformed. *)
+
+val load_file : string -> (Rtr_obs.Json.t, string) result
+(** Read and parse one artifact file. *)

@@ -1,4 +1,5 @@
-(* Shared builders for the test suite. *)
+(* Shared scenario builders: single source of truth for the fuzzing
+   campaign and the test suite. *)
 
 module Graph = Rtr_graph.Graph
 

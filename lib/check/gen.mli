@@ -1,0 +1,31 @@
+(** Deterministic graph / topology / damage builders.
+
+    Promoted from the test suite's private helpers so that the fuzzing
+    campaign, the oracles and the tests all draw scenarios from one
+    source of truth.  Everything is a pure function of its seed. *)
+
+module Graph = Rtr_graph.Graph
+
+val random_connected_graph : seed:int -> n:int -> extra:int -> Graph.t
+(** A random spanning tree plus [extra] random extra edges, unit
+    costs. *)
+
+val random_weighted_graph :
+  seed:int -> n:int -> extra:int -> max_cost:int -> Graph.t
+(** The same shape with random positive per-direction costs in
+    [1, max_cost]. *)
+
+val random_topology : seed:int -> n:int -> Rtr_topo.Topology.t
+(** A random geometric topology with embedding (phase-1 property tests
+    need coordinates). *)
+
+val random_damage : seed:int -> Rtr_topo.Topology.t -> Rtr_failure.Damage.t
+(** A random disc damage with the paper's U(100, 300) radius. *)
+
+val detectors :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  (Graph.node * Graph.node) list
+(** Deterministic list of all (initiator, trigger) pairs a damage
+    creates: live nodes with a locally unreachable neighbour, ascending
+    by initiator. *)

@@ -1,0 +1,444 @@
+module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
+module Spt = Rtr_graph.Spt
+module Path = Rtr_graph.Path
+module Dijkstra = Rtr_graph.Dijkstra
+module Components = Rtr_graph.Components
+module Damage = Rtr_failure.Damage
+module Route_table = Rtr_routing.Route_table
+module Phase1 = Rtr_core.Phase1
+module Phase2 = Rtr_core.Phase2
+module Rtr = Rtr_core.Rtr
+module Scenario = Rtr_sim.Scenario
+
+type violation = { oracle : string; detail : string }
+
+type injection = Drop_failed_link
+
+let injection_to_string Drop_failed_link = "drop-failed-link"
+
+let injection_of_string = function
+  | "drop-failed-link" | "drop_failed_link" -> Some Drop_failed_link
+  | _ -> None
+
+type t = {
+  name : string;
+  doc : string;
+  run : inject:injection option -> Spec.t -> violation option;
+}
+
+let violation oracle fmt = Printf.ksprintf (fun detail -> { oracle; detail }) fmt
+
+(* Stop at the first violation: oracles short-circuit through [Seq]-free
+   exception plumbing kept local to this module. *)
+exception Found of violation
+
+let first_violation f =
+  match f () with () -> None | exception Found v -> Some v
+
+let ttl g = (4 * Graph.n_links g) + 4
+
+(* The (initiator, trigger, dst) test cases a damage creates, exactly
+   as [Scenario.of_area] enumerates them, but from an arbitrary damage
+   so [Explicit] failures work too. *)
+let cases_of topo table damage =
+  let g = Rtr_topo.Topology.graph topo in
+  let view = Damage.view damage in
+  let node_ok = Damage.node_ok damage in
+  let n = Graph.n_nodes g in
+  let spt_cache = Hashtbl.create 16 in
+  let shortest_from u =
+    match Hashtbl.find_opt spt_cache u with
+    | Some spt -> spt
+    | None ->
+        let spt = Dijkstra.spt view ~root:u () in
+        Hashtbl.replace spt_cache u spt;
+        spt
+  in
+  let cases = ref [] in
+  for initiator = n - 1 downto 0 do
+    if node_ok initiator then
+      for dst = n - 1 downto 0 do
+        if dst <> initiator then
+          match Route_table.next_link table ~src:initiator ~dst with
+          | None -> ()
+          | Some link ->
+              let trigger = Graph.other_end g link initiator in
+              if Damage.neighbor_unreachable damage trigger link then begin
+                let spt = shortest_from initiator in
+                let case =
+                  if node_ok dst && Spt.reached spt dst then
+                    {
+                      Scenario.initiator;
+                      trigger;
+                      dst;
+                      kind = Scenario.Recoverable;
+                      shortest_after = Some (Spt.dist spt dst);
+                    }
+                  else
+                    {
+                      Scenario.initiator;
+                      trigger;
+                      dst;
+                      kind = Scenario.Irrecoverable;
+                      shortest_after = None;
+                    }
+                in
+                cases := case :: !cases
+              end
+      done
+  done;
+  !cases
+
+(* --- Theorem 1 ------------------------------------------------------ *)
+
+let no_loop_run ~inject:_ spec =
+  let topo, damage = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let name = "no_loop" in
+  first_violation @@ fun () ->
+  List.iter
+    (fun (initiator, trigger) ->
+      let p1 = Phase1.run topo damage ~initiator ~trigger () in
+      (match p1.Phase1.status with
+      | Phase1.Completed | Phase1.No_live_neighbor -> ()
+      | Phase1.Hop_limit ->
+          raise
+            (Found
+               (violation name "phase 1 hit the hop limit from (v%d, v%d)"
+                  initiator trigger))
+      | Phase1.Stuck u ->
+          raise
+            (Found
+               (violation name "phase 1 stuck at v%d from (v%d, v%d)" u
+                  initiator trigger)));
+      if p1.Phase1.hops > ttl g then
+        raise
+          (Found
+             (violation name "walk from (v%d, v%d) took %d hops > TTL %d"
+                initiator trigger p1.Phase1.hops (ttl g)));
+      (* A repeated (router, header-state) pair under the deterministic
+         sweep means the walk was in a permanent loop that only the TTL
+         could end.  Header fields are append-only, so the header size
+         carried by a step identifies the header state. *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (s : Phase1.step) ->
+          let key = (s.Phase1.at, s.Phase1.reference, s.Phase1.header_bytes) in
+          if Hashtbl.mem seen key then
+            raise
+              (Found
+                 (violation name
+                    "walk from (v%d, v%d) revisited v%d with an unchanged \
+                     header"
+                    initiator trigger s.Phase1.at));
+          Hashtbl.replace seen key ())
+        p1.Phase1.steps;
+      (* Phase-2 routes are shortest paths over positive costs: any
+         revisited router would be a loop in the source route. *)
+      let ph2 = Phase2.create topo damage ~phase1:p1 () in
+      for dst = 0 to Graph.n_nodes g - 1 do
+        if dst <> initiator then
+          match Phase2.recovery_path ph2 ~dst with
+          | None -> ()
+          | Some path ->
+              let nodes = Path.nodes path in
+              let distinct = Hashtbl.create 16 in
+              List.iter
+                (fun v ->
+                  if Hashtbl.mem distinct v then
+                    raise
+                      (Found
+                         (violation name
+                            "recovery path (v%d -> v%d) revisits v%d" initiator
+                            dst v));
+                  Hashtbl.replace distinct v ())
+                nodes
+      done)
+    (Gen.detectors topo damage)
+
+(* --- Theorem 2 ------------------------------------------------------ *)
+
+let optimal_run ~inject spec =
+  let topo, damage = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let truth = Damage.view damage in
+  let name = "optimal" in
+  first_violation @@ fun () ->
+  List.iter
+    (fun (initiator, trigger) ->
+      let p1 = Phase1.run topo damage ~initiator ~trigger () in
+      (* What the initiator {e knows} failed: the phase-1 collection
+         plus its own locally-observed link failures.  Any emitted
+         source route crossing one of these is a protocol bug
+         regardless of what the injected fault did to the view. *)
+      let known_failed = Hashtbl.create 16 in
+      List.iter
+        (fun id -> Hashtbl.replace known_failed id ())
+        p1.Phase1.failed_links;
+      List.iter
+        (fun (_, id) -> Hashtbl.replace known_failed id ())
+        (Damage.unreachable_neighbors damage g initiator);
+      let phase1 =
+        match inject with
+        | None -> p1
+        | Some Drop_failed_link -> (
+            match List.rev p1.Phase1.failed_links with
+            | [] -> p1
+            | _ :: rest ->
+                { p1 with Phase1.failed_links = List.rev rest })
+      in
+      let ph2 = Phase2.create topo damage ~phase1 () in
+      let truth_spt = Dijkstra.spt truth ~root:initiator () in
+      for dst = 0 to Graph.n_nodes g - 1 do
+        if dst <> initiator then begin
+          let recoverable =
+            Damage.node_ok damage dst && Spt.reached truth_spt dst
+          in
+          match Phase2.recovery_path ph2 ~dst with
+          | None ->
+              (* The view only shrinks by true failures, so a reachable
+                 destination can never look unreachable. *)
+              if recoverable then
+                raise
+                  (Found
+                     (violation name
+                        "false unreachable verdict for v%d from (v%d, v%d)"
+                        dst initiator trigger))
+          | Some path -> (
+              List.iter
+                (fun id ->
+                  if Hashtbl.mem known_failed id then
+                    raise
+                      (Found
+                         (violation name
+                            "source route (v%d -> v%d) crosses %s, which the \
+                             initiator knew had failed"
+                            initiator dst (Graph.link_name g id))))
+                (Path.links g path);
+              match
+                Rtr_routing.Source_route.follow g damage path
+              with
+              | Rtr_routing.Source_route.Delivered ->
+                  let cost = Path.cost g path in
+                  let best = Spt.dist truth_spt dst in
+                  if cost <> best then
+                    raise
+                      (Found
+                         (violation name
+                            "recovered path (v%d -> v%d) costs %d, shortest \
+                             in the damaged topology is %d"
+                            initiator dst cost best))
+              | Rtr_routing.Source_route.Dropped _ ->
+                  (* Legitimate: phase 1 collects E1 ⊆ E2, so the first
+                     recovery attempt may hit an uncollected failure.
+                     Crossing a *collected* failure is caught above. *)
+                  ())
+        end
+      done)
+    (Gen.detectors topo damage)
+
+(* --- Theorem 3 ------------------------------------------------------ *)
+
+let single_link_run ~inject:_ spec =
+  let topo, _ = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let name = "single_link" in
+  if not (Components.is_connected g) then None
+  else
+    first_violation @@ fun () ->
+    for l = 0 to Graph.n_links g - 1 do
+      let view = View.remove_links (View.full g) [ l ] in
+      (* Theorem 3 presumes the failed link is not a bridge. *)
+      if Components.count (Components.compute view) = 1 then begin
+        let damage = Damage.of_failed g ~nodes:[] ~links:[ l ] in
+        let u, v = Graph.endpoints g l in
+        List.iter
+          (fun (initiator, trigger) ->
+            let session = Rtr.start topo damage ~initiator ~trigger () in
+            let spt = Dijkstra.spt (Damage.view damage) ~root:initiator () in
+            for dst = 0 to Graph.n_nodes g - 1 do
+              if dst <> initiator then
+                match Rtr.recover session ~dst with
+                | Rtr.Recovered path ->
+                    let cost = Path.cost g path in
+                    let best = Spt.dist spt dst in
+                    if cost <> best then
+                      raise
+                        (Found
+                           (violation name
+                              "failing %s: path (v%d -> v%d) costs %d, \
+                               shortest is %d"
+                              (Graph.link_name g l) initiator dst cost best))
+                | Rtr.Unreachable_in_view | Rtr.False_path _ ->
+                    raise
+                      (Found
+                         (violation name
+                            "failing %s: v%d not recovered from (v%d, v%d)"
+                            (Graph.link_name g l) dst initiator trigger))
+            done)
+          [ (u, v); (v, u) ]
+      end
+    done
+
+(* --- differential oracles ------------------------------------------- *)
+
+let incr_spt_run ~inject:_ spec =
+  let topo, damage = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let truth = Damage.view damage in
+  let full = View.full g in
+  let dead_nodes = Damage.failed_nodes damage in
+  let dead_links = Damage.failed_links damage in
+  let name = "incr_spt_vs_dijkstra" in
+  first_violation @@ fun () ->
+  for root = 0 to Graph.n_nodes g - 1 do
+    if Damage.node_ok damage root then begin
+      let base = Dijkstra.spt full ~root () in
+      let t = Spt.copy base in
+      ignore (Rtr_graph.Incremental_spt.remove t ~dead_nodes ~dead_links ~view:truth ());
+      let fresh = Dijkstra.spt truth ~root () in
+      if t.Spt.dist <> fresh.Spt.dist then
+        raise
+          (Found
+             (violation name
+                "incremental removal from v%d disagrees with Dijkstra" root));
+      (* And back: restoring the failed elements must return to the
+         pre-failure distances. *)
+      ignore
+        (Rtr_graph.Incremental_spt.restore t ~new_nodes:dead_nodes
+           ~new_links:dead_links ~view:full ());
+      if t.Spt.dist <> base.Spt.dist then
+        raise
+          (Found
+             (violation name
+                "incremental restore at v%d does not round-trip" root))
+    end
+  done
+
+let view_vs_filtered_run ~inject:_ spec =
+  let topo, damage = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let truth = Damage.view damage in
+  let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+  let name = "view_vs_filtered" in
+  first_violation @@ fun () ->
+  for root = 0 to Graph.n_nodes g - 1 do
+    if node_ok root then begin
+      let a = Dijkstra.spt truth ~root () in
+      let b = Dijkstra.spt_filtered g ~root ~node_ok ~link_ok () in
+      if
+        a.Spt.dist <> b.Spt.dist
+        || a.Spt.parent_node <> b.Spt.parent_node
+        || a.Spt.parent_link <> b.Spt.parent_link
+      then
+        raise
+          (Found
+             (violation name "view and closure Dijkstra differ at root v%d"
+                root))
+    end
+  done;
+  let ca = Components.compute truth in
+  let cb = Components.compute_filtered g ~node_ok ~link_ok () in
+  for u = 0 to Graph.n_nodes g - 1 do
+    if Components.id_of ca u <> Components.id_of cb u then
+      raise
+        (Found (violation name "component ids differ at v%d" u))
+  done;
+  let ta = Route_table.compute truth in
+  let tb = Route_table.compute_filtered ~node_ok ~link_ok g in
+  if not (Route_table.equal ta tb) then
+    raise (Found (violation name "view and closure routing tables differ"))
+
+let parallel_run ~inject:_ spec =
+  let topo, damage = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let name = "parallel_vs_sequential" in
+  if not (Components.is_connected g) then None
+  else begin
+    let table = Route_table.compute (View.full g) in
+    match cases_of topo table damage with
+    | [] -> None
+    | cases ->
+        let area =
+          (* [Runner] never reads the area; [Explicit] specs get a
+             zero-radius placeholder so the record can be built. *)
+          match spec.Spec.failure with
+          | Spec.Disc { cx; cy; r } ->
+              Rtr_failure.Area.disc ~center:(Rtr_geom.Point.make cx cy)
+                ~radius:r
+          | Spec.Explicit _ ->
+              Rtr_failure.Area.disc ~center:Rtr_geom.Point.origin ~radius:0.
+        in
+        let scenario = { Scenario.topo; table; area; damage; cases } in
+        let mrc = Rtr_baselines.Mrc.build_auto g in
+        let eval jobs =
+          Rtr_sim.Parallel.map ~jobs
+            (fun c ->
+              Rtr_sim.Runner.run_scenario ~mrc
+                { scenario with Scenario.cases = [ c ] })
+            (Array.of_list cases)
+        in
+        if eval 1 = eval 3 then None
+        else
+          Some
+            (violation name
+               "jobs=3 evaluation differs from the sequential run on %d cases"
+               (List.length cases))
+  end
+
+(* --- registry ------------------------------------------------------- *)
+
+let no_loop =
+  {
+    name = "no_loop";
+    doc = "Theorem 1: phase-1 walks terminate, within TTL, without loops";
+    run = no_loop_run;
+  }
+
+let optimal =
+  {
+    name = "optimal";
+    doc = "Theorem 2: recovery paths are shortest in the true failed graph";
+    run = optimal_run;
+  }
+
+let single_link =
+  {
+    name = "single_link";
+    doc = "Theorem 3: any non-bridge single link failure recovers optimally";
+    run = single_link_run;
+  }
+
+let incr_spt_vs_dijkstra =
+  {
+    name = "incr_spt_vs_dijkstra";
+    doc = "incremental SPT repair equals from-scratch Dijkstra";
+    run = incr_spt_run;
+  }
+
+let view_vs_filtered =
+  {
+    name = "view_vs_filtered";
+    doc = "bitset views equal the legacy closure-pair traversals";
+    run = view_vs_filtered_run;
+  }
+
+let parallel_vs_sequential =
+  {
+    name = "parallel_vs_sequential";
+    doc = "pool evaluation is bit-identical to the sequential run";
+    run = parallel_run;
+  }
+
+let all =
+  [
+    no_loop;
+    optimal;
+    single_link;
+    incr_spt_vs_dijkstra;
+    view_vs_filtered;
+    parallel_vs_sequential;
+  ]
+
+let find name = List.find_opt (fun o -> o.name = name) all

@@ -1,0 +1,55 @@
+(** Theorem and differential oracles.
+
+    Each oracle takes a materialised {!Spec.t} and either accepts it or
+    returns the first violation found.  Oracles only ever compare the
+    protocol's behaviour against ground truth (full Dijkstra over
+    [Damage.view], exhaustive reachability) or against an independent
+    implementation of the same computation — they never re-derive the
+    protocol's own answer.
+
+    - [no_loop] — Theorem 1: every phase-1 walk terminates by closing
+      its cycle, within the 4|E|+4 TTL, never repeating a
+      (router, header-state) pair; phase-2 paths are simple.
+    - [optimal] — Theorem 2: a {e delivered} recovery path is shortest
+      in the {e truly} damaged topology (phase 1 collects E1 ⊆ E2, so a
+      first attempt may legitimately drop at an uncollected failure);
+      emitted source routes never cross a link the initiator knew had
+      failed; "unreachable" verdicts are never false.
+    - [single_link] — Theorem 3: exhaustive single-link-failure sweep;
+      every destination recovers optimally whenever the graph stays
+      connected.
+    - [incr_spt_vs_dijkstra] — incremental SPT repair distances equal a
+      from-scratch Dijkstra over the damaged view.
+    - [view_vs_filtered] — bitset-mask traversals equal the legacy
+      closure-pair implementations bit for bit.
+    - [parallel_vs_sequential] — evaluating the scenario's cases on a
+      multi-domain pool yields results structurally identical to the
+      sequential run. *)
+
+type violation = { oracle : string; detail : string }
+
+type injection = Drop_failed_link
+    (** Deliberately weaken phase 2 by dropping the last link phase 1
+        collected before the view is built — the Theorem-2 bug the
+        fuzzer must be able to catch.  Honoured by [optimal] only. *)
+
+val injection_to_string : injection -> string
+val injection_of_string : string -> injection option
+
+type t = {
+  name : string;
+  doc : string;
+  run : inject:injection option -> Spec.t -> violation option;
+}
+
+val no_loop : t
+val optimal : t
+val single_link : t
+val incr_spt_vs_dijkstra : t
+val view_vs_filtered : t
+val parallel_vs_sequential : t
+
+val all : t list
+(** Every oracle, in the order the campaign runs them. *)
+
+val find : string -> t option

@@ -1,0 +1,60 @@
+let run ?(max_evals = 2000) ~check spec violation =
+  let evals = ref 0 in
+  let best = ref (spec, violation) in
+  let try_move candidate =
+    match candidate with
+    | None -> false
+    | Some spec' ->
+        !evals < max_evals
+        && begin
+             incr evals;
+             (* [build] can reject degenerate shrinks (e.g. a failure
+                that swallowed the whole graph); treat those as
+                non-reproducing rather than aborting the search. *)
+             match check spec' with
+             | Some v ->
+                 best := (spec', v);
+                 true
+             | None | (exception _) -> false
+           end
+  in
+  let shrink_radius () =
+    let progress = ref false in
+    while try_move (Spec.halve_radius (fst !best)) do
+      progress := true
+    done;
+    !progress
+  in
+  (* High link indices first so [List.filteri] positions stay valid for
+     the indices not yet tried within one sweep. *)
+  let shrink_links () =
+    let progress = ref false in
+    let i = ref (List.length (fst !best).Spec.edges - 1) in
+    while !i >= 0 do
+      if try_move (Spec.drop_link (fst !best) !i) then progress := true;
+      decr i;
+      let limit = List.length (fst !best).Spec.edges in
+      if !i >= limit then i := limit - 1
+    done;
+    !progress
+  in
+  let shrink_nodes () =
+    let progress = ref false in
+    let v = ref ((fst !best).Spec.n - 1) in
+    while !v >= 0 do
+      if try_move (Spec.drop_node (fst !best) !v) then progress := true;
+      decr v;
+      let limit = (fst !best).Spec.n in
+      if !v >= limit then v := limit - 1
+    done;
+    !progress
+  in
+  let continue = ref true in
+  while !continue && !evals < max_evals do
+    let a = shrink_links () in
+    let b = shrink_nodes () in
+    let c = shrink_radius () in
+    continue := a || b || c
+  done;
+  let spec', violation' = !best in
+  (spec', violation', !evals)

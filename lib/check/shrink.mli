@@ -1,0 +1,18 @@
+(** Greedy structural counterexample shrinking.
+
+    Given a spec that a checker rejects, repeatedly try the moves of
+    {!Spec} — halve the failure radius, drop a link, drop a node — and
+    keep any result the checker still rejects (for the same oracle,
+    though possibly with a different detail).  Passes repeat until a
+    whole pass makes no progress or the evaluation budget runs out. *)
+
+val run :
+  ?max_evals:int ->
+  check:(Spec.t -> Oracle.violation option) ->
+  Spec.t ->
+  Oracle.violation ->
+  Spec.t * Oracle.violation * int
+(** [run ~check spec violation] returns the shrunk spec, the violation
+    it still exhibits, and how many checker evaluations were spent.
+    [max_evals] (default 2000) bounds the search; the best spec found
+    so far is returned when the budget is exhausted. *)

@@ -1,0 +1,312 @@
+module Graph = Rtr_graph.Graph
+module Json = Rtr_obs.Json
+module Point = Rtr_geom.Point
+
+type failure =
+  | Disc of { cx : float; cy : float; r : float }
+  | Explicit of { nodes : int list; links : (int * int) list }
+
+type t = {
+  name : string;
+  n : int;
+  coords : (float * float) array;
+  edges : (int * int * int * int) list;
+  failure : failure;
+}
+
+let equal a b =
+  a.name = b.name && a.n = b.n && a.coords = b.coords && a.edges = b.edges
+  && a.failure = b.failure
+
+(* Keep every float on a 0.01 grid: such values need at most 6-7
+   significant digits, which the JSON printer's %.12g reproduces
+   exactly, so serialise/parse is the identity. *)
+let grid x = Float.round (x *. 100.) /. 100.
+
+let area_of = function
+  | Disc { cx; cy; r } ->
+      Some (Rtr_failure.Area.disc ~center:(Point.make cx cy) ~radius:r)
+  | Explicit _ -> None
+
+let build spec =
+  let g = Graph.build_weighted ~n:spec.n ~edges:spec.edges in
+  let pts = Array.map (fun (x, y) -> Point.make x y) spec.coords in
+  let topo =
+    Rtr_topo.Topology.create ~name:spec.name g
+      (Rtr_topo.Embedding.of_points pts)
+  in
+  let damage =
+    match spec.failure with
+    | Disc _ ->
+        Rtr_failure.Damage.apply topo (Option.get (area_of spec.failure))
+    | Explicit { nodes; links } ->
+        let links =
+          List.filter_map (fun (u, v) -> Graph.find_link g u v) links
+        in
+        Rtr_failure.Damage.of_failed g ~nodes ~links
+  in
+  (topo, damage)
+
+let generate rng ~name =
+  let module Rng = Rtr_util.Rng in
+  let attempt () =
+    let n = 6 + Rng.int rng 19 in
+    (* Distinct grid coordinates, so link directions stay well
+       defined. *)
+    let seen = Hashtbl.create 32 in
+    let coords =
+      Array.init n (fun _ ->
+          let rec draw tries =
+            let x = grid (Rng.float rng 2000.)
+            and y = grid (Rng.float rng 2000.) in
+            if Hashtbl.mem seen (x, y) && tries < 100 then draw (tries + 1)
+            else begin
+              Hashtbl.replace seen (x, y) ();
+              (x, y)
+            end
+          in
+          draw 0)
+    in
+    (* Spanning tree plus extra links, like Gen.random_connected_graph,
+       but with the edge list kept explicit for shrinking. *)
+    let linked = Hashtbl.create 64 in
+    let edges = ref [] in
+    let add u v =
+      if u <> v && not (Hashtbl.mem linked (min u v, max u v)) then begin
+        Hashtbl.replace linked (min u v, max u v) ();
+        edges := (u, v, 1 + Rng.int rng 10, 1 + Rng.int rng 10) :: !edges
+      end
+    in
+    for v = 1 to n - 1 do
+      add (Rng.int rng v) v
+    done;
+    let extra = Rng.int rng (n + 1) in
+    let attempts = ref 0 in
+    let added = ref 0 in
+    while !added < extra && !attempts < 100 * extra do
+      incr attempts;
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v && not (Hashtbl.mem linked (min u v, max u v)) then begin
+        add u v;
+        incr added
+      end
+    done;
+    let failure =
+      Disc
+        {
+          cx = grid (Rng.float rng 2000.);
+          cy = grid (Rng.float rng 2000.);
+          r = grid (100. +. Rng.float rng 200.);
+        }
+    in
+    { name; n; coords; edges = List.rev !edges; failure }
+  in
+  (* Re-draw until the failure actually triggers recovery somewhere;
+     a damage-free spec exercises nothing. *)
+  let rec search tries =
+    let spec = attempt () in
+    let topo, damage = build spec in
+    if Gen.detectors topo damage <> [] || tries >= 20 then spec
+    else search (tries + 1)
+  in
+  search 0
+
+let of_topology topo ~name failure =
+  let g = Rtr_topo.Topology.graph topo in
+  let emb = Rtr_topo.Topology.embedding topo in
+  let coords =
+    Array.init (Graph.n_nodes g) (fun v ->
+        let p = Rtr_topo.Embedding.position emb v in
+        (grid p.Point.x, grid p.Point.y))
+  in
+  let edges =
+    Graph.fold_links g ~init:[] ~f:(fun acc id u v ->
+        (u, v, Graph.cost g id ~src:u, Graph.cost g id ~src:v) :: acc)
+    |> List.rev
+  in
+  { name; n = Graph.n_nodes g; coords; edges; failure }
+
+(* --- shrinking moves ------------------------------------------------ *)
+
+let drop_link spec i =
+  if List.length spec.edges <= 1 || i < 0 || i >= List.length spec.edges then
+    None
+  else
+    Some
+      { spec with edges = List.filteri (fun j _ -> j <> i) spec.edges }
+
+let drop_node spec v =
+  if spec.n <= 2 || v < 0 || v >= spec.n then None
+  else
+    let remap u = if u > v then u - 1 else u in
+    let edges =
+      List.filter_map
+        (fun (a, b, cab, cba) ->
+          if a = v || b = v then None
+          else Some (remap a, remap b, cab, cba))
+        spec.edges
+    in
+    if edges = [] then None
+    else
+      let coords =
+        Array.init (spec.n - 1) (fun i ->
+            spec.coords.(if i >= v then i + 1 else i))
+      in
+      let failure =
+        match spec.failure with
+        | Disc _ as d -> d
+        | Explicit { nodes; links } ->
+            Explicit
+              {
+                nodes =
+                  List.filter_map
+                    (fun u -> if u = v then None else Some (remap u))
+                    nodes;
+                links =
+                  List.filter_map
+                    (fun (a, b) ->
+                      if a = v || b = v then None else Some (remap a, remap b))
+                    links;
+              }
+      in
+      Some { spec with n = spec.n - 1; coords; edges; failure }
+
+let halve_radius spec =
+  match spec.failure with
+  | Explicit _ -> None
+  | Disc { cx; cy; r } ->
+      if r <= 1.0 then None
+      else Some { spec with failure = Disc { cx; cy; r = grid (r /. 2.) } }
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let failure_to_json = function
+  | Disc { cx; cy; r } ->
+      Json.Obj
+        [
+          ("kind", Json.String "disc");
+          ("cx", Json.Float cx);
+          ("cy", Json.Float cy);
+          ("r", Json.Float r);
+        ]
+  | Explicit { nodes; links } ->
+      Json.Obj
+        [
+          ("kind", Json.String "explicit");
+          ("nodes", Json.Arr (List.map (fun v -> Json.Int v) nodes));
+          ( "links",
+            Json.Arr
+              (List.map
+                 (fun (u, v) -> Json.Arr [ Json.Int u; Json.Int v ])
+                 links) );
+        ]
+
+let to_json spec =
+  Json.Obj
+    [
+      ("name", Json.String spec.name);
+      ("n", Json.Int spec.n);
+      ( "coords",
+        Json.Arr
+          (Array.to_list spec.coords
+          |> List.map (fun (x, y) -> Json.Arr [ Json.Float x; Json.Float y ]))
+      );
+      ( "edges",
+        Json.Arr
+          (List.map
+             (fun (u, v, cuv, cvu) ->
+               Json.Arr [ Json.Int u; Json.Int v; Json.Int cuv; Json.Int cvu ])
+             spec.edges) );
+      ("failure", failure_to_json spec.failure);
+    ]
+
+(* The parser may hand back [Int] where we wrote a whole-valued
+   [Float]. *)
+let as_float = function
+  | Json.Float x -> Some x
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_int = function Json.Int i -> Some i | _ -> None
+
+let ( let* ) = Result.bind
+
+let req what = function Some x -> Ok x | None -> Error ("bad " ^ what)
+
+let all_opt f xs =
+  List.fold_right
+    (fun x acc ->
+      match (f x, acc) with
+      | Some y, Some ys -> Some (y :: ys)
+      | _ -> None)
+    xs (Some [])
+
+let failure_of_json j =
+  match Json.member "kind" j with
+  | Some (Json.String "disc") ->
+      let* cx = req "failure.cx" (Option.bind (Json.member "cx" j) as_float) in
+      let* cy = req "failure.cy" (Option.bind (Json.member "cy" j) as_float) in
+      let* r = req "failure.r" (Option.bind (Json.member "r" j) as_float) in
+      Ok (Disc { cx; cy; r })
+  | Some (Json.String "explicit") ->
+      let* nodes =
+        req "failure.nodes"
+          (match Json.member "nodes" j with
+          | Some (Json.Arr xs) -> all_opt as_int xs
+          | _ -> None)
+      in
+      let* links =
+        req "failure.links"
+          (match Json.member "links" j with
+          | Some (Json.Arr xs) ->
+              all_opt
+                (function
+                  | Json.Arr [ Json.Int u; Json.Int v ] -> Some (u, v)
+                  | _ -> None)
+                xs
+          | _ -> None)
+      in
+      Ok (Explicit { nodes; links })
+  | _ -> Error "bad failure.kind"
+
+let of_json j =
+  let* name =
+    req "name"
+      (match Json.member "name" j with
+      | Some (Json.String s) -> Some s
+      | _ -> None)
+  in
+  let* n = req "n" (Option.bind (Json.member "n" j) as_int) in
+  let* coords =
+    req "coords"
+      (match Json.member "coords" j with
+      | Some (Json.Arr xs) ->
+          all_opt
+            (function
+              | Json.Arr [ x; y ] -> (
+                  match (as_float x, as_float y) with
+                  | Some x, Some y -> Some (x, y)
+                  | _ -> None)
+              | _ -> None)
+            xs
+      | _ -> None)
+  in
+  let* edges =
+    req "edges"
+      (match Json.member "edges" j with
+      | Some (Json.Arr xs) ->
+          all_opt
+            (function
+              | Json.Arr [ Json.Int u; Json.Int v; Json.Int a; Json.Int b ] ->
+                  Some (u, v, a, b)
+              | _ -> None)
+            xs
+      | _ -> None)
+  in
+  let* failure =
+    match Json.member "failure" j with
+    | Some f -> failure_of_json f
+    | None -> Error "missing failure"
+  in
+  if List.length coords <> n then Error "coords length differs from n"
+  else Ok { name; n; coords = Array.of_list coords; edges; failure }

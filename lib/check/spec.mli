@@ -1,0 +1,66 @@
+(** Self-contained, serialisable failure scenarios for the fuzzer.
+
+    A spec pins everything an oracle needs — router coordinates, the
+    weighted edge list, and the failure — as plain data, so a scenario
+    can be written to JSON, replayed bit-for-bit in another process,
+    and shrunk structurally (drop a link, drop a node, halve the
+    failure radius) without reference to the RNG that produced it.
+
+    All floats in a spec are kept on a 0.01 grid so the JSON printer's
+    [%.12g] rendering round-trips exactly. *)
+
+module Graph = Rtr_graph.Graph
+
+type failure =
+  | Disc of { cx : float; cy : float; r : float }
+      (** the paper's disc area, applied to the embedding *)
+  | Explicit of { nodes : int list; links : (int * int) list }
+      (** failed routers and failed links by endpoints (stable under
+          shrinking, unlike link ids) *)
+
+type t = {
+  name : string;
+  n : int;
+  coords : (float * float) array;  (** one (x, y) per node *)
+  edges : (int * int * int * int) list;  (** u, v, c_uv, c_vu *)
+  failure : failure;
+}
+
+val equal : t -> t -> bool
+
+val grid : float -> float
+(** Round to the 0.01 grid all spec floats live on. *)
+
+val build : t -> Rtr_topo.Topology.t * Rtr_failure.Damage.t
+(** Materialise the spec.  Deterministic; crossings are recomputed from
+    the stored embedding. *)
+
+val generate : Rtr_util.Rng.t -> name:string -> t
+(** A random small topology (6-24 routers) with a random disc failure,
+    re-drawn (bounded) until the damage creates at least one recovery
+    initiator.  Deterministic in the RNG state. *)
+
+val of_topology : Rtr_topo.Topology.t -> name:string -> failure -> t
+(** Snapshot an existing topology (e.g. a Rocketfuel parse) into a
+    spec.  Coordinates are rounded to the 0.01 grid, so crossings may
+    differ infinitesimally from the source topology's. *)
+
+(** {1 Shrinking moves}
+
+    Each returns [None] when the move does not apply (too small, wrong
+    failure kind). *)
+
+val drop_link : t -> int -> t option
+(** Remove the i-th edge of [edges] (0-based). *)
+
+val drop_node : t -> Graph.node -> t option
+(** Remove a node and its incident edges; remaining nodes are densely
+    renumbered and an [Explicit] failure is remapped with them. *)
+
+val halve_radius : t -> t option
+(** Halve a [Disc] failure's radius (floor 1.0). *)
+
+(** {1 JSON} *)
+
+val to_json : t -> Rtr_obs.Json.t
+val of_json : Rtr_obs.Json.t -> (t, string) result

@@ -52,7 +52,8 @@ module Field = struct
   let exists t f = List.exists f t.rev
 end
 
-let run topo damage ?(constraints = true) ?hand ~initiator ~trigger () =
+let run topo damage ?(constraints = true) ?hand ?hop_limit ~initiator ~trigger
+    () =
   let g = Rtr_topo.Topology.graph topo in
   let crossings = Rtr_topo.Topology.crossings topo in
   (match Graph.find_link g initiator trigger with
@@ -123,30 +124,36 @@ let run topo damage ?(constraints = true) ?hand ~initiator ~trigger () =
           header_bytes = header ();
         }
       in
-      let hop_limit = (4 * Graph.n_links g) + 4 in
+      let hop_limit =
+        match hop_limit with
+        | Some l -> l
+        | None -> (4 * Graph.n_links g) + 4
+      in
       let rec loop u reference walk_rev steps_rev hops =
-        (* [u] just received the packet from [reference]. *)
+        (* [u] just received the packet from [reference]; [hops] steps
+           have been taken so far. *)
         record_failures u;
-        if hops > hop_limit then finish Hop_limit walk_rev steps_rev
-        else
-          match Sweep.select topo damage ?hand ~at:u ~reference ~excluded () with
-          | None -> finish (Stuck u) walk_rev steps_rev
-          | Some (next, link) ->
-              if u = initiator && next = first_hop then
-                finish Completed walk_rev steps_rev
-              else begin
-                update_cross link;
-                let step =
-                  {
-                    at = u;
-                    reference;
-                    chosen = next;
-                    via = link;
-                    header_bytes = header ();
-                  }
-                in
-                loop next u (next :: walk_rev) (step :: steps_rev) (hops + 1)
-              end
+        match Sweep.select topo damage ?hand ~at:u ~reference ~excluded () with
+        | None -> finish (Stuck u) walk_rev steps_rev
+        | Some (next, link) ->
+            if u = initiator && next = first_hop then
+              (* Closing the cycle consumes no hop, so completion is
+                 still possible with the TTL fully spent. *)
+              finish Completed walk_rev steps_rev
+            else if hops >= hop_limit then finish Hop_limit walk_rev steps_rev
+            else begin
+              update_cross link;
+              let step =
+                {
+                  at = u;
+                  reference;
+                  chosen = next;
+                  via = link;
+                  header_bytes = header ();
+                }
+              in
+              loop next u (next :: walk_rev) (step :: steps_rev) (hops + 1)
+            end
       in
       loop first_hop initiator [ first_hop; initiator ] [ first_step ] 1
 

@@ -26,8 +26,10 @@ type status =
       (** the initiator is completely cut off; nothing to walk — the
           initiator still "completes" with an empty collection *)
   | Hop_limit
-      (** simulator safety net (4|E| + 4 hops); Theorem 1 says this is
-          unreachable, and the property tests assert so *)
+      (** simulator safety net: the walk is cut the moment taking one
+          more hop would exceed the TTL (4|E| + 4 hops by default), so
+          [hops] never exceeds it.  Theorem 1 says this is unreachable,
+          and the property tests assert so *)
   | Stuck of Graph.node
       (** a router found no eligible next hop mid-walk; like
           [Hop_limit], never observed in practice *)
@@ -63,6 +65,7 @@ val run :
   Rtr_failure.Damage.t ->
   ?constraints:bool ->
   ?hand:Sweep.hand ->
+  ?hop_limit:int ->
   initiator:Graph.node ->
   trigger:Graph.node ->
   unit ->
@@ -78,7 +81,13 @@ val run :
     protocol proper always keeps it on.
 
     [hand] (default [Sweep.Right]) selects the rotation direction; the
-    bidirectional extension ([Bidir]) runs one walk per hand. *)
+    bidirectional extension ([Bidir]) runs one walk per hand.
+
+    [hop_limit] (default [4 * n_links + 4], Theorem 1's bound)
+    overrides the TTL; exposed so tests can probe the boundary.  The
+    completion check runs before the TTL check, so a walk that closes
+    its cycle with exactly [hop_limit] hops still reports
+    [Completed]. *)
 
 val duration_s : result -> float
 (** Wall-clock length of the walk under the paper's 1.8 ms/hop delay

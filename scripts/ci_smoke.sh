@@ -94,4 +94,44 @@ if ! diff "$b1" "$b4"; then
 fi
 
 echo "ci_smoke: determinism gate OK (RTR_JOBS=1 == RTR_JOBS=4)"
+
+# --- fuzz gate -------------------------------------------------------
+# Theorem-oracle fuzzing (lib/check): random topologies and failures
+# checked against Theorems 1-3 and the differential oracles.  The
+# default budget keeps this stage around half a minute; the nightly
+# profile raises FUZZ_CASES for a deeper sweep.
+FUZZ_CASES="${FUZZ_CASES:-300}"
+
+dune exec bin/rtr_sim.exe -- fuzz --cases "$FUZZ_CASES" --seed 42
+
+# The fuzzer must still be able to see bugs: an injected Theorem-2
+# fault (phase 2 forgetting one collected failed link) has to be
+# caught, shrunk, and its artifact has to replay.
+fuzzdir=$(mktemp -d "${TMPDIR:-/tmp}/rtr_smoke_fuzz.XXXXXX")
+trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4"; rm -rf "$fuzzdir"' EXIT
+
+if dune exec bin/rtr_sim.exe -- fuzz --cases 40 --seed 42 \
+     --oracle optimal --inject drop-failed-link --out "$fuzzdir" > /dev/null
+then
+  echo "ci_smoke: FAIL — injected drop-failed-link bug was not caught" >&2
+  exit 1
+fi
+dune exec tools/json_check.exe -- "$fuzzdir"/counterexample_*.json
+dune exec bin/rtr_sim.exe -- replay "$fuzzdir"/counterexample_*.json > /dev/null
+
+# Campaigns must not depend on the worker count: same seed, same
+# artifacts, byte for byte.
+rm -rf "$fuzzdir"/j1 "$fuzzdir"/j4
+dune exec bin/rtr_sim.exe -- fuzz --cases 40 --seed 42 --jobs 1 \
+  --oracle optimal --inject drop-failed-link --out "$fuzzdir/j1" \
+  > /dev/null || true
+dune exec bin/rtr_sim.exe -- fuzz --cases 40 --seed 42 --jobs 4 \
+  --oracle optimal --inject drop-failed-link --out "$fuzzdir/j4" \
+  > /dev/null || true
+if ! diff -r "$fuzzdir/j1" "$fuzzdir/j4"; then
+  echo "ci_smoke: FAIL — fuzz artifacts differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+
+echo "ci_smoke: fuzz gate OK ($FUZZ_CASES clean cases; injected bug caught, replayed, jobs-invariant)"
 echo "ci_smoke: OK"

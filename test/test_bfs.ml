@@ -60,7 +60,7 @@ let bfs_triangle_inequality =
     ~count:50
     QCheck.(pair (int_range 2 40) (int_range 0 60))
     (fun (n, extra) ->
-      let g = Helpers.random_connected_graph ~seed:(n + (extra * 100)) ~n ~extra in
+      let g = Rtr_check.Gen.random_connected_graph ~seed:(n + (extra * 100)) ~n ~extra in
       let r = Bfs.run (View.full g) ~source:0 in
       Graph.fold_links g ~init:true ~f:(fun acc _ u v ->
           acc && abs (r.Bfs.dist.(u) - r.Bfs.dist.(v)) <= 1))

@@ -61,8 +61,8 @@ let merged_never_collects_less =
     ~name:"merged collection is at least as large as either walk" ~count:80
     QCheck.(pair (int_range 8 30) (int_range 0 400))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n * 13 + salt) ~n in
-      let damage = Helpers.random_damage ~seed:(salt + 21) topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 13 + salt) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt + 21) topo in
       List.for_all
         (fun (initiator, trigger) ->
           let r = Bidir.run topo damage ~initiator ~trigger () in
@@ -72,14 +72,14 @@ let merged_never_collects_less =
           && List.for_all
                (Damage.link_failed damage)
                r.Bidir.merged_failed_links)
-        (Helpers.detectors topo damage))
+        (Rtr_check.Gen.detectors topo damage))
 
 let left_walk_also_terminates =
   QCheck.Test.make ~name:"Theorem 1 holds for the left-hand walk" ~count:80
     QCheck.(pair (int_range 6 30) (int_range 0 500))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n + (salt * 401)) ~n in
-      let damage = Helpers.random_damage ~seed:(salt + 3) topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n + (salt * 401)) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt + 3) topo in
       List.for_all
         (fun (initiator, trigger) ->
           let p1 =
@@ -89,7 +89,7 @@ let left_walk_also_terminates =
           match p1.Phase1.status with
           | Phase1.Completed | Phase1.No_live_neighbor -> true
           | Phase1.Hop_limit | Phase1.Stuck _ -> false)
-        (Helpers.detectors topo damage))
+        (Rtr_check.Gen.detectors topo damage))
 
 let suite =
   [

@@ -1,0 +1,205 @@
+(* The rtr_check fuzzing subsystem: spec round-trips and shrinking
+   moves, oracles green on the real protocol, the injected Theorem-2
+   bug caught / shrunk / reproducible, and campaigns independent of the
+   worker count. *)
+
+module Spec = Rtr_check.Spec
+module Oracle = Rtr_check.Oracle
+module Shrink = Rtr_check.Shrink
+module Campaign = Rtr_check.Campaign
+module Json = Rtr_obs.Json
+
+let spec_t = Alcotest.testable (fun fmt s -> Fmt.string fmt s.Spec.name) Spec.equal
+
+let gen_spec seed =
+  Spec.generate (Rtr_util.Rng.make seed) ~name:(Printf.sprintf "t-%d" seed)
+
+let test_json_round_trip () =
+  for seed = 0 to 24 do
+    let spec = gen_spec seed in
+    let rendered = Json.to_string (Spec.to_json spec) in
+    match Result.bind (Json.parse rendered) Spec.of_json with
+    | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+    | Ok spec' -> Alcotest.check spec_t "round-trips" spec spec'
+  done;
+  (* Explicit failures too. *)
+  let spec = gen_spec 99 in
+  let spec =
+    { spec with Spec.failure = Spec.Explicit { nodes = [ 1 ]; links = [ (0, 2) ] } }
+  in
+  let rendered = Json.to_string (Spec.to_json spec) in
+  Alcotest.(check bool) "explicit round-trips" true
+    (Result.bind (Json.parse rendered) Spec.of_json = Ok spec)
+
+let test_of_json_rejects () =
+  let reject s =
+    match Result.bind (Json.parse s) Spec.of_json with
+    | Ok _ -> Alcotest.failf "accepted %s" s
+    | Error _ -> ()
+  in
+  reject "{}";
+  reject
+    {|{"name":"x","n":3,"coords":[[0,0],[1,1]],"edges":[[0,1,1,1]],"failure":{"kind":"disc","cx":0,"cy":0,"r":1}}|};
+  reject {|{"name":"x","n":2,"coords":[[0,0],[1,1]],"edges":[[0,1,1,1]],"failure":{"kind":"worm"}}|}
+
+let test_shrink_moves () =
+  let spec = gen_spec 5 in
+  (match Spec.drop_link spec 0 with
+  | None -> Alcotest.fail "drop_link 0 must apply"
+  | Some s ->
+      Alcotest.(check int) "one edge fewer"
+        (List.length spec.Spec.edges - 1)
+        (List.length s.Spec.edges));
+  Alcotest.(check bool) "drop_link out of range" true
+    (Spec.drop_link spec (List.length spec.Spec.edges) = None);
+  (match Spec.drop_node spec (spec.Spec.n - 1) with
+  | None -> Alcotest.fail "drop_node must apply"
+  | Some s ->
+      Alcotest.(check int) "one node fewer" (spec.Spec.n - 1) s.Spec.n;
+      Alcotest.(check int) "coords follow" (spec.Spec.n - 1)
+        (Array.length s.Spec.coords);
+      List.iter
+        (fun (u, v, _, _) ->
+          if u >= s.Spec.n || v >= s.Spec.n then
+            Alcotest.fail "dangling endpoint after renumbering")
+        s.Spec.edges);
+  (* Dropping a node remaps an explicit failure with the survivors. *)
+  let exp =
+    { spec with Spec.failure = Spec.Explicit { nodes = [ spec.Spec.n - 1 ]; links = [] } }
+  in
+  (match Spec.drop_node exp 0 with
+  | None -> Alcotest.fail "drop_node 0 must apply"
+  | Some s -> (
+      match s.Spec.failure with
+      | Spec.Explicit { nodes; _ } ->
+          Alcotest.(check (list int)) "failed node renumbered"
+            [ s.Spec.n - 1 ] nodes
+      | Spec.Disc _ -> Alcotest.fail "failure kind changed"));
+  match Spec.halve_radius spec with
+  | None -> Alcotest.fail "halve_radius must apply to a disc"
+  | Some s -> (
+      match (s.Spec.failure, spec.Spec.failure) with
+      | Spec.Disc { r; _ }, Spec.Disc { r = r0; _ } ->
+          Alcotest.(check bool) "radius halved" true (r < r0)
+      | _ -> Alcotest.fail "failure kind changed")
+
+let test_oracles_pass_on_protocol () =
+  let outcome =
+    Campaign.run { Campaign.default with Campaign.cases = 30; seed = 7 }
+  in
+  Alcotest.(check int) "all cases ran" 30 outcome.Campaign.cases_run;
+  Alcotest.(check int) "no violations" 0
+    (List.length outcome.Campaign.failures)
+
+let test_corpus_specs_pass_every_oracle () =
+  (* Corpus artifacts name one oracle each; the committed specs must be
+     green under all of them. *)
+  Sys.readdir "corpus" |> Array.to_list |> List.sort compare
+  |> List.iter (fun file ->
+         let path = Filename.concat "corpus" file in
+         let json = Result.get_ok (Campaign.load_file path) in
+         let spec =
+           Result.get_ok (Spec.of_json (Option.get (Json.member "spec" json)))
+         in
+         List.iter
+           (fun (o : Oracle.t) ->
+             match o.Oracle.run ~inject:None spec with
+             | None -> ()
+             | Some v ->
+                 Alcotest.failf "%s: %s: %s" file v.Oracle.oracle
+                   v.Oracle.detail)
+           Oracle.all)
+
+(* The acceptance gate: a deliberately injected protocol bug (phase 2
+   silently forgetting one collected failed link) must be caught,
+   shrunk small, and reproduce from its serialised artifact. *)
+let test_injected_bug_caught_and_shrunk () =
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 25;
+      seed = 42;
+      oracles = [ Oracle.optimal ];
+      inject = Some Oracle.Drop_failed_link;
+    }
+  in
+  let outcome = Campaign.run config in
+  Alcotest.(check bool) "bug caught" true (outcome.Campaign.failures <> []);
+  List.iter
+    (fun (c : Campaign.counterexample) ->
+      Alcotest.(check bool) "shrunk to at most 12 routers" true
+        (c.Campaign.shrunk.Spec.n <= 12);
+      Alcotest.(check string) "optimal oracle flagged it" "optimal"
+        c.Campaign.violation.Oracle.oracle;
+      (* The artifact reproduces: replay re-runs the oracle with the
+         recorded injection and sees the violation again. *)
+      let artifact =
+        Campaign.artifact_json ~oracle:Oracle.optimal
+          ~inject:Oracle.Drop_failed_link ~violation:c.Campaign.violation
+          ~expect:`Violation c.Campaign.shrunk
+      in
+      (match Campaign.replay artifact with
+      | Ok (Campaign.Matched (Some _)) -> ()
+      | _ -> Alcotest.fail "artifact does not reproduce the violation");
+      (* And the shrunk spec is clean without the injection: the bug is
+         in the injected fault, not the protocol. *)
+      match Oracle.optimal.Oracle.run ~inject:None c.Campaign.shrunk with
+      | None -> ()
+      | Some v -> Alcotest.failf "clean protocol flagged: %s" v.Oracle.detail)
+    outcome.Campaign.failures
+
+let test_campaign_jobs_invariant () =
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 15;
+      seed = 42;
+      oracles = [ Oracle.optimal ];
+      inject = Some Oracle.Drop_failed_link;
+    }
+  in
+  let a = Campaign.run { config with Campaign.jobs = 1 } in
+  let b = Campaign.run { config with Campaign.jobs = 4 } in
+  Alcotest.(check int) "same failure count"
+    (List.length a.Campaign.failures)
+    (List.length b.Campaign.failures);
+  List.iter2
+    (fun (x : Campaign.counterexample) (y : Campaign.counterexample) ->
+      Alcotest.(check int) "same case index" x.Campaign.index y.Campaign.index;
+      Alcotest.check spec_t "same shrunk spec" x.Campaign.shrunk
+        y.Campaign.shrunk;
+      Alcotest.(check string) "same violation detail"
+        x.Campaign.violation.Oracle.detail y.Campaign.violation.Oracle.detail)
+    a.Campaign.failures b.Campaign.failures
+
+let test_shrink_is_greedy_fixpoint () =
+  (* Shrinking an injected counterexample must reach a spec no single
+     move can shrink further while still violating. *)
+  let spec = gen_spec 42 in
+  let check s = Oracle.optimal.Oracle.run ~inject:(Some Oracle.Drop_failed_link) s in
+  match check spec with
+  | None -> () (* this seed's spec doesn't trip the injection: nothing to shrink *)
+  | Some v ->
+      let shrunk, v', evals = Shrink.run ~check spec v in
+      Alcotest.(check bool) "still violating" true (check shrunk = Some v');
+      Alcotest.(check bool) "spent some budget" true (evals > 0);
+      Alcotest.(check bool) "not larger than the input" true
+        (shrunk.Spec.n <= spec.Spec.n
+        && List.length shrunk.Spec.edges <= List.length spec.Spec.edges)
+
+let suite =
+  [
+    Alcotest.test_case "spec JSON round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "spec of_json rejects junk" `Quick test_of_json_rejects;
+    Alcotest.test_case "shrinking moves" `Quick test_shrink_moves;
+    Alcotest.test_case "oracles pass on the protocol" `Quick
+      test_oracles_pass_on_protocol;
+    Alcotest.test_case "corpus passes every oracle" `Quick
+      test_corpus_specs_pass_every_oracle;
+    Alcotest.test_case "injected bug caught, shrunk, reproduced" `Quick
+      test_injected_bug_caught_and_shrunk;
+    Alcotest.test_case "campaign independent of jobs" `Quick
+      test_campaign_jobs_invariant;
+    Alcotest.test_case "shrink reaches a violating fixpoint" `Quick
+      test_shrink_is_greedy_fixpoint;
+  ]

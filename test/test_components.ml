@@ -34,7 +34,7 @@ let components_partition =
   QCheck.Test.make ~name:"components partition the live nodes" ~count:50
     QCheck.(int_range 2 40)
     (fun n ->
-      let g = Helpers.random_connected_graph ~seed:n ~n ~extra:n in
+      let g = Rtr_check.Gen.random_connected_graph ~seed:n ~n ~extra:n in
       let node_ok v = v mod 3 <> 0 in
       let c = Components.compute (View.create g ~node_ok ()) in
       let sizes = Components.sizes c in

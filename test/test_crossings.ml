@@ -42,7 +42,7 @@ let matches_bruteforce =
   QCheck.Test.make ~name:"crossings matrix matches segment predicate" ~count:30
     QCheck.(int_range 4 20)
     (fun n ->
-      let topo = Helpers.random_topology ~seed:(n * 3) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 3) ~n in
       let g = Rtr_topo.Topology.graph topo in
       let emb = Rtr_topo.Topology.embedding topo in
       let c = Rtr_topo.Topology.crossings topo in

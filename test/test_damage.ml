@@ -78,8 +78,8 @@ let area_failure_consistent =
     ~count:40
     QCheck.(int_range 5 30)
     (fun n ->
-      let topo = Helpers.random_topology ~seed:(n * 17) ~n in
-      let d = Helpers.random_damage ~seed:n topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 17) ~n in
+      let d = Rtr_check.Gen.random_damage ~seed:n topo in
       let g = Rtr_topo.Topology.graph topo in
       Graph.fold_links g ~init:true ~f:(fun acc id u v ->
           acc

@@ -77,7 +77,7 @@ let matches_bfs_on_unit_costs =
   QCheck.Test.make ~name:"dijkstra equals bfs on unit costs" ~count:60
     QCheck.(pair (int_range 2 40) (int_range 0 80))
     (fun (n, extra) ->
-      let g = Helpers.random_connected_graph ~seed:(n * 131 + extra) ~n ~extra in
+      let g = Rtr_check.Gen.random_connected_graph ~seed:(n * 131 + extra) ~n ~extra in
       let d = Dijkstra.spt (View.full g) ~root:0 () in
       let b = Bfs.run (View.full g) ~source:0 in
       List.for_all
@@ -89,7 +89,7 @@ let paths_are_valid_and_match_dist =
     ~count:40
     QCheck.(int_range 2 30)
     (fun n ->
-      let g = Helpers.random_weighted_graph ~seed:n ~n ~extra:n ~max_cost:9 in
+      let g = Rtr_check.Gen.random_weighted_graph ~seed:n ~n ~extra:n ~max_cost:9 in
       let t = Dijkstra.spt (View.full g) ~root:0 () in
       List.for_all
         (fun v ->
@@ -103,7 +103,7 @@ let deterministic =
   QCheck.Test.make ~name:"dijkstra is deterministic" ~count:20
     QCheck.(int_range 2 30)
     (fun n ->
-      let g = Helpers.random_weighted_graph ~seed:(n * 7) ~n ~extra:n ~max_cost:4 in
+      let g = Rtr_check.Gen.random_weighted_graph ~seed:(n * 7) ~n ~extra:n ~max_cost:4 in
       let t1 = Dijkstra.spt (View.full g) ~root:0 ()
       and t2 = Dijkstra.spt (View.full g) ~root:0 () in
       t1.Spt.dist = t2.Spt.dist

@@ -16,7 +16,7 @@ let theorem2_polygon_areas =
     ~count:80
     QCheck.(triple (int_range 8 30) (int_range 3 9) (int_range 0 500))
     (fun (n, sides, salt) ->
-      let topo = Helpers.random_topology ~seed:(n * 7 + salt) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 7 + salt) ~n in
       let g = Rtr_topo.Topology.graph topo in
       let rng = Rtr_util.Rng.make (salt + 1) in
       let center =
@@ -49,7 +49,7 @@ let theorem2_polygon_areas =
                          initiator dst)
                 | Rtr.False_path _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 (* Area centred outside the plane's corner: only clips the border. *)
 let border_area_harmless_when_missing =
@@ -57,7 +57,7 @@ let border_area_harmless_when_missing =
     ~count:50
     QCheck.(int_range 5 25)
     (fun n ->
-      let topo = Helpers.random_topology ~seed:(n * 13) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 13) ~n in
       (* Far outside the 2000x2000 plane. *)
       let area =
         Rtr_failure.Area.disc ~center:(Point.make 10_000.0 10_000.0)
@@ -74,12 +74,12 @@ let theorem2_weighted_costs =
     QCheck.(pair (int_range 6 20) (int_range 0 300))
     (fun (n, salt) ->
       let g =
-        Helpers.random_weighted_graph ~seed:(n + salt) ~n ~extra:n ~max_cost:9
+        Rtr_check.Gen.random_weighted_graph ~seed:(n + salt) ~n ~extra:n ~max_cost:9
       in
       let rng = Rtr_util.Rng.make (salt + 2) in
       let emb = Rtr_topo.Embedding.random rng ~n () in
       let topo = Rtr_topo.Topology.create ~name:"weighted" g emb in
-      let damage = Helpers.random_damage ~seed:(salt * 11) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt * 11) topo in
       let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
       List.for_all
         (fun (initiator, trigger) ->
@@ -99,19 +99,19 @@ let theorem2_weighted_costs =
                     | None -> false)
                 | Rtr.Unreachable_in_view | Rtr.False_path _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 (* The whole network inside the area: every detector sees only dead
    neighbours or is dead itself. *)
 let test_total_destruction () =
-  let topo = Helpers.random_topology ~seed:5 ~n:12 in
+  let topo = Rtr_check.Gen.random_topology ~seed:5 ~n:12 in
   let area =
     Rtr_failure.Area.disc ~center:(Point.make 1000.0 1000.0) ~radius:5000.0
   in
   let damage = Damage.apply topo area in
   Alcotest.(check int) "everyone dead" 12 (Damage.n_failed_nodes damage);
   Alcotest.(check (list (pair int int))) "no detectors" []
-    (Helpers.detectors topo damage)
+    (Rtr_check.Gen.detectors topo damage)
 
 (* Two-node graph: the smallest possible recovery problem. *)
 let test_two_node_graph () =

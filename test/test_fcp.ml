@@ -67,9 +67,9 @@ let delivers_iff_reachable =
     ~count:100
     QCheck.(pair (int_range 6 35) (int_range 0 800))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(salt + (n * 41)) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(salt + (n * 41)) ~n in
       let g = Rtr_topo.Topology.graph topo in
-      let damage = Helpers.random_damage ~seed:(salt * 3) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt * 3) topo in
       let view = Damage.view damage in
       List.for_all
         (fun (initiator, _) ->
@@ -80,28 +80,28 @@ let delivers_iff_reachable =
                 let r = Fcp.run topo damage ~initiator ~dst in
                 r.Fcp.delivered = Rtr_graph.Bfs.reachable view initiator dst)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 let carried_links_truly_failed =
   QCheck.Test.make ~name:"FCP only carries truly failed links" ~count:100
     QCheck.(pair (int_range 6 30) (int_range 0 800))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(salt * 2 + n) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(salt * 2 + n) ~n in
       let g = Rtr_topo.Topology.graph topo in
-      let damage = Helpers.random_damage ~seed:salt topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:salt topo in
       List.for_all
         (fun (initiator, _) ->
           let r = Fcp.run topo damage ~initiator ~dst:((initiator + 1) mod Graph.n_nodes g) in
           List.for_all (Damage.link_failed damage) r.Fcp.carried_links)
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 let journey_walks_live_ground =
   QCheck.Test.make ~name:"FCP journeys only cross live links" ~count:80
     QCheck.(pair (int_range 6 30) (int_range 0 500))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(salt * 5 + n) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(salt * 5 + n) ~n in
       let g = Rtr_topo.Topology.graph topo in
-      let damage = Helpers.random_damage ~seed:(salt + 17) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt + 17) topo in
       List.for_all
         (fun (initiator, _) ->
           List.for_all
@@ -111,7 +111,7 @@ let journey_walks_live_ground =
                 let r = Fcp.run topo damage ~initiator ~dst in
                 Path.is_valid (Damage.view damage) r.Fcp.journey)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 let suite =
   [

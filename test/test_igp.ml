@@ -68,7 +68,7 @@ let partitioned_component_never_hears =
     ~count:30
     QCheck.(int_range 6 30)
     (fun n ->
-      let g = Helpers.random_connected_graph ~seed:n ~n ~extra:2 in
+      let g = Rtr_check.Gen.random_connected_graph ~seed:n ~n ~extra:2 in
       (* Fail node 0's whole neighbourhood boundary: take node 0 dead,
          then any router in a component without live detectors keeps
          converged_at = infinity. *)

@@ -73,7 +73,7 @@ let matches_scratch direction =
     QCheck.(pair (int_range 3 35) (int_range 1 97))
     (fun (n, salt) ->
       let g =
-        Helpers.random_weighted_graph ~seed:(n + (salt * 1000)) ~n ~extra:n
+        Rtr_check.Gen.random_weighted_graph ~seed:(n + (salt * 1000)) ~n ~extra:n
           ~max_cost:7
       in
       let rng = Rtr_util.Rng.make (salt * 31) in
@@ -93,7 +93,7 @@ let restore_matches_scratch =
     QCheck.(pair (int_range 3 35) (int_range 1 97))
     (fun (n, salt) ->
       let g =
-        Helpers.random_weighted_graph ~seed:(n + (salt * 777)) ~n ~extra:n
+        Rtr_check.Gen.random_weighted_graph ~seed:(n + (salt * 777)) ~n ~extra:n
           ~max_cost:7
       in
       let rng = Rtr_util.Rng.make salt in

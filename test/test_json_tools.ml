@@ -1,0 +1,114 @@
+(* The json_canon/json_check logic (Rtr_tools.Json_tools): strip
+   semantics, canonicalisation round-trips, argument parsing, and
+   artifact validation. *)
+
+module T = Rtr_tools.Json_tools
+module Json = Rtr_obs.Json
+
+let parse s = Result.get_ok (Json.parse s)
+
+let json_t =
+  Alcotest.testable
+    (fun fmt j -> Fmt.string fmt (Json.to_string j))
+    ( = )
+
+let test_strip_semantics () =
+  let doc =
+    parse
+      {|{"manifest":{"argv":["x"],"wall_s":1.5},"metrics":{"pool":{"runs":3},"phase1":{"runs":7}},"pool":[{"pool":1}]}|}
+  in
+  Alcotest.check json_t "drops matching dotted prefixes"
+    (parse {|{"metrics":{"phase1":{"runs":7}},"pool":[{"pool":1}]}|})
+    (T.strip ~prefixes:[ "manifest"; "metrics.pool" ] doc);
+  (* Array elements keep their parent's path: the "pool" member inside
+     the array is at path "pool.pool", not "pool". *)
+  Alcotest.check json_t "stripping is by member path, not position"
+    (parse {|{"a":[{"c":2}]}|})
+    (T.strip ~prefixes:[ "a.b" ] (parse {|{"a":[{"b":1,"c":2}]}|}));
+  Alcotest.check json_t "no prefixes, no change" doc
+    (T.strip ~prefixes:[] doc)
+
+let test_canon_round_trip () =
+  let file = Filename.temp_file "canon" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "  {\"b\": 1, \"a\": [1.5, true, null]}  \n";
+      close_out oc;
+      (match T.canon ~prefixes:[] file with
+      | Ok s ->
+          Alcotest.(check string) "compact rendering"
+            {|{"b":1,"a":[1.5,true,null]}|} s
+      | Error msg -> Alcotest.fail msg);
+      match T.canon ~prefixes:[ "a" ] file with
+      | Ok s -> Alcotest.(check string) "stripped rendering" {|{"b":1}|} s
+      | Error msg -> Alcotest.fail msg)
+
+let test_canon_errors () =
+  (match T.canon ~prefixes:[] "/nonexistent/nope.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted");
+  let file = Filename.temp_file "canon" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "{not json";
+      close_out oc;
+      match T.canon ~prefixes:[] file with
+      | Error msg ->
+          Alcotest.(check bool) "names the file" true
+            (String.length msg > 0
+            && String.starts_with ~prefix:file msg)
+      | Ok _ -> Alcotest.fail "malformed JSON accepted")
+
+let test_parse_canon_args () =
+  (match T.parse_canon_args [ "--strip"; "a.b"; "--strip"; "c"; "f.json" ] with
+  | Ok (prefixes, file) ->
+      Alcotest.(check (list string)) "prefixes in order" [ "a.b"; "c" ] prefixes;
+      Alcotest.(check string) "file" "f.json" file
+  | Error _ -> Alcotest.fail "valid args rejected");
+  let usage args =
+    match T.parse_canon_args args with
+    | Error msg ->
+        Alcotest.(check bool) "mentions usage" true
+          (String.starts_with ~prefix:"usage:" msg)
+    | Ok _ -> Alcotest.fail "usage error not reported"
+  in
+  (* No file at all — the empty-argument usage error. *)
+  usage [];
+  usage [ "--strip" ];
+  usage [ "--strip"; "a" ];
+  usage [ "a.json"; "b.json" ]
+
+let test_check_content () =
+  Alcotest.(check int) "single valid document" 0
+    (List.length (T.check_content ~path:"m.json" {|{"a":1}|}));
+  Alcotest.(check int) "single malformed document" 1
+    (List.length (T.check_content ~path:"m.json" "{"));
+  Alcotest.(check int) "valid jsonl, blank lines ignored" 0
+    (List.length (T.check_content ~path:"t.jsonl" "{\"a\":1}\n\n[2]\n"));
+  match T.check_content ~path:"t.jsonl" "{\"a\":1}\nnope\n[2]\noops\n" with
+  | [ p1; p2 ] ->
+      Alcotest.(check string) "first bad line numbered" "t.jsonl:2" p1.T.where;
+      Alcotest.(check string) "second bad line numbered" "t.jsonl:4" p2.T.where
+  | ps -> Alcotest.failf "expected 2 problems, got %d" (List.length ps)
+
+let test_check_file_missing () =
+  match T.check_file "/nonexistent/nope.jsonl" with
+  | [ p ] ->
+      Alcotest.(check string) "problem names the path" "/nonexistent/nope.jsonl"
+        p.T.where
+  | ps -> Alcotest.failf "expected 1 problem, got %d" (List.length ps)
+
+let suite =
+  [
+    Alcotest.test_case "strip semantics" `Quick test_strip_semantics;
+    Alcotest.test_case "canon round-trip" `Quick test_canon_round_trip;
+    Alcotest.test_case "canon errors" `Quick test_canon_errors;
+    Alcotest.test_case "canon argument parsing" `Quick test_parse_canon_args;
+    Alcotest.test_case "check_content" `Quick test_check_content;
+    Alcotest.test_case "check_file on a missing file" `Quick
+      test_check_file_missing;
+  ]

@@ -30,7 +30,7 @@ let test_isolated_partition () =
     (List.sort compare total)
 
 let test_backbones_connected () =
-  let g = Helpers.random_connected_graph ~seed:5 ~n:20 ~extra:25 in
+  let g = Rtr_check.Gen.random_connected_graph ~seed:5 ~n:20 ~extra:25 in
   let mrc = Mrc.build_auto g in
   for c = 0 to Mrc.n_configs mrc - 1 do
     let isolated = Mrc.isolated_in mrc c in
@@ -99,10 +99,10 @@ let delivered_paths_are_live =
   QCheck.Test.make ~name:"MRC delivered paths survive the damage" ~count:60
     QCheck.(pair (int_range 6 25) (int_range 0 300))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(salt + (n * 67)) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(salt + (n * 67)) ~n in
       let g = Rtr_topo.Topology.graph topo in
       let mrc = Mrc.build_auto g in
-      let damage = Helpers.random_damage ~seed:(salt + 3) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt + 3) topo in
       List.for_all
         (fun (initiator, trigger) ->
           List.for_all
@@ -115,7 +115,7 @@ let delivered_paths_are_live =
                     && Path.destination p = dst
                 | Mrc.Dropped _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 let single_failure_always_recovers =
   QCheck.Test.make

@@ -95,11 +95,11 @@ let multi_area_delivers_when_reachable =
     ~count:80
     QCheck.(pair (int_range 8 30) (int_range 0 500))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n * 19 + salt) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 19 + salt) ~n in
       let g = Rtr_topo.Topology.graph topo in
       (* Two independent discs. *)
-      let d1 = Helpers.random_damage ~seed:salt topo in
-      let d2 = Helpers.random_damage ~seed:(salt + 1) topo in
+      let d1 = Rtr_check.Gen.random_damage ~seed:salt topo in
+      let d2 = Rtr_check.Gen.random_damage ~seed:(salt + 1) topo in
       let damage = Damage.merge d1 d2 in
       let view = Damage.view damage in
       List.for_all
@@ -121,7 +121,7 @@ let multi_area_delivers_when_reachable =
                 if reachable then r.Multi_area.delivered
                 else not r.Multi_area.delivered)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 let suite =
   [

@@ -126,8 +126,8 @@ let packets_conserved =
     ~count:25
     QCheck.(pair (int_range 8 25) (int_range 0 100))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n * 29 + salt) ~n in
-      let damage = Helpers.random_damage ~seed:salt topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 29 + salt) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:salt topo in
       let rng = Rtr_util.Rng.make (salt + 7) in
       let flows =
         List.init 5 (fun _ ->
@@ -154,8 +154,8 @@ let rtr_never_hurts =
   QCheck.Test.make ~name:"enabling RTR never delivers fewer packets" ~count:20
     QCheck.(pair (int_range 10 25) (int_range 0 60))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n * 31 + salt) ~n in
-      let damage = Helpers.random_damage ~seed:(salt + 1) topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 31 + salt) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt + 1) topo in
       let rng = Rtr_util.Rng.make (salt + 9) in
       let flows =
         List.init 6 (fun _ ->

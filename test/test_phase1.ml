@@ -127,15 +127,15 @@ let theorem1_no_permanent_loops =
   QCheck.Test.make ~name:"Theorem 1: phase 1 terminates cleanly" ~count:150
     QCheck.(pair (int_range 6 40) (int_range 0 1000))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n + (salt * 1009)) ~n in
-      let damage = Helpers.random_damage ~seed:salt topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n + (salt * 1009)) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:salt topo in
       List.for_all
         (fun (initiator, trigger) ->
           let p1 = Phase1.run topo damage ~initiator ~trigger () in
           match p1.Phase1.status with
           | Phase1.Completed | Phase1.No_live_neighbor -> true
           | Phase1.Hop_limit | Phase1.Stuck _ -> false)
-        (Helpers.detectors topo damage))
+        (Rtr_check.Gen.detectors topo damage))
 
 (* Soundness of collection (premise of Theorem 2): E1 is a subset of
    the truly failed links, and never contains initiator-incident
@@ -144,9 +144,9 @@ let collection_sound =
   QCheck.Test.make ~name:"E1 subset of E2, initiator links omitted" ~count:150
     QCheck.(pair (int_range 6 40) (int_range 0 1000))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n + (salt * 2003)) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n + (salt * 2003)) ~n in
       let g = Rtr_topo.Topology.graph topo in
-      let damage = Helpers.random_damage ~seed:(salt + 5) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt + 5) topo in
       List.for_all
         (fun (initiator, trigger) ->
           let p1 = Phase1.run topo damage ~initiator ~trigger () in
@@ -157,7 +157,7 @@ let collection_sound =
               let u, v = Graph.endpoints g id in
               u <> initiator && v <> initiator)
             p1.Phase1.failed_links)
-        (Helpers.detectors topo damage))
+        (Rtr_check.Gen.detectors topo damage))
 
 (* The walk stays on live ground: every visited node is live and every
    traversed link usable. *)
@@ -166,8 +166,8 @@ let walk_is_live =
     ~count:100
     QCheck.(pair (int_range 6 30) (int_range 0 500))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n * 3 + salt) ~n in
-      let damage = Helpers.random_damage ~seed:(salt * 13) topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 3 + salt) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt * 13) topo in
       List.for_all
         (fun (initiator, trigger) ->
           let p1 = Phase1.run topo damage ~initiator ~trigger () in
@@ -175,11 +175,37 @@ let walk_is_live =
           && List.for_all
                (fun s -> Damage.link_ok damage s.Phase1.via)
                p1.Phase1.steps)
-        (Helpers.detectors topo damage))
+        (Rtr_check.Gen.detectors topo damage))
+
+(* The TTL cuts the walk the moment one more hop would exceed it —
+   [hops] never exceeds the limit — while a walk that closes its cycle
+   with the TTL exactly spent still completes (closing consumes no
+   hop).  Probed via the [?hop_limit] override around the natural
+   length of the grid's ring walk. *)
+let test_hop_limit_boundary () =
+  let topo = grid () in
+  let g = Rtr_topo.Topology.graph topo in
+  let d = Damage.of_failed g ~nodes:[ 4 ] ~links:[] in
+  let free = Phase1.run topo d ~initiator:1 ~trigger:4 () in
+  Alcotest.(check bool) "natural walk completes" true
+    (free.Phase1.status = Phase1.Completed);
+  let h = free.Phase1.hops in
+  Alcotest.(check bool) "walk is several hops long" true (h > 2);
+  Alcotest.(check bool) "within the default TTL" true
+    (h <= (4 * Graph.n_links g) + 4);
+  let exact = Phase1.run topo d ~hop_limit:h ~initiator:1 ~trigger:4 () in
+  Alcotest.(check bool) "completes with the TTL exactly spent" true
+    (exact.Phase1.status = Phase1.Completed);
+  Alcotest.(check int) "same hops at the boundary" h exact.Phase1.hops;
+  let cut = Phase1.run topo d ~hop_limit:(h - 1) ~initiator:1 ~trigger:4 () in
+  Alcotest.(check bool) "one hop short hits the limit" true
+    (cut.Phase1.status = Phase1.Hop_limit);
+  Alcotest.(check int) "hops never exceed the limit" (h - 1) cut.Phase1.hops
 
 let suite =
   [
     Alcotest.test_case "planar ring walk" `Quick test_planar_ring_walk;
+    Alcotest.test_case "hop limit boundary" `Quick test_hop_limit_boundary;
     Alcotest.test_case "no live neighbour" `Quick test_no_live_neighbor;
     Alcotest.test_case "trigger validation" `Quick test_trigger_validation;
     Alcotest.test_case "initiator links not recorded" `Quick

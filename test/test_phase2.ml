@@ -119,9 +119,9 @@ let incremental_equals_scratch =
     ~name:"phase-2 distances equal scratch dijkstra over the view" ~count:60
     QCheck.(pair (int_range 6 30) (int_range 0 400))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n + salt) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n + salt) ~n in
       let g = Rtr_topo.Topology.graph topo in
-      let damage = Helpers.random_damage ~seed:(salt * 3) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt * 3) topo in
       List.for_all
         (fun (initiator, trigger) ->
           let p1 = Rtr_core.Phase1.run topo damage ~initiator ~trigger () in
@@ -138,7 +138,7 @@ let incremental_equals_scratch =
               Phase2.recovery_distance p2 ~dst = expected)
             (List.filter (fun v -> v <> initiator)
                (List.init (Graph.n_nodes g) Fun.id)))
-        (match Helpers.detectors topo damage with
+        (match Rtr_check.Gen.detectors topo damage with
         | [] -> []
         | x :: _ -> [ x ]))
 

@@ -56,7 +56,7 @@ let paths_are_shortest =
   QCheck.Test.make ~name:"default paths are shortest paths" ~count:30
     QCheck.(pair (int_range 3 25) (int_range 0 40))
     (fun (n, extra) ->
-      let g = Helpers.random_connected_graph ~seed:(n + (extra * 53)) ~n ~extra in
+      let g = Rtr_check.Gen.random_connected_graph ~seed:(n + (extra * 53)) ~n ~extra in
       let t = Route_table.compute (View.full g) in
       let ok = ref true in
       for s = 0 to n - 1 do
@@ -78,7 +78,7 @@ let next_link_matches_next_hop =
   QCheck.Test.make ~name:"next_link goes to next_hop" ~count:30
     QCheck.(int_range 3 20)
     (fun n ->
-      let g = Helpers.random_connected_graph ~seed:(n * 3) ~n ~extra:n in
+      let g = Rtr_check.Gen.random_connected_graph ~seed:(n * 3) ~n ~extra:n in
       let t = Route_table.compute (View.full g) in
       let ok = ref true in
       for s = 0 to n - 1 do

@@ -43,7 +43,7 @@ let theorem3_single_link_failure =
     ~count:60
     QCheck.(pair (int_range 5 25) (int_range 0 200))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n * 11 + salt) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 11 + salt) ~n in
       let g = Rtr_topo.Topology.graph topo in
       let failed_link = salt mod Graph.n_links g in
       (* Only meaningful when the graph stays connected. *)
@@ -82,9 +82,9 @@ let theorem2_recovered_is_optimal =
   QCheck.Test.make ~name:"Theorem 2: recovered implies shortest" ~count:120
     QCheck.(pair (int_range 6 35) (int_range 0 1000))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(n + (salt * 37)) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n + (salt * 37)) ~n in
       let g = Rtr_topo.Topology.graph topo in
-      let damage = Helpers.random_damage ~seed:(salt + 99) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt + 99) topo in
       let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
       List.for_all
         (fun (initiator, trigger) ->
@@ -104,7 +104,7 @@ let theorem2_recovered_is_optimal =
                     | None -> false)
                 | Rtr.Unreachable_in_view | Rtr.False_path _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 (* RTR never reports "unreachable" for a destination that is in fact
    reachable: E1 never contains live links, so the view only shrinks by
@@ -113,9 +113,9 @@ let no_false_unreachable =
   QCheck.Test.make ~name:"no false unreachable verdicts" ~count:120
     QCheck.(pair (int_range 6 35) (int_range 0 1000))
     (fun (n, salt) ->
-      let topo = Helpers.random_topology ~seed:(salt + (n * 53)) ~n in
+      let topo = Rtr_check.Gen.random_topology ~seed:(salt + (n * 53)) ~n in
       let g = Rtr_topo.Topology.graph topo in
-      let damage = Helpers.random_damage ~seed:(salt * 7) topo in
+      let damage = Rtr_check.Gen.random_damage ~seed:(salt * 7) topo in
       let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
       List.for_all
         (fun (initiator, trigger) ->
@@ -132,7 +132,7 @@ let no_false_unreachable =
                          initiator dst)
                 | Rtr.Recovered _ | Rtr.False_path _ -> true)
             (List.init (Graph.n_nodes g) Fun.id))
-        (match Helpers.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
+        (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
 let suite =
   [

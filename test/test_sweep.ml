@@ -111,8 +111,8 @@ let select_is_first_candidate =
   QCheck.Test.make ~name:"select is the head of candidates" ~count:40
     QCheck.(int_range 5 25)
     (fun n ->
-      let topo = Helpers.random_topology ~seed:(n * 7) ~n in
-      let damage = Helpers.random_damage ~seed:n topo in
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 7) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:n topo in
       List.for_all
         (fun (at, reference) ->
           match
@@ -123,7 +123,7 @@ let select_is_first_candidate =
           | Some (v, _), (_, v', _) :: _ -> v = v'
           | None, [] -> true
           | _ -> false)
-        (Helpers.detectors topo damage))
+        (Rtr_check.Gen.detectors topo damage))
 
 let suite =
   [

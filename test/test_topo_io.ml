@@ -26,7 +26,7 @@ let test_parse () =
   Alcotest.(check int) "asymmetric reverse" 7 (Graph.cost g l02 ~src:2)
 
 let test_roundtrip () =
-  let original = Helpers.random_topology ~seed:4 ~n:20 in
+  let original = Rtr_check.Gen.random_topology ~seed:4 ~n:20 in
   let parsed = Topo_io.of_string (Topo_io.to_string original) in
   let g1 = Topology.graph original and g2 = Topology.graph parsed in
   Alcotest.(check int) "nodes" (Graph.n_nodes g1) (Graph.n_nodes g2);
@@ -42,7 +42,7 @@ let test_roundtrip () =
     (Rtr_topo.Crossings.total (Topology.crossings parsed))
 
 let test_file_roundtrip () =
-  let t = Helpers.random_topology ~seed:9 ~n:12 in
+  let t = Rtr_check.Gen.random_topology ~seed:9 ~n:12 in
   let path = Filename.temp_file "rtr_topo" ".txt" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)

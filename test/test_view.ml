@@ -77,9 +77,9 @@ let test_masked_adjacency () =
 (* A random view plus the matching closure pair, from a random disc
    damage on a generated topology. *)
 let damaged_instance ~seed ~n =
-  let topo = Helpers.random_topology ~seed ~n in
+  let topo = Rtr_check.Gen.random_topology ~seed ~n in
   let g = Rtr_topo.Topology.graph topo in
-  let damage = Helpers.random_damage ~seed:(seed * 3 + 1) topo in
+  let damage = Rtr_check.Gen.random_damage ~seed:(seed * 3 + 1) topo in
   (g, Damage.view damage, Damage.node_ok damage, Damage.link_ok damage)
 
 let spt_equal (a : Spt.t) (b : Spt.t) =

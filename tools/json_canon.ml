@@ -3,54 +3,21 @@
    prefixes, and print the compact canonical rendering.  The CI
    determinism gate uses it to compare metrics files modulo the fields
    that legitimately vary run to run (the manifest's argv/wall-clock,
-   the pool's scheduling metrics). *)
-
-let usage () =
-  prerr_endline "usage: json_canon [--strip DOTTED.PATH.PREFIX]... FILE";
-  exit 2
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let rec strip prefixes path (j : Rtr_obs.Json.t) =
-  match j with
-  | Rtr_obs.Json.Obj members ->
-      Rtr_obs.Json.Obj
-        (List.filter_map
-           (fun (k, v) ->
-             let p = if path = "" then k else path ^ "." ^ k in
-             if List.exists (fun pre -> String.starts_with ~prefix:pre p)
-                  prefixes
-             then None
-             else Some (k, strip prefixes p v))
-           members)
-  | Rtr_obs.Json.Arr items ->
-      (* Array elements keep their parent's path: stripping applies to
-         named members, not positions. *)
-      Rtr_obs.Json.Arr (List.map (strip prefixes path) items)
-  | other -> other
+   the pool's scheduling metrics).  All logic lives in
+   [Rtr_tools.Json_tools]. *)
 
 let () =
-  let rec parse_args prefixes = function
-    | [] -> usage ()
-    | [ "--strip" ] -> usage ()
-    | "--strip" :: p :: rest -> parse_args (p :: prefixes) rest
-    | [ file ] -> (List.rev prefixes, file)
-    | _ -> usage ()
-  in
-  let prefixes, file =
-    parse_args [] (List.tl (Array.to_list Sys.argv))
-  in
-  match Rtr_obs.Json.parse (String.trim (read_file file)) with
-  | exception Sys_error msg ->
-      Printf.eprintf "%s: %s\n" file msg;
-      exit 1
-  | Error msg ->
-      Printf.eprintf "%s: malformed JSON: %s\n" file msg;
-      exit 1
-  | Ok doc ->
-      print_string (Rtr_obs.Json.to_string (strip prefixes "" doc));
-      print_newline ()
+  match
+    Rtr_tools.Json_tools.parse_canon_args (List.tl (Array.to_list Sys.argv))
+  with
+  | Error usage ->
+      prerr_endline usage;
+      exit 2
+  | Ok (prefixes, file) -> (
+      match Rtr_tools.Json_tools.canon ~prefixes file with
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+      | Ok line ->
+          print_string line;
+          print_newline ())

@@ -2,43 +2,8 @@
    must contain one well-formed JSON value per non-empty line; anything
    else must be a single well-formed JSON document.  Every file is
    checked and every problem reported; exit 1 if any file is malformed,
-   so CI can gate on emitted artifacts. *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let check_line path lineno line =
-  match Rtr_obs.Json.parse line with
-  | Ok _ -> true
-  | Error msg ->
-      Printf.eprintf "%s:%d: malformed JSON: %s\n" path lineno msg;
-      false
-
-let check_file path =
-  match read_file path with
-  | exception Sys_error msg ->
-      Printf.eprintf "%s: %s\n" path msg;
-      false
-  | contents ->
-      if Filename.check_suffix path ".jsonl" then begin
-        let ok = ref true in
-        let lines = String.split_on_char '\n' contents in
-        List.iteri
-          (fun i line ->
-            if String.trim line <> "" then
-              ok := check_line path (i + 1) line && !ok)
-          lines;
-        !ok
-      end
-      else
-        match Rtr_obs.Json.parse (String.trim contents) with
-        | Ok _ -> true
-        | Error msg ->
-            Printf.eprintf "%s: malformed JSON: %s\n" path msg;
-            false
+   so CI can gate on emitted artifacts.  All logic lives in
+   [Rtr_tools.Json_tools]. *)
 
 let () =
   let files =
@@ -51,9 +16,11 @@ let () =
         prerr_endline "usage: json_check FILE...";
         exit 2
   in
-  let all_ok =
-    List.fold_left (fun acc file -> check_file file && acc) true files
-  in
-  if all_ok then
+  let problems = List.concat_map Rtr_tools.Json_tools.check_file files in
+  List.iter
+    (fun { Rtr_tools.Json_tools.where; message } ->
+      Printf.eprintf "%s: %s\n" where message)
+    problems;
+  if problems = [] then
     Printf.printf "json_check: %d file(s) OK\n" (List.length files)
   else exit 1
