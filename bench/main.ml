@@ -208,6 +208,14 @@ let bench_tests () =
     Test.make ~name:"ablation/spt-scratch"
       (Staged.stage (fun () ->
            ignore (Rtr_graph.Dijkstra.spt damaged_view ~root:0 ())));
+    (* Ablation: the same damaged-Dijkstra workload in a reusable
+       workspace — no label arrays or heap allocated per run. *)
+    Test.make ~name:"ablation/spt-workspace"
+      (Staged.stage
+         (let ws = Rtr_graph.Dijkstra.Workspace.create () in
+          fun () ->
+            ignore
+              (Rtr_graph.Dijkstra.spt ~workspace:ws damaged_view ~root:0 ())));
     Test.make ~name:"ablation/spt-incremental"
       (Staged.stage (fun () ->
            let c = Rtr_graph.Spt.copy base_spt in

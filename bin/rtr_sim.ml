@@ -317,7 +317,7 @@ let run_cmd =
     @@ fun () ->
     let topo = Isp.load_by_name topo_name in
     let g = Rtr_topo.Topology.graph topo in
-    let cache = Rtr_sim.Topo_cache.create topo in
+    let cache = Rtr_sim.Topo_cache.shared topo in
     let table = Rtr_sim.Topo_cache.table cache in
     let rng = Rtr_util.Rng.make seed in
     let scenario = Rtr_sim.Scenario.generate topo table rng () in
@@ -442,7 +442,7 @@ let draw_cmd =
       match case with
       | None -> ([], None)
       | Some (initiator, trigger, dst, area) -> (
-          let cache = Rtr_sim.Topo_cache.create topo in
+          let cache = Rtr_sim.Topo_cache.shared topo in
           let session =
             Rtr_core.Rtr.start topo damage
               ~base_spt:(Rtr_sim.Topo_cache.base_spt cache initiator)
@@ -461,6 +461,133 @@ let draw_cmd =
   Cmd.v
     (Cmd.info "draw" ~doc:"Render a failure scenario and recovery to SVG")
     Term.(const run $ obs_term $ topo_arg $ seed_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmark: the SPT hot path, scratch vs workspace, plus a
+   repeated-destination recovery so the smoke gate can assert the
+   phase-2 per-destination cache actually hits. *)
+
+let microbench_cmd =
+  let module Graph = Rtr_graph.Graph in
+  let module View = Rtr_graph.View in
+  let module Dijkstra = Rtr_graph.Dijkstra in
+  let topo_arg =
+    let doc = "Topology name." in
+    Arg.(value & opt string "AS209" & info [ "topo" ] ~docv:"AS" ~doc)
+  in
+  let iters_arg =
+    let doc = "Sweeps over all roots per SPT variant." in
+    Arg.(value & opt int 40 & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let run () topo_name iters seed =
+    Rtr_obs.Trace.with_ "rtr_sim.microbench" ~attrs:[ ("topo", topo_name) ]
+    @@ fun () ->
+    let topo = Isp.load_by_name topo_name in
+    let g = Rtr_topo.Topology.graph topo in
+    let n = Graph.n_nodes g in
+    let full = View.full g in
+    let time f =
+      let t0 = Rtr_obs.Trace.now () in
+      f ();
+      Rtr_obs.Trace.now () -. t0
+    in
+    let per_spt s = s /. float_of_int (iters * n) *. 1e9 in
+    (* Scratch: every run allocates four label arrays and a heap. *)
+    let scratch_s =
+      time (fun () ->
+          for _ = 1 to iters do
+            for root = 0 to n - 1 do
+              ignore (Dijkstra.spt full ~root ())
+            done
+          done)
+    in
+    (* Workspace: one arena, reused for every run. *)
+    let workspace = Dijkstra.Workspace.create () in
+    let ws_s =
+      time (fun () ->
+          for _ = 1 to iters do
+            for root = 0 to n - 1 do
+              ignore (Dijkstra.spt ~workspace full ~root ())
+            done
+          done)
+    in
+    (* Route tables: the workspace+CSR path vs the closure-pair oracle
+       implementation (same result, checked by the fuzz oracles). *)
+    let table_reps = 3 in
+    let table_s =
+      time (fun () ->
+          for _ = 1 to table_reps do
+            ignore (Rtr_routing.Route_table.compute full)
+          done)
+    in
+    let closure_s =
+      time (fun () ->
+          for _ = 1 to table_reps do
+            ignore (Rtr_routing.Route_table.compute_filtered g)
+          done)
+    in
+    let per_tbl s = s /. float_of_int table_reps *. 1e3 in
+    Rtr_obs.Metrics.Gauge.set
+      (Rtr_obs.Metrics.gauge "microbench.spt_scratch_ns")
+      (per_spt scratch_s);
+    Rtr_obs.Metrics.Gauge.set
+      (Rtr_obs.Metrics.gauge "microbench.spt_ws_ns")
+      (per_spt ws_s);
+    Rtr_obs.Metrics.Gauge.set
+      (Rtr_obs.Metrics.gauge "microbench.spt_ws_speedup")
+      (scratch_s /. ws_s);
+    Rtr_obs.Metrics.Gauge.set
+      (Rtr_obs.Metrics.gauge "microbench.route_table_ms")
+      (per_tbl table_s);
+    Rtr_obs.Metrics.Gauge.set
+      (Rtr_obs.Metrics.gauge "microbench.route_table_closure_ms")
+      (per_tbl closure_s);
+    Format.printf "%s: %d nodes, %d links, %d SPT runs per variant@."
+      topo_name n (Graph.n_links g) (iters * n);
+    Format.printf "  spt/scratch     %8.0f ns/run@." (per_spt scratch_s);
+    Format.printf "  spt/workspace   %8.0f ns/run  (%.2fx)@." (per_spt ws_s)
+      (scratch_s /. ws_s);
+    Format.printf "  route-table     %8.2f ms (workspace+CSR)@."
+      (per_tbl table_s);
+    Format.printf "  route-table     %8.2f ms (closure oracle)@."
+      (per_tbl closure_s);
+    (* Repeated-destination smoke: recover a destination, then ask the
+       session for its recovery distance — the second query must be a
+       phase2.cache_hits, not a new calculation. *)
+    let cache = Rtr_sim.Topo_cache.shared topo in
+    let table = Rtr_sim.Topo_cache.table cache in
+    let rec scenario_with_cases attempt =
+      if attempt > 20 then None
+      else
+        let rng = Rtr_util.Rng.make (seed + attempt) in
+        let s = Rtr_sim.Scenario.generate topo table rng () in
+        if s.Rtr_sim.Scenario.cases = [] then scenario_with_cases (attempt + 1)
+        else Some s
+    in
+    match scenario_with_cases 0 with
+    | None -> log_line "no non-empty scenario found; cache smoke skipped"
+    | Some scenario ->
+        let case = List.hd scenario.Rtr_sim.Scenario.cases in
+        let open Rtr_sim.Scenario in
+        let session =
+          Rtr_core.Rtr.start topo scenario.damage
+            ~base_spt:(Rtr_sim.Topo_cache.base_spt cache case.initiator)
+            ~initiator:case.initiator ~trigger:case.trigger ()
+        in
+        ignore (Rtr_core.Rtr.recover session ~dst:case.dst);
+        ignore (Rtr_core.Rtr.recovery_distance session ~dst:case.dst);
+        Format.printf
+          "cache smoke: dst v%d queried twice, sp_calculations = %d@." case.dst
+          (Rtr_core.Rtr.sp_calculations session)
+  in
+  Cmd.v
+    (Cmd.info "microbench"
+       ~doc:
+         "Time the SPT hot path (scratch allocation vs reusable workspace, \
+          CSR route tables vs the closure oracle) and smoke-test the \
+          phase-2 destination cache.  Pair with --metrics to record the \
+          numbers.")
+    Term.(const run $ obs_term $ topo_arg $ iters_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Fuzzing: theorem-oracle campaigns and artifact replay *)
@@ -619,6 +746,7 @@ let cmds =
     needs_data_cmd All "all" "Every table and figure of the evaluation";
     run_cmd;
     draw_cmd;
+    microbench_cmd;
     fuzz_cmd;
     replay_cmd;
   ]

@@ -350,6 +350,49 @@ let view_vs_filtered_run ~inject:_ spec =
   if not (Route_table.equal ta tb) then
     raise (Found (violation name "view and closure routing tables differ"))
 
+let ws_spt_run ~inject:_ spec =
+  let topo, damage = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let truth = Damage.view damage in
+  let full = View.full g in
+  let node_ok = Damage.node_ok damage and link_ok = Damage.link_ok damage in
+  let name = "ws_spt_vs_filtered" in
+  (* The domain's own arena, deliberately: consecutive fuzz specs have
+     different graph sizes, and other oracles churn the same workspace
+     in between, so one campaign exercises reuse across roots, views,
+     directions AND re-sizing. *)
+  let workspace = Dijkstra.Workspace.get () in
+  let check ~root ~direction ~view ~filtered_view label =
+    let b =
+      match filtered_view with
+      | `Truth -> Dijkstra.spt_filtered g ~root ~direction ~node_ok ~link_ok ()
+      | `Full -> Dijkstra.spt_filtered g ~root ~direction ()
+    in
+    (* Borrow after the oracle run; compare before the next borrow. *)
+    let a = Dijkstra.spt ~workspace view ~root ~direction () in
+    if
+      a.Spt.dist <> b.Spt.dist
+      || a.Spt.parent_node <> b.Spt.parent_node
+      || a.Spt.parent_link <> b.Spt.parent_link
+    then
+      raise
+        (Found
+           (violation name "workspace SPT differs from spt_filtered at root \
+                            v%d (%s)" root label))
+  in
+  first_violation @@ fun () ->
+  for root = 0 to Graph.n_nodes g - 1 do
+    (* Same workspace, alternating views and directions per root. *)
+    check ~root ~direction:Spt.From_root ~view:full ~filtered_view:`Full
+      "full, from-root";
+    if node_ok root then begin
+      check ~root ~direction:Spt.From_root ~view:truth ~filtered_view:`Truth
+        "damaged, from-root";
+      check ~root ~direction:Spt.To_root ~view:truth ~filtered_view:`Truth
+        "damaged, to-root"
+    end
+  done
+
 let parallel_run ~inject:_ spec =
   let topo, damage = Spec.build spec in
   let g = Rtr_topo.Topology.graph topo in
@@ -424,6 +467,13 @@ let view_vs_filtered =
     run = view_vs_filtered_run;
   }
 
+let ws_spt_vs_filtered =
+  {
+    name = "ws_spt_vs_filtered";
+    doc = "workspace-reused SPT runs equal the closure-pair oracle";
+    run = ws_spt_run;
+  }
+
 let parallel_vs_sequential =
   {
     name = "parallel_vs_sequential";
@@ -438,6 +488,7 @@ let all =
     single_link;
     incr_spt_vs_dijkstra;
     view_vs_filtered;
+    ws_spt_vs_filtered;
     parallel_vs_sequential;
   ]
 

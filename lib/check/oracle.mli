@@ -22,6 +22,9 @@
       from-scratch Dijkstra over the damaged view.
     - [view_vs_filtered] — bitset-mask traversals equal the legacy
       closure-pair implementations bit for bit.
+    - [ws_spt_vs_filtered] — SPT runs through the per-domain reusable
+      workspace equal the closure-pair oracle bit for bit, across the
+      campaign's shape changes.
     - [parallel_vs_sequential] — evaluating the scenario's cases on a
       multi-domain pool yields results structurally identical to the
       sequential run. *)
@@ -47,6 +50,7 @@ val optimal : t
 val single_link : t
 val incr_spt_vs_dijkstra : t
 val view_vs_filtered : t
+val ws_spt_vs_filtered : t
 val parallel_vs_sequential : t
 
 val all : t list

@@ -54,7 +54,12 @@ let create topo damage ?base_spt ?(extra_removed = []) ~phase1 () =
         Spt.copy base
     | None ->
         Metrics.Counter.incr c_spt_fresh;
-        Dijkstra.spt (View.full g) ~root:initiator ()
+        (* Run in the domain workspace, then copy: the tree is retained
+           and repaired in place below, so it must own its arrays. *)
+        Spt.copy
+          (Dijkstra.spt
+             ~workspace:(Dijkstra.Workspace.get ())
+             (View.full g) ~root:initiator ())
   in
   let repaired =
     Incremental_spt.remove spt ~dead_links:removed_list ~view ()

@@ -36,4 +36,5 @@ let recover t ~dst =
       | Source_route.Dropped { at; hops_done } ->
           False_path { path; dropped_at = at; hops_done })
 
+let recovery_distance t ~dst = Phase2.recovery_distance t.phase2 ~dst
 let sp_calculations t = Phase2.sp_calculations t.phase2

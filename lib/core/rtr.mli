@@ -40,5 +40,12 @@ val phase2 : t -> Phase2.t
 
 val recover : t -> dst:Graph.node -> outcome
 
+val recovery_distance : t -> dst:Graph.node -> int option
+(** Cost of the recovery path in the session's post-phase-1 view, from
+    the repaired SPT's distance labels ([None] when the destination is
+    unreachable in the view).  Served from the per-destination cache:
+    after a [recover ~dst], this is a cache hit, not a second
+    shortest-path calculation. *)
+
 val sp_calculations : t -> int
 (** Shortest-path calculations performed so far by this session. *)

@@ -11,20 +11,16 @@ let step_cost cost ~direction ~settled ~next link =
 
 let c_spt_scratch = Rtr_obs.Metrics.counter "spt.from_scratch"
 
-let spt view ~root ?(direction = Spt.From_root) ?cost () =
-  Rtr_obs.Metrics.Counter.incr c_spt_scratch;
-  let g = View.graph view in
-  let cost =
-    match cost with Some c -> c | None -> fun id ~src -> Graph.cost g id ~src
-  in
-  let n = Graph.n_nodes g in
-  let dist = Array.make n max_int in
-  let parent_node = Array.make n (-1) in
-  let parent_link = Array.make n (-1) in
-  let settled = Array.make n false in
+module Workspace = Workspace
+
+(* The relaxation loop, shared by the owned and workspace paths.
+   [touch] is called exactly when a node is labelled for the first time
+   (its dist leaves max_int); [ignore] for owned arrays. *)
+let run_into ~dist ~parent_node ~parent_link ~settled ~heap ~touch view ~root
+    ~direction ~cost =
   if View.node_ok view root then begin
     dist.(root) <- 0;
-    let heap = Pqueue.create () in
+    touch root;
     Pqueue.push heap ~prio:0 ~tag:root;
     let rec drain () =
       match Pqueue.pop heap with
@@ -39,6 +35,7 @@ let spt view ~root ?(direction = Spt.From_root) ?cost () =
                     cand < dist.(v)
                     || (cand = dist.(v) && u < parent_node.(v))
                   then begin
+                    if dist.(v) = max_int then touch v;
                     dist.(v) <- cand;
                     parent_node.(v) <- u;
                     parent_link.(v) <- id;
@@ -49,8 +46,40 @@ let spt view ~root ?(direction = Spt.From_root) ?cost () =
           drain ()
     in
     drain ()
-  end;
-  { Spt.graph = g; root; direction; dist; parent_node; parent_link }
+  end
+
+let spt ?workspace view ~root ?(direction = Spt.From_root) ?cost () =
+  let g = View.graph view in
+  let cost =
+    match cost with Some c -> c | None -> fun id ~src -> Graph.cost g id ~src
+  in
+  match workspace with
+  | None ->
+      Rtr_obs.Metrics.Counter.incr c_spt_scratch;
+      let n = Graph.n_nodes g in
+      let dist = Array.make n max_int in
+      let parent_node = Array.make n (-1) in
+      let parent_link = Array.make n (-1) in
+      let settled = Array.make n false in
+      let heap = Pqueue.create () in
+      run_into ~dist ~parent_node ~parent_link ~settled ~heap
+        ~touch:(fun _ -> ()) view ~root ~direction ~cost;
+      { Spt.graph = g; root; direction; dist; parent_node; parent_link }
+  | Some ws ->
+      Workspace.acquire ws g;
+      run_into ~dist:ws.Workspace.dist ~parent_node:ws.Workspace.parent_node
+        ~parent_link:ws.Workspace.parent_link ~settled:ws.Workspace.settled
+        ~heap:ws.Workspace.heap
+        ~touch:(fun v -> Workspace.touch ws v)
+        view ~root ~direction ~cost;
+      {
+        Spt.graph = g;
+        root;
+        direction;
+        dist = ws.Workspace.dist;
+        parent_node = ws.Workspace.parent_node;
+        parent_link = ws.Workspace.parent_link;
+      }
 
 (* The pre-view closure-pair implementation, kept verbatim as the
    reference oracle for the view/closure equivalence suite (and for
@@ -98,9 +127,9 @@ let spt_filtered g ~root ?(direction = Spt.From_root)
   { Spt.graph = g; root; direction; dist; parent_node; parent_link }
 
 let shortest_path view ~src ~dst =
-  let t = spt view ~root:src ~direction:Spt.From_root () in
+  let t = spt ~workspace:(Workspace.get ()) view ~root:src ~direction:Spt.From_root () in
   Spt.path t dst
 
 let distance view ~src ~dst =
-  let t = spt view ~root:src ~direction:Spt.From_root () in
+  let t = spt ~workspace:(Workspace.get ()) view ~root:src ~direction:Spt.From_root () in
   if Spt.reached t dst then Some (Spt.dist t dst) else None

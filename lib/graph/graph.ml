@@ -8,7 +8,14 @@ type t = {
   link_v : int array;
   cost_uv : int array;
   cost_vu : int array;
-  adj : (node * link_id) array array;
+  (* Adjacency in CSR form: the neighbours of [u] are
+     [adj_ngb.(i), adj_lnk.(i)] for [i] in
+     [adj_off.(u) .. adj_off.(u+1) - 1], sorted ascending by neighbour
+     id (neighbours are unique per node, so this is the same canonical
+     order the old (node * link_id) array-of-arrays gave). *)
+  adj_off : int array;
+  adj_ngb : int array;
+  adj_lnk : int array;
 }
 
 let n_nodes g = g.n
@@ -51,19 +58,36 @@ let build_weighted ~n ~edges =
   let deg = Array.make n 0 in
   Array.iter (fun u -> deg.(u) <- deg.(u) + 1) link_u;
   Array.iter (fun v -> deg.(v) <- deg.(v) + 1) link_v;
-  let adj = Array.init n (fun u -> Array.make deg.(u) (0, 0)) in
-  let fill = Array.make n 0 in
+  let adj_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    adj_off.(u + 1) <- adj_off.(u) + deg.(u)
+  done;
+  let adj_ngb = Array.make (2 * m) 0 and adj_lnk = Array.make (2 * m) 0 in
+  let fill = Array.copy adj_off in
   for id = 0 to m - 1 do
     let u = link_u.(id) and v = link_v.(id) in
-    adj.(u).(fill.(u)) <- (v, id);
+    adj_ngb.(fill.(u)) <- v;
+    adj_lnk.(fill.(u)) <- id;
     fill.(u) <- fill.(u) + 1;
-    adj.(v).(fill.(v)) <- (u, id);
+    adj_ngb.(fill.(v)) <- u;
+    adj_lnk.(fill.(v)) <- id;
     fill.(v) <- fill.(v) + 1
   done;
-  (* Sort adjacency by neighbour id: gives every iteration a canonical
-     deterministic order. *)
-  Array.iter (fun a -> Array.sort compare a) adj;
-  { n; link_u; link_v; cost_uv; cost_vu; adj }
+  (* Sort each CSR segment by neighbour id: gives every iteration a
+     canonical deterministic order. *)
+  for u = 0 to n - 1 do
+    let lo = adj_off.(u) and hi = adj_off.(u + 1) in
+    if hi - lo > 1 then begin
+      let seg = Array.init (hi - lo) (fun i -> (adj_ngb.(lo + i), adj_lnk.(lo + i))) in
+      Array.sort compare seg;
+      Array.iteri
+        (fun i (v, id) ->
+          adj_ngb.(lo + i) <- v;
+          adj_lnk.(lo + i) <- id)
+        seg
+    end
+  done;
+  { n; link_u; link_v; cost_uv; cost_vu; adj_off; adj_ngb; adj_lnk }
 
 let build ~n ~edges =
   build_weighted ~n ~edges:(List.map (fun (u, v) -> (u, v, 1, 1)) edges)
@@ -80,25 +104,40 @@ let cost g id ~src =
   else if g.link_v.(id) = src then g.cost_vu.(id)
   else invalid_arg "Graph.cost: node not an endpoint"
 
-let degree g u = Array.length g.adj.(u)
-let neighbors g u = g.adj.(u)
+let degree g u = g.adj_off.(u + 1) - g.adj_off.(u)
+
+let neighbors g u =
+  let lo = g.adj_off.(u) in
+  Array.init (degree g u) (fun i -> (g.adj_ngb.(lo + i), g.adj_lnk.(lo + i)))
+
+let adj_offsets g = g.adj_off
+let adj_targets g = g.adj_ngb
+let adj_links g = g.adj_lnk
 
 let find_link g u v =
-  let a = g.adj.(u) in
+  let lo = g.adj_off.(u) and hi = g.adj_off.(u + 1) in
   let rec loop i =
-    if i >= Array.length a then None
-    else
-      let w, id = a.(i) in
-      if w = v then Some id else loop (i + 1)
+    if i >= hi then None
+    else if g.adj_ngb.(i) = v then Some g.adj_lnk.(i)
+    else loop (i + 1)
   in
-  loop 0
+  loop lo
 
 let mem_edge g u v = Option.is_some (find_link g u v)
 
-let iter_neighbors g u f = Array.iter (fun (v, id) -> f v id) g.adj.(u)
+let iter_neighbors g u f =
+  let hi = g.adj_off.(u + 1) in
+  for i = g.adj_off.(u) to hi - 1 do
+    f (Array.unsafe_get g.adj_ngb i) (Array.unsafe_get g.adj_lnk i)
+  done
 
 let fold_neighbors g u ~init ~f =
-  Array.fold_left (fun acc (v, id) -> f acc v id) init g.adj.(u)
+  let hi = g.adj_off.(u + 1) in
+  let acc = ref init in
+  for i = g.adj_off.(u) to hi - 1 do
+    acc := f !acc (Array.unsafe_get g.adj_ngb i) (Array.unsafe_get g.adj_lnk i)
+  done;
+  !acc
 
 let iter_links g f =
   for id = 0 to n_links g - 1 do

@@ -53,11 +53,31 @@ val mem_edge : t -> node -> node -> bool
 val degree : t -> node -> int
 
 val neighbors : t -> node -> (node * link_id) array
-(** Physically shared array — callers must not mutate it. *)
+(** Freshly allocated on each call (adjacency is stored in CSR form);
+    prefer [iter_neighbors]/[fold_neighbors] on hot paths. *)
 
 val iter_neighbors : t -> node -> (node -> link_id -> unit) -> unit
 
 val fold_neighbors : t -> node -> init:'a -> f:('a -> node -> link_id -> 'a) -> 'a
+
+(** {1 CSR adjacency}
+
+    The raw compressed-sparse-row arrays behind the adjacency: the
+    neighbours of [u] are [(adj_targets g).(i), (adj_links g).(i)] for
+    [i] in [(adj_offsets g).(u) .. (adj_offsets g).(u+1) - 1], sorted
+    ascending by neighbour id.  The arrays are physically shared with
+    the graph — callers must not mutate them.  Exposed so [View] can
+    run the masked relaxation loop cache-linearly without per-neighbour
+    tuple indirection. *)
+
+val adj_offsets : t -> int array
+(** Length [n_nodes g + 1]. *)
+
+val adj_targets : t -> int array
+(** Length [2 * n_links g]. *)
+
+val adj_links : t -> int array
+(** Length [2 * n_links g]. *)
 
 val iter_links : t -> (link_id -> node -> node -> unit) -> unit
 

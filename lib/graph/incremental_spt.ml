@@ -11,14 +11,15 @@ let step_cost g ~direction ~settled ~next link =
 
 (* Dijkstra restricted to the [affected] set, seeded from the frontier
    of still-valid nodes.  Shared by [remove] (after invalidating
-   subtrees) and usable on any subset. *)
-let repair (t : Spt.t) ~affected ~view =
+   subtrees) and usable on any subset.  [settled] and [heap] are
+   borrowed workspace scratch, clean on entry; settled nodes are
+   affected, hence already on the workspace's touched stack. *)
+let repair (t : Spt.t) ~affected ~settled ~heap ~view =
   let g = t.Spt.graph in
   let n = Graph.n_nodes g in
   let dist = t.Spt.dist
   and parent_node = t.Spt.parent_node
   and parent_link = t.Spt.parent_link in
-  let heap = Pqueue.create () in
   let seed v =
     if View.node_ok view v then
       View.iter_neighbors view v (fun u id ->
@@ -38,7 +39,6 @@ let repair (t : Spt.t) ~affected ~view =
   for v = 0 to n - 1 do
     if affected.(v) then seed v
   done;
-  let settled = Array.make n false in
   let rec drain () =
     match Pqueue.pop heap with
     | None -> ()
@@ -68,36 +68,65 @@ let remove (t : Spt.t) ?(dead_nodes = []) ?(dead_links = []) ~view () =
     invalid_arg "Incremental_spt.remove: view over a different graph";
   let g = t.Spt.graph in
   let n = Graph.n_nodes g in
-  let node_dead = Array.make n false in
-  List.iter (fun v -> node_dead.(v) <- true) dead_nodes;
-  let link_dead = Hashtbl.create 16 in
-  List.iter (fun l -> Hashtbl.replace link_dead l ()) dead_links;
-  let affected = Array.make n false in
+  (* All scratch (dead/affected flags, repair heap and settled set)
+     comes from the domain's workspace arena: zero allocation per
+     repair.  [t] must therefore be an owned tree, not one borrowed
+     from this domain's workspace. *)
+  let ws = Workspace.get () in
+  Workspace.acquire ws g;
+  let node_dead = ws.Workspace.node_dead in
+  List.iter
+    (fun v ->
+      node_dead.(v) <- true;
+      Workspace.touch ws v)
+    dead_nodes;
+  let link_dead = ws.Workspace.link_dead in
+  List.iter
+    (fun l ->
+      link_dead.(l) <- true;
+      Workspace.touch_link ws l)
+    dead_links;
+  let affected = ws.Workspace.affected and mark = ws.Workspace.mark in
   (* A node is directly cut off when it, its tree parent, or its tree
-     link died; its whole subtree inherits the invalid distance. *)
+     link died; its whole subtree inherits the invalid distance.  The
+     subtree sweep is expressed as a memoised climb towards the root:
+     a node's verdict is its own direct cut or its parent's verdict.
+     [mark] records "verdict known"; verdicts are computed (and parent
+     pointers read) before any wipe of the node, so the climb always
+     sees original tree data — the affected set is exactly the old
+     recursive-invalidate one. *)
   let directly_cut v =
-    if v = t.Spt.root then node_dead.(v)
-    else
-      node_dead.(v)
-      || (t.Spt.parent_node.(v) >= 0 && node_dead.(t.Spt.parent_node.(v)))
-      || (t.Spt.parent_link.(v) >= 0 && Hashtbl.mem link_dead t.Spt.parent_link.(v))
+    node_dead.(v)
+    || (t.Spt.parent_node.(v) >= 0 && node_dead.(t.Spt.parent_node.(v)))
+    || (t.Spt.parent_link.(v) >= 0 && link_dead.(t.Spt.parent_link.(v)))
   in
-  let kids = Spt.children t in
-  let rec invalidate v =
-    if not affected.(v) then begin
-      affected.(v) <- true;
-      t.Spt.dist.(v) <- max_int;
-      t.Spt.parent_node.(v) <- -1;
-      t.Spt.parent_link.(v) <- -1;
-      List.iter invalidate kids.(v)
+  let count = ref 0 in
+  let rec status v =
+    if mark.(v) then affected.(v)
+    else begin
+      let cut =
+        directly_cut v
+        ||
+        let p = t.Spt.parent_node.(v) in
+        p >= 0 && status p
+      in
+      mark.(v) <- true;
+      Workspace.touch ws v;
+      if cut then begin
+        affected.(v) <- true;
+        incr count;
+        t.Spt.dist.(v) <- max_int;
+        t.Spt.parent_node.(v) <- -1;
+        t.Spt.parent_link.(v) <- -1
+      end;
+      cut
     end
   in
   for v = 0 to n - 1 do
-    if t.Spt.dist.(v) < max_int && directly_cut v then invalidate v
+    if t.Spt.dist.(v) < max_int then ignore (status v)
   done;
-  let count = ref 0 in
-  Array.iter (fun b -> if b then incr count) affected;
-  repair t ~affected ~view;
+  repair t ~affected ~settled:ws.Workspace.settled ~heap:ws.Workspace.heap
+    ~view;
   Rtr_obs.Metrics.Counter.incr c_repairs;
   Rtr_obs.Metrics.Counter.add c_repaired_nodes !count;
   !count

@@ -17,8 +17,12 @@ let compute view =
   let next = Array.make n [||]
   and next_lnk = Array.make n [||]
   and dist_to = Array.make n [||] in
+  (* One SPT per destination, each discarded after its row is copied
+     out: the canonical borrowed-workspace consumer (n runs, zero
+     array allocation after the first). *)
+  let workspace = Dijkstra.Workspace.get () in
   for dst = 0 to n - 1 do
-    let spt = Dijkstra.spt view ~root:dst ~direction:Spt.To_root () in
+    let spt = Dijkstra.spt ~workspace view ~root:dst ~direction:Spt.To_root () in
     let dist_row = Array.init n (fun src -> Spt.dist spt src) in
     let next_row = Array.make n (-1) and link_row = Array.make n (-1) in
     for src = 0 to n - 1 do

@@ -58,7 +58,7 @@ let collect ?(log = fun _ -> ()) config =
       @@ fun () ->
       let topo = Isp.load preset in
       let g = Rtr_topo.Topology.graph topo in
-      let cache = Topo_cache.create topo in
+      let cache = Topo_cache.shared topo in
       let table = Topo_cache.table cache in
       let mrc =
         match config.mrc_k with
@@ -410,7 +410,7 @@ let fig11 ?(log = fun _ -> ()) ?(areas_per_radius = 200) ?radii config =
     List.map
       (fun (preset : Isp.preset) ->
         let topo = Isp.load preset in
-        let table = Topo_cache.table (Topo_cache.create topo) in
+        let table = Topo_cache.table (Topo_cache.shared topo) in
         let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 11) in
         let points =
           List.map
@@ -593,7 +593,7 @@ let ablation_constraints ?(cases = 500) config =
   let row (preset : Isp.preset) =
     let topo = Isp.load preset in
     let g = Rtr_topo.Topology.graph topo in
-    let cache = Topo_cache.create topo in
+    let cache = Topo_cache.shared topo in
     let table = Topo_cache.table cache in
     let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 23) in
     let n_done = ref 0 in
@@ -686,7 +686,7 @@ let extension_bidir ?(cases = 500) config =
   let row (preset : Isp.preset) =
     let topo = Isp.load preset in
     let g = Rtr_topo.Topology.graph topo in
-    let cache = Topo_cache.create topo in
+    let cache = Topo_cache.shared topo in
     let table = Topo_cache.table cache in
     let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 31) in
     let n_done = ref 0 in
@@ -780,7 +780,7 @@ let ablation_mrc_k ?(cases = 500) ?(ks = [ 4; 6; 8; 12; 16 ]) config =
   let row (preset : Isp.preset) =
     let topo = Isp.load preset in
     let g = Rtr_topo.Topology.graph topo in
-    let table = Topo_cache.table (Topo_cache.create topo) in
+    let table = Topo_cache.table (Topo_cache.shared topo) in
     let mrcs =
       List.map
         (fun k ->
@@ -840,7 +840,7 @@ let ablation_mrc_k ?(cases = 500) ?(ks = [ 4; 6; 8; 12; 16 ]) config =
 let instance_variance ?(cases = 400) ?(instances = 5) config =
   let module Damage = Rtr_failure.Damage in
   let rate_on topo seed =
-    let cache = Topo_cache.create topo in
+    let cache = Topo_cache.shared topo in
     let table = Topo_cache.table cache in
     let rng = Rtr_util.Rng.make seed in
     let n_done = ref 0 and ok = ref 0 in

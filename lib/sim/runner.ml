@@ -36,6 +36,15 @@ let stretch_of g ~shortest_after path =
       Some (float_of_int (Path.cost g path) /. float_of_int best)
   | Some _ -> Some 1.0
 
+(* Same ratio, but from a distance the session already knows (an SPT
+   path's [Path.cost] equals its distance label, so this is the value
+   [stretch_of] would compute — without re-walking the path). *)
+let stretch_of_dist ~shortest_after dist =
+  match shortest_after with
+  | None -> None
+  | Some best when best > 0 -> Some (float_of_int dist /. float_of_int best)
+  | Some _ -> Some 1.0
+
 let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
   (* One RTR session per (initiator, trigger): phase 1's walk starts at
      the trigger, so two different triggers at the same initiator are
@@ -64,8 +73,17 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
   let rtr_recovered, rtr_stretch, rtr_route_bytes, rtr_wasted_tx =
     match Rtr.recover session ~dst:case.Scenario.dst with
     | Rtr.Recovered path ->
+        (* The stretch numerator comes back through the session's
+           per-destination cache (the paper's "one shortest-path
+           calculation per destination" bookkeeping): a phase2.cache_hit,
+           not a recomputation, and bit-identical to Path.cost. *)
+        let dist =
+          match Rtr.recovery_distance session ~dst:case.Scenario.dst with
+          | Some d -> d
+          | None -> assert false (* Recovered implies a cached path *)
+        in
         ( true,
-          stretch_of g ~shortest_after:case.Scenario.shortest_after path,
+          stretch_of_dist ~shortest_after:case.Scenario.shortest_after dist,
           Header.rtr_phase2 ~hops:(Path.hops path),
           0 )
     | Rtr.Unreachable_in_view -> (false, None, 0, 0)

@@ -10,14 +10,13 @@ let minimum = function
   | [] -> invalid_arg "Stats.minimum: empty"
   | x :: xs -> List.fold_left Float.min x xs
 
+(* One nearest-rank implementation for the whole harness: [Cdf] owns
+   it, this is just the list-flavoured entry point (keeping its own
+   error messages). *)
 let percentile xs p =
   if xs = [] then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
-  let a = Array.of_list xs in
-  Array.sort Float.compare a;
-  let n = Array.length a in
-  let rank = int_of_float (ceil (p *. float_of_int n)) in
-  a.(max 0 (min (n - 1) (rank - 1)))
+  Cdf.quantile (Cdf.of_values xs) p
 
 let mean_int xs = mean (List.map float_of_int xs)
 let max_int_list = function

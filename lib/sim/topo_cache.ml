@@ -38,6 +38,26 @@ let create topo =
 let topology t = t.topo
 let full_view t = t.full_view
 
+(* Process-wide registry, so every harness stage working on the same
+   topology shares one cache (the BENCH_0003 bug: each stage [create]d
+   its own cache, queried the table exactly once, and recorded a miss —
+   24 misses, 0 hits).  Keyed by topology name with a physical-equality
+   guard: [Isp.load] memoises per AS so reloads are physically equal,
+   while a same-named but distinct topology (generated test graphs)
+   replaces the stale entry instead of being served wrong tables. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_lock = Mutex.create ()
+
+let shared topo =
+  Mutex.protect registry_lock (fun () ->
+      let name = Rtr_topo.Topology.name topo in
+      match Hashtbl.find_opt registry name with
+      | Some c when c.topo == topo -> c
+      | _ ->
+          let c = create topo in
+          Hashtbl.replace registry name c;
+          c)
+
 let table t =
   Mutex.protect t.lock (fun () ->
       match t.table with

@@ -22,7 +22,17 @@ module Graph = Rtr_graph.Graph
 type t
 
 val create : Rtr_topo.Topology.t -> t
-(** Empty cache; nothing is computed until first demanded. *)
+(** Empty cache; nothing is computed until first demanded.  Prefer
+    {!shared} — a private cache forgets everything other stages already
+    computed for the topology. *)
+
+val shared : Rtr_topo.Topology.t -> t
+(** The process-wide cache for this topology, created on first call
+    (keyed by name, guarded by physical equality of the topology — a
+    distinct same-named topology gets a fresh cache).  Every experiment
+    stage asking for the same loaded topology gets the same cache, so
+    e.g. the fig. 11 sweep reuses the routing table the main collection
+    already computed. *)
 
 val topology : t -> Rtr_topo.Topology.t
 

@@ -49,7 +49,9 @@ dune exec tools/json_check.exe -- BENCH_*.json
 # deterministic.  json_canon strips the fields that may differ between
 # the two runs: the manifest (argv embeds the temp paths, wall_s is
 # timing) and the pool.* scheduling metrics that only the parallel run
-# records.
+# records, plus spt.ws_alloc/ws_reuse: arenas live per domain, so the
+# alloc/reuse split depends on how many worker domains existed (their
+# sum is jobs-invariant, the split is not).
 
 RTR_JOBS=1 dune exec bin/rtr_sim.exe -- table3 --cases 40 \
   --topos AS209,AS1239 --metrics "$m1" > "$r1" 2> /dev/null
@@ -66,12 +68,14 @@ dune exec tools/json_canon.exe -- \
   --strip metrics.counters.pool. \
   --strip metrics.gauges.pool. \
   --strip metrics.histograms.pool. \
+  --strip metrics.counters.spt.ws_ \
   "$m1" > "$c1"
 dune exec tools/json_canon.exe -- \
   --strip manifest \
   --strip metrics.counters.pool. \
   --strip metrics.gauges.pool. \
   --strip metrics.histograms.pool. \
+  --strip metrics.counters.spt.ws_ \
   "$m4" > "$c4"
 
 if ! diff "$c1" "$c4"; then
@@ -95,6 +99,37 @@ fi
 
 echo "ci_smoke: determinism gate OK (RTR_JOBS=1 == RTR_JOBS=4)"
 
+# --- microbench / hot-path gate --------------------------------------
+# The SPT workspace must actually be reused (spt.ws_alloc stays small —
+# one arena per domain plus the microbench's own pinned arena, far
+# below the thousands of runs), and the phase-2 per-destination cache
+# must be live (BENCH_0003 shipped with phase2.cache_hits stuck at 0).
+mb=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_mb.XXXXXX")
+trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"' EXIT
+
+dune exec bin/rtr_sim.exe -- microbench --topo AS209 --iters 4 \
+  --metrics "$mb" > /dev/null
+dune exec tools/json_check.exe -- "$mb"
+
+ws_alloc=$(grep -o '"spt.ws_alloc":[0-9]*' "$mb" | cut -d: -f2)
+ws_reuse=$(grep -o '"spt.ws_reuse":[0-9]*' "$mb" | cut -d: -f2)
+cache_hits=$(grep -o '"phase2.cache_hits":[0-9]*' "$mb" | cut -d: -f2)
+
+if [ -z "$ws_alloc" ] || [ "$ws_alloc" -gt 8 ]; then
+  echo "ci_smoke: FAIL — spt.ws_alloc='$ws_alloc' (want 1..8: one arena per domain)" >&2
+  exit 1
+fi
+if [ -z "$ws_reuse" ] || [ "$ws_reuse" -le "$ws_alloc" ]; then
+  echo "ci_smoke: FAIL — spt.ws_reuse='$ws_reuse' not above ws_alloc='$ws_alloc'" >&2
+  exit 1
+fi
+if [ -z "$cache_hits" ] || [ "$cache_hits" -lt 1 ]; then
+  echo "ci_smoke: FAIL — phase2.cache_hits='$cache_hits' (the BENCH_0003 dead-cache bug)" >&2
+  exit 1
+fi
+
+echo "ci_smoke: microbench gate OK (ws_alloc=$ws_alloc ws_reuse=$ws_reuse cache_hits=$cache_hits)"
+
 # --- fuzz gate -------------------------------------------------------
 # Theorem-oracle fuzzing (lib/check): random topologies and failures
 # checked against Theorems 1-3 and the differential oracles.  The
@@ -108,7 +143,7 @@ dune exec bin/rtr_sim.exe -- fuzz --cases "$FUZZ_CASES" --seed 42
 # fault (phase 2 forgetting one collected failed link) has to be
 # caught, shrunk, and its artifact has to replay.
 fuzzdir=$(mktemp -d "${TMPDIR:-/tmp}/rtr_smoke_fuzz.XXXXXX")
-trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4"; rm -rf "$fuzzdir"' EXIT
+trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"; rm -rf "$fuzzdir"' EXIT
 
 if dune exec bin/rtr_sim.exe -- fuzz --cases 40 --seed 42 \
      --oracle optimal --inject drop-failed-link --out "$fuzzdir" > /dev/null

@@ -54,6 +54,23 @@ let test_caching_counts_once_per_destination () =
   ignore (Phase2.recovery_path p2 ~dst:(PE.v 18));
   Alcotest.(check int) "second destination" 2 (Phase2.sp_calculations p2)
 
+(* BENCH_0003 regression: the [phase2.cache_hits] counter itself (not
+   just [sp_calculations]) must move when a destination is re-queried —
+   it sat at 0 for a whole 200-case run because no workload path ever
+   asked twice. *)
+let test_repeated_destination_bumps_cache_hits () =
+  let c = Rtr_obs.Metrics.counter "phase2.cache_hits" in
+  let topo, _, damage, p1 = setup () in
+  let p2 = Phase2.create topo damage ~phase1:p1 () in
+  let v0 = Rtr_obs.Metrics.Counter.value c in
+  ignore (Phase2.recovery_path p2 ~dst:PE.destination);
+  Alcotest.(check int) "first demand is a miss" v0
+    (Rtr_obs.Metrics.Counter.value c);
+  ignore (Phase2.recovery_path p2 ~dst:PE.destination);
+  ignore (Phase2.recovery_distance p2 ~dst:PE.destination);
+  Alcotest.(check int) "repeats are hits" (v0 + 2)
+    (Rtr_obs.Metrics.Counter.value c)
+
 let test_unreachable_destination () =
   (* A pocket: the initiator's only neighbour dies, so its local
      knowledge alone already proves the destination unreachable and
@@ -147,6 +164,8 @@ let suite =
     Alcotest.test_case "view removal" `Quick test_view_removes_collected_and_local;
     Alcotest.test_case "path avoids view" `Quick test_path_avoids_view;
     Alcotest.test_case "caching" `Quick test_caching_counts_once_per_destination;
+    Alcotest.test_case "repeated destination bumps cache hits" `Quick
+      test_repeated_destination_bumps_cache_hits;
     Alcotest.test_case "unreachable destination" `Quick test_unreachable_destination;
     Alcotest.test_case "uncollectable failure gives false path" `Quick
       test_uncollectable_failure_gives_false_path;

@@ -139,9 +139,25 @@ let test_sessions_keyed_by_initiator_and_trigger () =
         [ t1; t2 ] results
   | _ -> Alcotest.fail "expected two distinct triggers at the initiator"
 
+(* BENCH_0003 regression at the harness level: the runner reads each
+   recovered case's stretch numerator back through the per-destination
+   phase-2 cache, so any run with a recovered case must record cache
+   hits — the counter sat at 0 for 10k+ calculations before. *)
+let test_recovered_cases_hit_phase2_cache () =
+  let c = Rtr_obs.Metrics.counter "phase2.cache_hits" in
+  let v0 = Rtr_obs.Metrics.Counter.value c in
+  let _, results = small_run () in
+  let recovered =
+    List.length (List.filter (fun r -> r.Runner.rtr_recovered) results)
+  in
+  Alcotest.(check bool) "at least one hit per recovered case" true
+    (Rtr_obs.Metrics.Counter.value c - v0 >= recovered)
+
 let suite =
   [
     Alcotest.test_case "one result per case" `Quick test_one_result_per_case;
+    Alcotest.test_case "recovered cases hit the phase-2 cache" `Quick
+      test_recovered_cases_hit_phase2_cache;
     Alcotest.test_case "sessions keyed by (initiator, trigger)" `Quick
       test_sessions_keyed_by_initiator_and_trigger;
     Alcotest.test_case "rtr invariants" `Quick test_rtr_invariants;

@@ -21,6 +21,42 @@ let test_percentile () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
     (fun () -> ignore (Stats.percentile [] 0.5))
 
+(* Nearest-rank boundaries through both entry points: [Stats.percentile]
+   delegates to [Cdf.quantile], so the two must agree exactly, and the
+   extremes must clamp to minimum/maximum. *)
+let test_quantile_boundaries () =
+  let xs = [ 3.0; 1.0; 2.0; 2.0 ] in
+  let c = Cdf.of_values xs in
+  Alcotest.check feq "p=0.0 is the minimum" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.check feq "p=1.0 is the maximum" 3.0 (Stats.percentile xs 1.0);
+  Alcotest.check feq "p=0.0 via Cdf" 1.0 (Cdf.quantile c 0.0);
+  Alcotest.check feq "p=1.0 via Cdf" 3.0 (Cdf.quantile c 1.0);
+  List.iter
+    (fun p ->
+      Alcotest.check feq
+        (Printf.sprintf "delegation agrees at p=%g" p)
+        (Cdf.quantile c p) (Stats.percentile xs p))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  (* Single element: every p lands on it. *)
+  List.iter
+    (fun p ->
+      Alcotest.check feq
+        (Printf.sprintf "singleton at p=%g" p)
+        42.0
+        (Stats.percentile [ 42.0 ] p))
+    [ 0.0; 0.5; 1.0 ];
+  (* All-tied input: every p lands on the tied value. *)
+  List.iter
+    (fun p ->
+      Alcotest.check feq
+        (Printf.sprintf "ties at p=%g" p)
+        5.0
+        (Stats.percentile [ 5.0; 5.0; 5.0 ] p))
+    [ 0.0; 0.5; 1.0 ];
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs 1.5))
+
 let test_cdf_eval () =
   let c = Cdf.of_values [ 1.0; 2.0; 2.0; 4.0 ] in
   Alcotest.check feq "below" 0.0 (Cdf.eval c 0.5);
@@ -81,6 +117,7 @@ let suite =
   [
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "quantile boundaries" `Quick test_quantile_boundaries;
     Alcotest.test_case "cdf eval" `Quick test_cdf_eval;
     Alcotest.test_case "cdf quantile" `Quick test_cdf_quantile;
     Alcotest.test_case "cdf steps" `Quick test_cdf_steps;

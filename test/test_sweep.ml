@@ -107,6 +107,39 @@ let test_left_hand_mirror () =
   Alcotest.(check (list int)) "full cw order" [ 4; 3; 2; 1 ]
     (List.map (fun (_, v, _) -> v) cands)
 
+(* Two neighbours on the same ray from the hub have exactly equal sweep
+   angles; the fold in [select] must break the tie like the sort in
+   [candidates]: smaller node id first, whichever hand sweeps. *)
+let test_equal_angle_ties () =
+  let pts =
+    [|
+      Point.make 0.0 0.0;
+      Point.make 10.0 0.0;
+      Point.make 20.0 0.0;
+      Point.make 0.0 10.0;
+    |]
+  in
+  let g = Graph.build ~n:4 ~edges:[ (0, 1); (0, 2); (0, 3) ] in
+  let topo = Rtr_topo.Topology.create ~name:"collinear" g (Embedding.of_points pts) in
+  let none = Damage.none (Rtr_topo.Topology.graph topo) in
+  List.iter
+    (fun hand ->
+      let cands =
+        Sweep.candidates topo none ~hand ~at:0 ~reference:3
+          ~excluded:no_exclusion ()
+      in
+      Alcotest.(check (list int)) "tied pair ordered by id, reference last"
+        [ 1; 2; 3 ]
+        (List.map (fun (_, v, _) -> v) cands);
+      (match cands with
+      | (a1, _, _) :: (a2, _, _) :: _ ->
+          Alcotest.(check (float 0.0)) "angles exactly equal" a1 a2
+      | _ -> Alcotest.fail "expected three candidates");
+      match Sweep.select topo none ~hand ~at:0 ~reference:3 ~excluded:no_exclusion () with
+      | Some (v, _) -> Alcotest.(check int) "smaller id wins the tie" 1 v
+      | None -> Alcotest.fail "no candidate")
+    [ Sweep.Right; Sweep.Left ]
+
 let select_is_first_candidate =
   QCheck.Test.make ~name:"select is the head of candidates" ~count:40
     QCheck.(int_range 5 25)
@@ -125,6 +158,26 @@ let select_is_first_candidate =
           | _ -> false)
         (Rtr_check.Gen.detectors topo damage))
 
+let select_is_first_candidate_left =
+  QCheck.Test.make ~name:"select is the head of candidates (left hand)"
+    ~count:40
+    QCheck.(int_range 5 25)
+    (fun n ->
+      let topo = Rtr_check.Gen.random_topology ~seed:(n * 11) ~n in
+      let damage = Rtr_check.Gen.random_damage ~seed:(n + 1) topo in
+      List.for_all
+        (fun (at, reference) ->
+          match
+            ( Sweep.select topo damage ~hand:Sweep.Left ~at ~reference
+                ~excluded:no_exclusion (),
+              Sweep.candidates topo damage ~hand:Sweep.Left ~at ~reference
+                ~excluded:no_exclusion () )
+          with
+          | Some (v, _), (_, v', _) :: _ -> v = v'
+          | None, [] -> true
+          | _ -> false)
+        (Rtr_check.Gen.detectors topo damage))
+
 let suite =
   [
     Alcotest.test_case "ccw order" `Quick test_ccw_order;
@@ -135,5 +188,7 @@ let suite =
     Alcotest.test_case "self reference rejected" `Quick test_reference_must_differ;
     Alcotest.test_case "candidates sorted" `Quick test_candidates_sorted;
     Alcotest.test_case "left hand mirror" `Quick test_left_hand_mirror;
+    Alcotest.test_case "equal-angle ties" `Quick test_equal_angle_ties;
     QCheck_alcotest.to_alcotest select_is_first_candidate;
+    QCheck_alcotest.to_alcotest select_is_first_candidate_left;
   ]
