@@ -284,6 +284,88 @@ let run_benchmarks () =
     (fun (name, ns) -> Printf.printf "%-36s %s\n" name (pretty ns))
     (List.rev !results)
 
+(* ------------------------------------------------------------------ *)
+(* Recovery-map ablation: what the precomputed service costs offline
+   (artifact size, compile time, pool speedup at --jobs 4) and buys
+   online (index-lookup latency vs a reactive recovery recompute). *)
+
+let rmap_ablation () =
+  section "Recovery-map ablation: offline precompute vs O(log n) lookups";
+  let module Enum = Rtr_rmap.Enum in
+  let module Compile = Rtr_rmap.Compile in
+  let module Store = Rtr_rmap.Store in
+  let module Service = Rtr_rmap.Service in
+  let t = Lazy.force topo in
+  let grid = if !quick then 3 else 5 in
+  let config =
+    {
+      Enum.default with
+      Enum.grid_cols = grid;
+      Enum.grid_rows = grid;
+      Enum.radii = [ 150.0; 250.0 ];
+    }
+  in
+  let r1 = Compile.run ~jobs:1 t config in
+  let r4 = Compile.run ~jobs:4 t config in
+  let identical = String.equal r1.Compile.artifact r4.Compile.artifact in
+  Metrics.Gauge.set
+    (Metrics.gauge "rmap.jobs_identical")
+    (if identical then 1.0 else 0.0);
+  if not identical then
+    print_endline "WARNING: jobs=1 and jobs=4 artifacts differ!";
+  let speedup = r1.Compile.wall_s /. r4.Compile.wall_s in
+  Metrics.Gauge.set (Metrics.gauge "rmap.pool_speedup") speedup;
+  Printf.printf
+    "precompute: %d scenarios, %d cases, %d bytes\n\
+    \  jobs=1 %.2f s (%.0f cases/s), jobs=4 %.2f s (%.0f cases/s), \
+     speedup %.2fx, artifacts %s\n"
+    r1.Compile.n_scenarios r1.Compile.n_cases
+    (String.length r1.Compile.artifact)
+    r1.Compile.wall_s
+    (float_of_int r1.Compile.n_cases /. r1.Compile.wall_s)
+    r4.Compile.wall_s
+    (float_of_int r4.Compile.n_cases /. r4.Compile.wall_s)
+    speedup
+    (if identical then "byte-identical" else "DIFFER");
+  match Store.of_string r4.Compile.artifact with
+  | Error e -> Printf.printf "artifact rejected on reload: %s\n" e
+  | Ok store -> (
+      match Service.create ~topo:t store with
+      | Error e -> Printf.printf "service rejected: %s\n" e
+      | Ok service ->
+          let n = if !quick then 200_000 else 1_000_000 in
+          let b = Service.bench_lookups service ~n ~seed:7 in
+          Printf.printf
+            "lookup: %d probes (%d hits, %d misses) in %.3f s: %.0f \
+             lookups/s, %.0f ns/lookup\n"
+            b.Service.lookups b.Service.hits b.Service.misses b.Service.wall_s
+            b.Service.per_sec b.Service.ns_per_lookup;
+          (* The reactive alternative to one of those lookups: recompute
+             the whole scenario's recovery from scratch. *)
+          let cache = Rtr_sim.Topo_cache.shared t in
+          let tbl = Rtr_sim.Topo_cache.table cache in
+          let reps = if !quick then 20 else 100 in
+          let rng = Rtr_util.Rng.make 7 in
+          let signatures =
+            Array.init reps (fun _ ->
+                Store.signature store
+                  (Rtr_util.Rng.int rng (Store.n_scenarios store)))
+          in
+          let t0 = Trace.now () in
+          Array.iter
+            (fun s ->
+              ignore
+                (Compile.eval_links ~cache t tbl (Rtr_rmap.Signature.to_links s)))
+            signatures;
+          let reactive_ns = (Trace.now () -. t0) *. 1e9 /. float_of_int reps in
+          Metrics.Gauge.set (Metrics.gauge "rmap.reactive_ns") reactive_ns;
+          let vs = reactive_ns /. b.Service.ns_per_lookup in
+          Metrics.Gauge.set (Metrics.gauge "rmap.lookup_vs_reactive") vs;
+          Printf.printf
+            "reactive recompute: %.0f ns/scenario — precomputed lookups are \
+             %.0fx faster\n"
+            reactive_ns vs)
+
 (* A packet-level coda: the Sec. I motivation quantified by the
    discrete-event simulator (see examples/live_recovery.ml for the
    narrated version). *)
@@ -341,6 +423,10 @@ let () =
    | _ -> ());
   timed "motivation" motivation;
   timed "microbench" run_benchmarks;
+  (* After the microbench marker on purpose: the stage prints wall-clock
+     figures, and the CI determinism gate diffs everything before the
+     marker across RTR_JOBS values. *)
+  timed "rmap" rmap_ablation;
   let wall_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal wall time: %.1f s\n" wall_s;
   match !metrics_path with

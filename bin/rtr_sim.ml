@@ -590,6 +590,245 @@ let microbench_cmd =
     Term.(const run $ obs_term $ topo_arg $ iters_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Recovery-map service: offline scenario compiler + lookup server *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let precompute_cmd =
+  let module Enum = Rtr_rmap.Enum in
+  let topo_arg =
+    let doc = "Topology name." in
+    Arg.(value & opt string "AS209" & info [ "topo" ] ~docv:"AS" ~doc)
+  in
+  let out_arg =
+    let doc = "Artifact file to write." in
+    Arg.(value & opt string "rmap.bin" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let manifest_arg =
+    let doc = "Manifest JSON file (default: $(b,OUT).manifest.json)." in
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let singles_arg =
+    let doc = "Enumerate every single-link failure (default on)." in
+    Arg.(value & opt bool true & info [ "singles" ] ~docv:"BOOL" ~doc)
+  in
+  let grid_arg =
+    let doc =
+      "Disc-centre grid as $(b,COLSxROWS) over the embedding plane \
+       (default 0x0: no discs)."
+    in
+    Arg.(value & opt string "0x0" & info [ "grid" ] ~docv:"CxR" ~doc)
+  in
+  let radii_arg =
+    let doc = "Comma-separated disc radii, one disc per centre per radius." in
+    Arg.(value & opt string "" & info [ "radii" ] ~docv:"R,..." ~doc)
+  in
+  let combo_k_arg =
+    let doc = "Also enumerate all k-link failure sets up to this k." in
+    Arg.(value & opt int 0 & info [ "combo-k" ] ~docv:"K" ~doc)
+  in
+  let combo_budget_arg =
+    let doc = "Maximum combination scenarios kept (the rest are counted \
+               as dropped, never silently truncated)." in
+    Arg.(value & opt int Enum.default.Enum.combo_budget
+         & info [ "combo-budget" ] ~docv:"N" ~doc)
+  in
+  let run () topo_name out manifest singles grid radii combo_k combo_budget
+      jobs =
+    let jobs = Option.value jobs ~default:(Rtr_sim.Parallel.env_jobs ()) in
+    let topo = Isp.load_by_name topo_name in
+    let grid_cols, grid_rows =
+      match String.split_on_char 'x' (String.lowercase_ascii grid) with
+      | [ c; r ] -> (
+          try (int_of_string (String.trim c), int_of_string (String.trim r))
+          with Failure _ ->
+            prerr_endline ("rtr_sim: bad --grid " ^ grid);
+            exit 2)
+      | _ ->
+          prerr_endline ("rtr_sim: bad --grid " ^ grid);
+          exit 2
+    in
+    let radii =
+      if String.trim radii = "" then []
+      else
+        String.split_on_char ',' radii
+        |> List.map (fun r ->
+               try float_of_string (String.trim r)
+               with Failure _ ->
+                 prerr_endline ("rtr_sim: bad radius " ^ r);
+                 exit 2)
+    in
+    let config =
+      {
+        Enum.default with
+        Enum.singles;
+        grid_cols;
+        grid_rows;
+        radii;
+        combo_k;
+        combo_budget;
+      }
+    in
+    check_writable out;
+    let result = Rtr_rmap.Compile.run ~log:log_line ~jobs topo config in
+    write_file out result.Rtr_rmap.Compile.artifact;
+    let manifest_path =
+      Option.value manifest ~default:(out ^ ".manifest.json")
+    in
+    write_file manifest_path
+      (Rtr_obs.Json.to_string result.Rtr_rmap.Compile.manifest ^ "\n");
+    let stats = result.Rtr_rmap.Compile.stats in
+    Format.printf
+      "%s: %d scenarios (%d deduped, %d dropped, %d empty), %d cases@."
+      topo_name result.Rtr_rmap.Compile.n_scenarios stats.Enum.deduped
+      stats.Enum.dropped stats.Enum.empty result.Rtr_rmap.Compile.n_cases;
+    Format.printf "wrote %s (%d bytes) and %s in %.2f s (jobs=%d)@." out
+      (String.length result.Rtr_rmap.Compile.artifact)
+      manifest_path result.Rtr_rmap.Compile.wall_s jobs
+  in
+  Cmd.v
+    (Cmd.info "precompute"
+       ~doc:
+         "Compile a recovery map: enumerate plausible failure scenarios \
+          (single links, geographic disc grids, k-link combinations), run \
+          the RTR recovery for every test case of each, and pack the \
+          answers into one flat binary artifact plus a JSON manifest.  \
+          Deterministic: byte-identical output at any $(b,--jobs).")
+    Term.(
+      const run $ obs_term $ topo_arg $ out_arg $ manifest_arg $ singles_arg
+      $ grid_arg $ radii_arg $ combo_k_arg $ combo_budget_arg $ jobs_arg)
+
+let serve_cmd =
+  let module Store = Rtr_rmap.Store in
+  let module Service = Rtr_rmap.Service in
+  let map_arg =
+    let doc = "Artifact file written by $(b,precompute)." in
+    Arg.(value & opt string "rmap.bin" & info [ "map" ] ~docv:"FILE" ~doc)
+  in
+  let topo_arg =
+    let doc =
+      "Fallback topology for signature misses (default: the artifact's own \
+       topology when it is a known AS; $(b,none) disables the fallback)."
+    in
+    Arg.(value & opt (some string) None & info [ "topo" ] ~docv:"AS" ~doc)
+  in
+  let bench_arg =
+    let doc = "Drive $(docv) random lookups against the index and report \
+               throughput." in
+    Arg.(value & opt (some int) None & info [ "bench-lookups" ] ~docv:"N" ~doc)
+  in
+  let fail_arg =
+    let doc = "Failed link ids of the query signature." in
+    Arg.(value & opt (some string) None & info [ "fail" ] ~docv:"L,..." ~doc)
+  in
+  let initiator_arg =
+    let doc = "Query: recovery initiator." in
+    Arg.(value & opt (some int) None & info [ "initiator" ] ~docv:"V" ~doc)
+  in
+  let trigger_arg =
+    let doc = "Query: unreachable default next hop." in
+    Arg.(value & opt (some int) None & info [ "trigger" ] ~docv:"V" ~doc)
+  in
+  let dst_arg =
+    let doc = "Query: destination." in
+    Arg.(value & opt (some int) None & info [ "dst" ] ~docv:"V" ~doc)
+  in
+  let run () map topo_name bench fail initiator trigger dst seed =
+    match Store.load map with
+    | Error e ->
+        prerr_endline ("rtr_sim: " ^ map ^ ": " ^ e);
+        exit 1
+    | Ok store -> (
+        let topo =
+          match topo_name with
+          | Some "none" -> None
+          | Some name -> Some (Isp.load_by_name name)
+          | None ->
+              (* Reload the artifact's own topology when we know it, so
+                 misses fall back to a reactive run out of the box. *)
+              Option.map Isp.load (Isp.find (Store.topo_name store))
+        in
+        match Service.create ?topo store with
+        | Error e ->
+            prerr_endline ("rtr_sim: " ^ e);
+            exit 1
+        | Ok service ->
+            Format.printf
+              "%s: %s, %d routers, %d links, %d scenarios, %d cases, %d \
+               bytes, fallback %s@."
+              map (Store.topo_name store) (Store.n_nodes store)
+              (Store.n_links store) (Store.n_scenarios store)
+              (Store.n_cases store) (Store.bytes store)
+              (if topo = None then "off" else "reactive");
+            (match (fail, initiator, trigger, dst) with
+            | None, None, None, None -> ()
+            | Some fail, Some initiator, Some trigger, Some dst -> (
+                let links =
+                  if String.trim fail = "" then []
+                  else
+                    String.split_on_char ',' fail
+                    |> List.map (fun s ->
+                           try int_of_string (String.trim s)
+                           with Failure _ ->
+                             prerr_endline ("rtr_sim: bad link id " ^ s);
+                             exit 2)
+                in
+                match Service.query service ~links ~initiator ~trigger ~dst with
+                | Error e ->
+                    Format.printf "query: %s@." e;
+                    exit 1
+                | Ok reply ->
+                    Format.printf "query (v%d, v%d) -> v%d [%s]: %s@."
+                      initiator trigger dst
+                      (if reply.Service.from_artifact then "precomputed"
+                       else "reactive fallback")
+                      (match reply.Service.kind with
+                      | Store.Recovered -> "recovered"
+                      | Store.Unreachable -> "unreachable in view"
+                      | Store.False_path -> "false path");
+                    if reply.Service.path <> [||] then
+                      Format.printf "  route: %s (cost %d)@."
+                        (String.concat " -> "
+                           (Array.to_list
+                              (Array.map (Printf.sprintf "v%d")
+                                 reply.Service.path)))
+                        reply.Service.cost;
+                    if reply.Service.true_cost >= 0 then
+                      Format.printf "  true shortest: %d%s@."
+                        reply.Service.true_cost
+                        (match reply.Service.stretch with
+                        | Some s -> Printf.sprintf " (stretch %.3f)" s
+                        | None -> ""))
+            | _ ->
+                prerr_endline
+                  "rtr_sim: a query needs --fail, --initiator, --trigger \
+                   and --dst";
+                exit 2);
+            Option.iter
+              (fun n ->
+                let b = Service.bench_lookups service ~n ~seed in
+                Format.printf
+                  "bench: %d lookups (%d hits, %d misses) in %.3f s: %.0f \
+                   lookups/s, %.0f ns/lookup@."
+                  b.Service.lookups b.Service.hits b.Service.misses
+                  b.Service.wall_s b.Service.per_sec b.Service.ns_per_lookup)
+              bench)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load a precompiled recovery map and answer failure queries from \
+          it: an O(log n) index probe instead of a recovery recomputation, \
+          with a reactive fallback on signature misses.  \
+          $(b,--bench-lookups) measures raw lookup throughput.")
+    Term.(
+      const run $ obs_term $ map_arg $ topo_arg $ bench_arg $ fail_arg
+      $ initiator_arg $ trigger_arg $ dst_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzing: theorem-oracle campaigns and artifact replay *)
 
 let fuzz_cmd =
@@ -747,6 +986,8 @@ let cmds =
     run_cmd;
     draw_cmd;
     microbench_cmd;
+    precompute_cmd;
+    serve_cmd;
     fuzz_cmd;
     replay_cmd;
   ]

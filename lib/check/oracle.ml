@@ -38,58 +38,6 @@ let first_violation f =
 
 let ttl g = (4 * Graph.n_links g) + 4
 
-(* The (initiator, trigger, dst) test cases a damage creates, exactly
-   as [Scenario.of_area] enumerates them, but from an arbitrary damage
-   so [Explicit] failures work too. *)
-let cases_of topo table damage =
-  let g = Rtr_topo.Topology.graph topo in
-  let view = Damage.view damage in
-  let node_ok = Damage.node_ok damage in
-  let n = Graph.n_nodes g in
-  let spt_cache = Hashtbl.create 16 in
-  let shortest_from u =
-    match Hashtbl.find_opt spt_cache u with
-    | Some spt -> spt
-    | None ->
-        let spt = Dijkstra.spt view ~root:u () in
-        Hashtbl.replace spt_cache u spt;
-        spt
-  in
-  let cases = ref [] in
-  for initiator = n - 1 downto 0 do
-    if node_ok initiator then
-      for dst = n - 1 downto 0 do
-        if dst <> initiator then
-          match Route_table.next_link table ~src:initiator ~dst with
-          | None -> ()
-          | Some link ->
-              let trigger = Graph.other_end g link initiator in
-              if Damage.neighbor_unreachable damage trigger link then begin
-                let spt = shortest_from initiator in
-                let case =
-                  if node_ok dst && Spt.reached spt dst then
-                    {
-                      Scenario.initiator;
-                      trigger;
-                      dst;
-                      kind = Scenario.Recoverable;
-                      shortest_after = Some (Spt.dist spt dst);
-                    }
-                  else
-                    {
-                      Scenario.initiator;
-                      trigger;
-                      dst;
-                      kind = Scenario.Irrecoverable;
-                      shortest_after = None;
-                    }
-                in
-                cases := case :: !cases
-              end
-      done
-  done;
-  !cases
-
 (* --- Theorem 1 ------------------------------------------------------ *)
 
 let no_loop_run ~inject:_ spec =
@@ -400,7 +348,7 @@ let parallel_run ~inject:_ spec =
   if not (Components.is_connected g) then None
   else begin
     let table = Route_table.compute (View.full g) in
-    match cases_of topo table damage with
+    match Scenario.cases_of_damage topo table damage with
     | [] -> None
     | cases ->
         let area =
@@ -429,6 +377,119 @@ let parallel_run ~inject:_ spec =
                "jobs=3 evaluation differs from the sequential run on %d cases"
                (List.length cases))
   end
+
+let rmap_run ~inject:_ spec =
+  let topo, damage0 = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let name = "rmap_vs_reactive" in
+  match Damage.failed_links damage0 with
+  | [] -> None (* empty signature: never compiled, nothing to compare *)
+  | links -> (
+      (* The recovery map keys on failed-link sets, so both sides of the
+         comparison run over the canonical link-set damage. *)
+      let damage = Damage.of_failed g ~nodes:[] ~links in
+      let config =
+        { Rtr_rmap.Enum.default with Rtr_rmap.Enum.explicit = [ links ] }
+      in
+      (* [default] keeps singles on, so the index holds many entries and
+         the binary-search probes below are non-trivial. *)
+      let compiled = Rtr_rmap.Compile.run topo config in
+      match Rtr_rmap.Store.of_string compiled.Rtr_rmap.Compile.artifact with
+      | Error e -> Some (violation name "artifact rejected on reload: %s" e)
+      | Ok store -> (
+          let signature = Rtr_rmap.Signature.of_damage g damage in
+          match Rtr_rmap.Store.find store signature with
+          | None ->
+              Some
+                (violation name
+                   "compiled signature %s missing from its own artifact"
+                   (Rtr_rmap.Signature.to_hex signature))
+          | Some slot ->
+              let table = Route_table.compute (View.full g) in
+              let cases = Scenario.cases_of_damage topo table damage in
+              let first, count = Rtr_rmap.Store.case_range store slot in
+              if count <> List.length cases then
+                Some
+                  (violation name
+                     "artifact holds %d cases, the reactive enumeration %d"
+                     count (List.length cases))
+              else
+                (* The independent twin of the compiler kernel: fresh
+                   sessions without the shared SPT cache, path costs
+                   summed link by link instead of read off the repaired
+                   SPT labels. *)
+                let sessions = Hashtbl.create 8 in
+                let session (c : Scenario.case) =
+                  let key = (c.Scenario.initiator, c.Scenario.trigger) in
+                  match Hashtbl.find_opt sessions key with
+                  | Some s -> s
+                  | None ->
+                      let s =
+                        Rtr.start topo damage ~initiator:c.Scenario.initiator
+                          ~trigger:c.Scenario.trigger ()
+                      in
+                      Hashtbl.replace sessions key s;
+                      s
+                in
+                first_violation @@ fun () ->
+                List.iteri
+                  (fun i (c : Scenario.case) ->
+                    let where fmt =
+                      Printf.ksprintf
+                        (fun s ->
+                          raise
+                            (Found
+                               (violation name "(v%d, v%d) -> v%d: %s"
+                                  c.Scenario.initiator c.Scenario.trigger
+                                  c.Scenario.dst s)))
+                        fmt
+                    in
+                    let idx =
+                      Rtr_rmap.Store.case_index store ~slot
+                        ~initiator:c.Scenario.initiator
+                        ~trigger:c.Scenario.trigger ~dst:c.Scenario.dst
+                    in
+                    if idx <> first + i then
+                      where "case_index probed %d, expected %d" idx (first + i);
+                    let stored = Rtr_rmap.Store.to_case store idx in
+                    let check_path kind_name p =
+                      let nodes = Array.of_list (Path.nodes p) in
+                      if stored.Rtr_rmap.Store.path <> nodes then
+                        where "stored %s route differs from the reactive one"
+                          kind_name;
+                      let cost = Path.cost g p in
+                      if stored.Rtr_rmap.Store.cost <> cost then
+                        where "stored cost %d, reactive %s route costs %d"
+                          stored.Rtr_rmap.Store.cost kind_name cost
+                    in
+                    (match Rtr.recover (session c) ~dst:c.Scenario.dst with
+                    | Rtr.Recovered p ->
+                        if stored.Rtr_rmap.Store.kind <> Rtr_rmap.Store.Recovered
+                        then where "stored kind differs: reactive recovered";
+                        check_path "recovered" p
+                    | Rtr.Unreachable_in_view ->
+                        if
+                          stored.Rtr_rmap.Store.kind
+                          <> Rtr_rmap.Store.Unreachable
+                        then where "stored kind differs: reactive unreachable";
+                        if stored.Rtr_rmap.Store.cost <> -1 then
+                          where "unreachable case stores cost %d"
+                            stored.Rtr_rmap.Store.cost;
+                        if stored.Rtr_rmap.Store.path <> [||] then
+                          where "unreachable case stores a route"
+                    | Rtr.False_path { path = p; _ } ->
+                        if
+                          stored.Rtr_rmap.Store.kind
+                          <> Rtr_rmap.Store.False_path
+                        then where "stored kind differs: reactive false path";
+                        check_path "false-path" p);
+                    let true_cost =
+                      Option.value c.Scenario.shortest_after ~default:(-1)
+                    in
+                    if stored.Rtr_rmap.Store.true_cost <> true_cost then
+                      where "stored true cost %d, ground truth %d"
+                        stored.Rtr_rmap.Store.true_cost true_cost)
+                  cases))
 
 (* --- registry ------------------------------------------------------- *)
 
@@ -481,6 +542,13 @@ let parallel_vs_sequential =
     run = parallel_run;
   }
 
+let rmap_vs_reactive =
+  {
+    name = "rmap_vs_reactive";
+    doc = "precompiled recovery-map lookups equal fresh reactive runs";
+    run = rmap_run;
+  }
+
 let all =
   [
     no_loop;
@@ -490,6 +558,7 @@ let all =
     view_vs_filtered;
     ws_spt_vs_filtered;
     parallel_vs_sequential;
+    rmap_vs_reactive;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

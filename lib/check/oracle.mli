@@ -27,7 +27,11 @@
       campaign's shape changes.
     - [parallel_vs_sequential] — evaluating the scenario's cases on a
       multi-domain pool yields results structurally identical to the
-      sequential run. *)
+      sequential run.
+    - [rmap_vs_reactive] — compiling the failure into an [rmap/1]
+      artifact and probing it back returns, case for case, exactly what
+      an independently-built reactive session answers (fresh sessions
+      without the shared SPT cache, costs summed link by link). *)
 
 type violation = { oracle : string; detail : string }
 
@@ -52,6 +56,7 @@ val incr_spt_vs_dijkstra : t
 val view_vs_filtered : t
 val ws_spt_vs_filtered : t
 val parallel_vs_sequential : t
+val rmap_vs_reactive : t
 
 val all : t list
 (** Every oracle, in the order the campaign runs them. *)

@@ -1,0 +1,159 @@
+module Graph = Rtr_graph.Graph
+module Damage = Rtr_failure.Damage
+module Metrics = Rtr_obs.Metrics
+
+let c_kept = Metrics.counter "rmap.enum_kept"
+let c_deduped = Metrics.counter "rmap.enum_deduped"
+let c_dropped = Metrics.counter "rmap.enum_dropped"
+let c_empty = Metrics.counter "rmap.enum_empty"
+
+type origin = Explicit | Single | Disc of { cx : float; cy : float; r : float } | Combo
+
+type scenario = {
+  signature : Signature.t;
+  links : Graph.link_id list;
+  origin : origin;
+}
+
+type config = {
+  explicit : Graph.link_id list list;
+  singles : bool;
+  grid_cols : int;
+  grid_rows : int;
+  radii : float list;
+  combo_k : int;
+  combo_budget : int;
+  width : float;
+  height : float;
+}
+
+let default =
+  {
+    explicit = [];
+    singles = true;
+    grid_cols = 0;
+    grid_rows = 0;
+    radii = [];
+    combo_k = 0;
+    combo_budget = 2000;
+    width = 2000.0;
+    height = 2000.0;
+  }
+
+type stats = { kept : int; deduped : int; dropped : int; empty : int }
+
+(* C(m, k) with a saturation cap: only used to report how many
+   combinations a budget left unexamined, so an exact huge value buys
+   nothing over "a lot". *)
+let binom m k =
+  let cap = max_int / 4 in
+  let rec go acc i =
+    if i > k then acc
+    else
+      let acc = acc * (m - i + 1) / i in
+      if acc >= cap then cap else go acc (i + 1)
+  in
+  if k < 0 || k > m then 0 else go 1 1
+
+let enumerate topo config =
+  let g = Rtr_topo.Topology.graph topo in
+  let m = Graph.n_links g in
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  let kept = ref 0 and deduped = ref 0 and dropped = ref 0 and empty = ref 0 in
+  (* [consider] canonicalises one candidate and keeps the first
+     occurrence of each signature; returns whether it was kept so the
+     combination stage can charge its budget precisely. *)
+  let consider origin links =
+    let signature = Signature.of_links ~n_links:m links in
+    if Signature.card signature = 0 then begin
+      incr empty;
+      false
+    end
+    else if Hashtbl.mem seen (signature :> string) then begin
+      incr deduped;
+      false
+    end
+    else begin
+      Hashtbl.replace seen (signature :> string) ();
+      out := { signature; links = Signature.to_links signature; origin } :: !out;
+      incr kept;
+      true
+    end
+  in
+  List.iter (fun links -> ignore (consider Explicit links)) config.explicit;
+  if config.singles then
+    for l = 0 to m - 1 do
+      ignore (consider Single [ l ])
+    done;
+  (* Disc grid: centres at cell midpoints, radius-major so adding a
+     radius extends the enumeration instead of reshuffling it. *)
+  if config.grid_cols > 0 && config.grid_rows > 0 then
+    List.iter
+      (fun r ->
+        for row = 0 to config.grid_rows - 1 do
+          for col = 0 to config.grid_cols - 1 do
+            let cx =
+              (float_of_int col +. 0.5) *. config.width
+              /. float_of_int config.grid_cols
+            and cy =
+              (float_of_int row +. 0.5) *. config.height
+              /. float_of_int config.grid_rows
+            in
+            let area =
+              Rtr_failure.Area.disc ~center:(Rtr_geom.Point.make cx cy)
+                ~radius:r
+            in
+            let damage = Damage.apply topo area in
+            ignore (consider (Disc { cx; cy; r }) (Damage.failed_links damage))
+          done
+        done)
+      config.radii;
+  (* k-link combinations, lexicographic per k.  The budget counts kept
+     scenarios; once it is exhausted the remaining combinations are
+     dropped — loudly, via the stats and the rmap.enum_dropped
+     counter. *)
+  if config.combo_k >= 2 && m >= 2 then begin
+    let total =
+      let rec sum k acc =
+        if k > config.combo_k then acc else sum (k + 1) (acc + binom m k)
+      in
+      sum 2 0
+    in
+    let examined = ref 0 in
+    let budget_left = ref (max 0 config.combo_budget) in
+    (try
+       for k = 2 to config.combo_k do
+         if k <= m then begin
+           let idx = Array.init k (fun i -> i) in
+           let continue = ref true in
+           while !continue do
+             if !budget_left = 0 then raise Exit;
+             incr examined;
+             if consider Combo (Array.to_list idx) then decr budget_left;
+             (* next lexicographic k-subset of 0..m-1 *)
+             let i = ref (k - 1) in
+             while !i >= 0 && idx.(!i) = m - k + !i do
+               decr i
+             done;
+             if !i < 0 then continue := false
+             else begin
+               idx.(!i) <- idx.(!i) + 1;
+               for j = !i + 1 to k - 1 do
+                 idx.(j) <- idx.(j - 1) + 1
+               done
+             end
+           done
+         end
+       done
+     with Exit -> ());
+    dropped := total - !examined
+  end;
+  let stats =
+    { kept = !kept; deduped = !deduped; dropped = !dropped; empty = !empty }
+  in
+  Metrics.Counter.add c_kept stats.kept;
+  Metrics.Counter.add c_deduped stats.deduped;
+  Metrics.Counter.add c_dropped stats.dropped;
+  Metrics.Counter.add c_empty stats.empty;
+  (List.rev !out, stats)

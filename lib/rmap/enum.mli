@@ -1,0 +1,59 @@
+(** The plausible-failure universe of a topology.
+
+    Three generators, enumerated in a fixed deterministic order so the
+    compiled artifact is byte-identical run to run:
+
+    + explicit failure sets handed in by the caller (tests, the fuzz
+      oracle), verbatim;
+    + every single-link failure, ascending by link id — Theorem 3's
+      universe, and the [Fast_Recovery_Manager] exemplar's;
+    + paper-style geographic discs over a grid of centres × radii
+      (radius-major, then row-major), each materialised through
+      [Damage.apply] exactly like a simulated scenario;
+    + all k-link combinations for [2 <= k <= combo_k] (k-major, then
+      lexicographic), capped by [combo_budget].
+
+    Every candidate is canonicalised into a {!Signature.t}; candidates
+    whose signature was already emitted are {e deduped} (typical for
+    neighbouring grid cells killing the same links), empty failure sets
+    are skipped, and combinations beyond the budget are {e dropped}.
+    None of this is silent: the counts come back in {!stats} and are
+    exported as [rmap.enum_kept] / [rmap.enum_deduped] /
+    [rmap.enum_dropped] / [rmap.enum_empty] metrics. *)
+
+module Graph = Rtr_graph.Graph
+
+type origin = Explicit | Single | Disc of { cx : float; cy : float; r : float } | Combo
+
+type scenario = {
+  signature : Signature.t;
+  links : Graph.link_id list;  (** ascending — [Signature.to_links] *)
+  origin : origin;  (** first generator that produced the signature *)
+}
+
+type config = {
+  explicit : Graph.link_id list list;
+  singles : bool;
+  grid_cols : int;
+  grid_rows : int;  (** [cols x rows] disc centres; [0] disables *)
+  radii : float list;  (** one disc per centre per radius *)
+  combo_k : int;  (** enumerate k-link sets up to this k; [< 2] disables *)
+  combo_budget : int;  (** max combination scenarios kept *)
+  width : float;
+  height : float;  (** the embedding plane (paper default 2000x2000) *)
+}
+
+val default : config
+(** Singles only: no explicit sets, no disc grid, no combinations,
+    budget 2000, the paper's 2000x2000 plane. *)
+
+type stats = {
+  kept : int;  (** scenarios emitted *)
+  deduped : int;  (** candidates collapsing onto an earlier signature *)
+  dropped : int;  (** combinations never examined (budget exhausted) *)
+  empty : int;  (** candidates failing no link at all *)
+}
+
+val enumerate : Rtr_topo.Topology.t -> config -> scenario list * stats
+(** Deterministic; also bumps the [rmap.enum_*] metrics by the returned
+    stats. *)

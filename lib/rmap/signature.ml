@@ -1,0 +1,80 @@
+module Graph = Rtr_graph.Graph
+
+type t = string
+
+(* Little-endian bitset: link id [l] lives in byte [l / 8], bit
+   [l mod 8].  Trailing zero bytes are trimmed so the encoding is
+   canonical and compact (most scenarios fail a handful of links). *)
+
+let of_links ~n_links links =
+  let max_bytes = (n_links + 7) / 8 in
+  let b = Bytes.make max_bytes '\000' in
+  let top = ref 0 in
+  List.iter
+    (fun l ->
+      if l < 0 || l >= n_links then
+        invalid_arg
+          (Printf.sprintf "Signature.of_links: link %d outside 0..%d" l
+             (n_links - 1));
+      let byte = l lsr 3 in
+      Bytes.set_uint8 b byte (Bytes.get_uint8 b byte lor (1 lsl (l land 7)));
+      if byte >= !top then top := byte + 1)
+    links;
+  Bytes.sub_string b 0 !top
+
+let of_damage g damage =
+  of_links ~n_links:(Graph.n_links g) (Rtr_failure.Damage.failed_links damage)
+
+let of_string ~n_links s =
+  let len = String.length s in
+  if len > 0 && String.get s (len - 1) = '\000' then
+    Error "signature has a trailing zero byte (not canonical)"
+  else begin
+    let bad = ref None in
+    String.iteri
+      (fun byte c ->
+        let v = Char.code c in
+        for bit = 0 to 7 do
+          if v land (1 lsl bit) <> 0 then begin
+            let l = (byte lsl 3) + bit in
+            if l >= n_links && !bad = None then bad := Some l
+          end
+        done)
+      s;
+    match !bad with
+    | Some l ->
+        Error
+          (Printf.sprintf "signature names link %d but the graph has %d links"
+             l n_links)
+    | None -> Ok s
+  end
+
+let to_links t =
+  let acc = ref [] in
+  for byte = String.length t - 1 downto 0 do
+    let v = Char.code (String.get t byte) in
+    for bit = 7 downto 0 do
+      if v land (1 lsl bit) <> 0 then acc := ((byte lsl 3) + bit) :: !acc
+    done
+  done;
+  !acc
+
+let card t =
+  let n = ref 0 in
+  String.iter
+    (fun c ->
+      let v = ref (Char.code c) in
+      while !v <> 0 do
+        v := !v land (!v - 1);
+        incr n
+      done)
+    t;
+  !n
+
+let compare = String.compare
+let equal = String.equal
+
+let to_hex t =
+  let b = Buffer.create (2 * String.length t) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents b

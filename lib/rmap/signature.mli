@@ -1,0 +1,50 @@
+(** Canonical failure signatures: the lookup key of the recovery map.
+
+    A signature identifies a failure scenario by {e exactly} the set of
+    failed links, encoded as a little-endian bitset over link ids with
+    trailing zero bytes trimmed.  The encoding is canonical: any
+    permutation (or duplication) of the same link set — and any origin,
+    a geographic disc or an explicit list — produces the same bytes, so
+    signatures can be compared, hashed and binary-searched directly.
+
+    Failed {e routers} are represented by their incident links: a
+    damage's signature is over [Damage.failed_links], which already
+    contains every link incident to a failed node.  Two failures that
+    kill the same links are indistinguishable to the recovery protocol
+    (it only ever observes link-level unreachability), so they
+    deliberately share a signature. *)
+
+module Graph = Rtr_graph.Graph
+
+type t = private string
+(** The canonical byte key.  Exposed as a [private string] so stores
+    can binary-search and write it without a copy, while construction
+    stays canonical. *)
+
+val of_links : n_links:int -> Graph.link_id list -> t
+(** Canonical signature of a link set.  Duplicates are collapsed;
+    order is irrelevant.  Raises [Invalid_argument] if an id is outside
+    [0 .. n_links-1]. *)
+
+val of_damage : Graph.t -> Rtr_failure.Damage.t -> t
+(** [of_links] over [Damage.failed_links] (which includes links
+    incident to failed routers). *)
+
+val of_string : n_links:int -> string -> (t, string) result
+(** Validate raw bytes read from an artifact: no trailing zero byte,
+    no bit at or above [n_links]. *)
+
+val to_links : t -> Graph.link_id list
+(** The failed link ids, ascending. *)
+
+val card : t -> int
+(** Number of failed links. *)
+
+val compare : t -> t -> int
+(** Lexicographic byte order — the artifact index order. *)
+
+val equal : t -> t -> bool
+
+val to_hex : t -> string
+(** Lower-case hex rendering for logs and manifests; [""] for the
+    empty failure. *)

@@ -20,9 +20,8 @@ type t = {
   cases : case list;
 }
 
-let of_area topo table area =
+let cases_of_damage topo table damage =
   let g = Rtr_topo.Topology.graph topo in
-  let damage = Damage.apply topo area in
   let view = Damage.view damage in
   let node_ok = Damage.node_ok damage in
   let n = Graph.n_nodes g in
@@ -70,7 +69,11 @@ let of_area topo table area =
               end
       done
   done;
-  { topo; table; area; damage; cases = !cases }
+  !cases
+
+let of_area topo table area =
+  let damage = Damage.apply topo area in
+  { topo; table; area; damage; cases = cases_of_damage topo table damage }
 
 let generate topo table rng ?(r_min = 100.0) ?(r_max = 300.0) () =
   let area = Rtr_failure.Area.random_disc rng ~r_min ~r_max () in

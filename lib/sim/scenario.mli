@@ -45,6 +45,16 @@ val generate :
 val of_area : Rtr_topo.Topology.t -> Rtr_routing.Route_table.t -> Rtr_failure.Area.t -> t
 (** Deterministic variant for tests and examples. *)
 
+val cases_of_damage :
+  Rtr_topo.Topology.t ->
+  Rtr_routing.Route_table.t ->
+  Rtr_failure.Damage.t ->
+  case list
+(** The deduplicated test cases an arbitrary damage creates (what
+    [of_area] enumerates), ascending by (initiator, dst) — shared by
+    the fuzz oracles and the recovery-map compiler, which both start
+    from explicit failure sets rather than areas. *)
+
 val count_failed_paths :
   Rtr_topo.Topology.t ->
   Rtr_routing.Route_table.t ->

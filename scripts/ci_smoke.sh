@@ -130,6 +130,40 @@ fi
 
 echo "ci_smoke: microbench gate OK (ws_alloc=$ws_alloc ws_reuse=$ws_reuse cache_hits=$cache_hits)"
 
+# --- recovery-map gate -----------------------------------------------
+# The precompute/serve pipeline end to end on a small artifact: the
+# compiler must be jobs-invariant byte for byte, the manifest must be
+# valid JSON, and the lookup service must actually hit the index (the
+# bench perturbs 1 in 8 probes, so ~87% of 1000 lookups should hit).
+rmapdir=$(mktemp -d "${TMPDIR:-/tmp}/rtr_smoke_rmap.XXXXXX")
+trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"; rm -rf "$rmapdir"' EXIT
+
+dune exec bin/rtr_sim.exe -- precompute --topo AS1239 \
+  --out "$rmapdir/map1.bin" --grid 3x3 --radii 150,250 --jobs 1 \
+  > /dev/null 2>&1
+dune exec bin/rtr_sim.exe -- precompute --topo AS1239 \
+  --out "$rmapdir/map4.bin" --grid 3x3 --radii 150,250 --jobs 4 \
+  > /dev/null 2>&1
+
+if ! cmp "$rmapdir/map1.bin" "$rmapdir/map4.bin"; then
+  echo "ci_smoke: FAIL — rmap artifact differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+dune exec tools/json_check.exe -- \
+  "$rmapdir/map1.bin.manifest.json" "$rmapdir/map4.bin.manifest.json"
+
+dune exec bin/rtr_sim.exe -- serve --map "$rmapdir/map1.bin" \
+  --bench-lookups 1000 --metrics "$rmapdir/serve.json" > /dev/null
+dune exec tools/json_check.exe -- "$rmapdir/serve.json"
+
+rmap_hits=$(grep -o '"rmap.lookup_hits":[0-9]*' "$rmapdir/serve.json" | cut -d: -f2)
+if [ -z "$rmap_hits" ] || [ "$rmap_hits" -lt 800 ]; then
+  echo "ci_smoke: FAIL — rmap.lookup_hits='$rmap_hits' of 1000 (want >= 800)" >&2
+  exit 1
+fi
+
+echo "ci_smoke: rmap gate OK (artifact jobs-invariant, $rmap_hits/1000 lookup hits)"
+
 # --- fuzz gate -------------------------------------------------------
 # Theorem-oracle fuzzing (lib/check): random topologies and failures
 # checked against Theorems 1-3 and the differential oracles.  The
@@ -143,7 +177,7 @@ dune exec bin/rtr_sim.exe -- fuzz --cases "$FUZZ_CASES" --seed 42
 # fault (phase 2 forgetting one collected failed link) has to be
 # caught, shrunk, and its artifact has to replay.
 fuzzdir=$(mktemp -d "${TMPDIR:-/tmp}/rtr_smoke_fuzz.XXXXXX")
-trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"; rm -rf "$fuzzdir"' EXIT
+trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"; rm -rf "$rmapdir" "$fuzzdir"' EXIT
 
 if dune exec bin/rtr_sim.exe -- fuzz --cases 40 --seed 42 \
      --oracle optimal --inject drop-failed-link --out "$fuzzdir" > /dev/null
