@@ -51,8 +51,17 @@ let setup_obs trace metrics =
       check_writable path;
       let t0 = Rtr_obs.Trace.now () in
       at_exit (fun () ->
+          (* Record the effective parallelism: the largest job count any
+             pool entry point actually ran with, not what the flag said. *)
+          let config =
+            match Rtr_sim.Parallel.noted_jobs () with
+            | None -> []
+            | Some jobs -> [ ("jobs", string_of_int jobs) ]
+          in
           let manifest =
-            Rtr_obs.Manifest.make ~wall_s:(Rtr_obs.Trace.now () -. t0) ()
+            Rtr_obs.Manifest.make ~config
+              ~wall_s:(Rtr_obs.Trace.now () -. t0)
+              ()
           in
           Rtr_obs.Metrics.write_file
             ~manifest:(Rtr_obs.Manifest.to_json manifest)
@@ -92,8 +101,9 @@ let mrc_k_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for scenario evaluation (default: $(b,RTR_JOBS), else 1). \
-     Results are bit-identical for every value."
+    "Worker domains for scenario evaluation (default: $(b,RTR_JOBS), else \
+     the recommended domain count of this machine).  Results are \
+     bit-identical for every value."
   in
   Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
 
@@ -461,6 +471,177 @@ let draw_cmd =
   Cmd.v
     (Cmd.info "draw" ~doc:"Render a failure scenario and recovery to SVG")
     Term.(const run $ obs_term $ topo_arg $ seed_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Staged pipeline: generate | evaluate (sharded, resumable) | reduce *)
+
+let stream_arg =
+  let doc = "Scenario stream file (see DESIGN.md §15 for the format)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "stream" ] ~docv:"FILE" ~doc)
+
+let generate_cmd =
+  let run () cases seed topos mrc_k stream =
+    let config = config_of ~cases ~seed ~topos ~mrc_k ~jobs:None in
+    check_writable stream;
+    let header, records =
+      Rtr_sim.Pipeline.generate ~presets:config.Experiments.presets
+        ~rec_quota:config.Experiments.recoverable_per_topo
+        ~irr_quota:config.Experiments.irrecoverable_per_topo
+        ~seed:config.Experiments.seed ~mrc_k:config.Experiments.mrc_k ()
+    in
+    Rtr_sim.Stream.write stream header records;
+    Format.printf "wrote %s: %d scenario records over %d topologies@." stream
+      header.Rtr_sim.Stream.count
+      (List.length header.Rtr_sim.Stream.topos)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Stage 1/3: draw failure scenarios until the case quotas are met \
+          and write them as a self-describing scenario stream.  Purely \
+          sequential and cheap; the expensive evaluation happens in \
+          $(b,evaluate).")
+    Term.(
+      const run $ obs_term $ cases_arg $ seed_arg $ topos_arg $ mrc_k_arg
+      $ stream_arg)
+
+let evaluate_cmd =
+  let out_arg =
+    let doc = "Result shard file to write (append-only, checkpointed)." in
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let shard_arg =
+    let doc = "This process's shard index (0-based)." in
+    Arg.(value & opt int 0 & info [ "shard" ] ~docv:"I" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Total shard count; this process evaluates the records with \
+       $(i,seq) mod $(docv) = $(b,--shard)."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume an interrupted evaluation: keep the shard's committed \
+       records (truncating any torn tail) and evaluate only what is \
+       missing."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let run () stream out shard shards resume jobs =
+    let jobs = Option.value jobs ~default:(Rtr_sim.Parallel.env_jobs ()) in
+    if shards <= 0 || shard < 0 || shard >= shards then begin
+      prerr_endline
+        (Printf.sprintf "rtr_sim: bad shard coordinates %d/%d" shard shards);
+      exit 2
+    end;
+    let header, pull = Rtr_sim.Stream.open_reader stream in
+    match
+      Rtr_sim.Shard_store.open_writer ~path:out ~resume ~shard ~shards
+        ~count:header.Rtr_sim.Stream.count
+    with
+    | Rtr_sim.Shard_store.Complete ->
+        Format.printf "%s: shard %d/%d already complete@." out shard shards
+    | Rtr_sim.Shard_store.Writer (w, committed) ->
+        let rec next () =
+          match pull () with
+          | None -> None
+          | Some (r : Rtr_sim.Stream.scenario) ->
+              if
+                r.Rtr_sim.Stream.seq mod shards = shard
+                && not (committed r.Rtr_sim.Stream.seq)
+              then Some r
+              else next ()
+        in
+        let mrc =
+          Rtr_sim.Pipeline.evaluate ~jobs ~header ~next
+            ~emit:(Rtr_sim.Shard_store.append w) ()
+        in
+        Rtr_sim.Shard_store.finish w ~mrc;
+        Format.printf "wrote %s: shard %d/%d complete, %d records (jobs=%d)@."
+          out shard shards (Rtr_sim.Shard_store.records w) jobs
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:
+         "Stage 2/3: evaluate a scenario stream's records against RTR, FCP \
+          and MRC on the domain pool, streaming with bounded in-flight work, \
+          and append the results to a checkpointed shard file.  Run $(b,K) \
+          processes with $(b,--shard) 0..K-1 to spread one stream over \
+          machines; re-run with $(b,--resume) after a crash to continue \
+          from the last committed record.")
+    Term.(
+      const run $ obs_term $ stream_arg $ out_arg $ shard_arg $ shards_arg
+      $ resume_arg $ jobs_arg)
+
+let reduce_cmd =
+  let shards_arg =
+    let doc = "Shard files written by $(b,evaluate) (all of them)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"SHARD" ~doc)
+  in
+  let artifact_arg =
+    let doc =
+      "Artifact to emit: one of $(b,fig7), $(b,table3), $(b,fig8), \
+       $(b,fig9), $(b,fig10), $(b,fig12), $(b,fig13), $(b,table4), or \
+       $(b,all) (everything derivable from the shards — $(b,table2) and \
+       $(b,fig11) need no collected data and keep their own commands)."
+    in
+    let which =
+      Arg.enum
+        [
+          ("fig7", Fig7);
+          ("table3", Table3);
+          ("fig8", Fig8);
+          ("fig9", Fig9);
+          ("fig10", Fig10);
+          ("fig12", Fig12);
+          ("fig13", Fig13);
+          ("table4", Table4);
+          ("all", All);
+        ]
+    in
+    Arg.(value & opt which Table3 & info [ "artifact" ] ~docv:"NAME" ~doc)
+  in
+  let run () stream shard_files which out =
+    let header = Rtr_sim.Stream.read_header stream in
+    let shards = List.map Rtr_sim.Shard_store.load shard_files in
+    let data = Experiments.reduce_shards ~log:log_line ~header shards in
+    let fig (f : Experiments.figure) = emit_figure ?out f in
+    let tbl (t : Experiments.table) =
+      emit ?out ~csv_name:(t.Experiments.id ^ ".csv") (Report.render_table t)
+        (Report.table_to_csv t)
+    in
+    match which with
+    | Fig7 -> fig (Experiments.fig7 data)
+    | Table3 -> tbl (Experiments.table3 data)
+    | Fig8 -> fig (Experiments.fig8 data)
+    | Fig9 -> fig (Experiments.fig9 data)
+    | Fig10 -> fig (Experiments.fig10 data)
+    | Fig12 -> fig (Experiments.fig12 data)
+    | Fig13 -> fig (Experiments.fig13 data)
+    | Table4 -> tbl (Experiments.table4 data)
+    | All ->
+        fig (Experiments.fig7 data);
+        tbl (Experiments.table3 data);
+        fig (Experiments.fig8 data);
+        fig (Experiments.fig9 data);
+        fig (Experiments.fig10 data);
+        fig (Experiments.fig12 data);
+        fig (Experiments.fig13 data);
+        tbl (Experiments.table4 data)
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:
+         "Stage 3/3: merge complete result shards into the evaluation's \
+          tables and figures.  Deterministic: the output is byte-identical \
+          to an in-process run at any shard or job count.")
+    Term.(
+      const run $ obs_term $ stream_arg $ shards_arg $ artifact_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmark: the SPT hot path, scratch vs workspace, plus a
@@ -983,6 +1164,9 @@ let cmds =
     needs_data_cmd Fig13 "fig13" "CDF of wasted transmission (irrecoverable)";
     needs_data_cmd Table4 "table4" "Irrecoverable-case waste summary";
     needs_data_cmd All "all" "Every table and figure of the evaluation";
+    generate_cmd;
+    evaluate_cmd;
+    reduce_cmd;
     run_cmd;
     draw_cmd;
     microbench_cmd;

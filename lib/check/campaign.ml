@@ -83,78 +83,92 @@ let run ?(log = fun _ -> ()) config =
   let cases_c = Metrics.counter "check.cases" in
   let violations_c = Metrics.counter "check.violations" in
   let shrink_h = Metrics.histogram "check.shrink.evals" in
-  let specs =
-    Array.init config.cases (fun index ->
-        (index, generate_spec ~seed:config.seed ~index))
+  (* Streaming over the bounded pool: indices are produced one at a
+     time, each worker regenerates its spec from the (seed, index) key
+     and checks it, and verdicts come back in index order — so at most
+     a window of specs is ever alive, and the failure list (hence the
+     log, the artifacts, and the [outcome]) is identical at any [jobs]
+     or campaign size. *)
+  let next_index = ref 0 in
+  let producer () =
+    if !next_index >= config.cases then None
+    else begin
+      let index = !next_index in
+      incr next_index;
+      Some index
+    end
   in
-  let verdicts =
-    Rtr_sim.Parallel.map ~jobs:config.jobs
-      (fun (_, spec) -> check_with ~inject:config.inject config.oracles spec)
-      specs
+  let check index =
+    check_with ~inject:config.inject config.oracles
+      (generate_spec ~seed:config.seed ~index)
   in
-  Metrics.Counter.add cases_c config.cases;
   let failures = ref [] in
-  Array.iteri
-    (fun i verdict ->
-      match verdict with
-      | None -> ()
-      | Some (violation : Oracle.violation) ->
-          Metrics.Counter.incr violations_c;
-          let index, original = specs.(i) in
-          log
-            (Printf.sprintf "case %d: %s violated (%s); shrinking..." index
-               violation.Oracle.oracle violation.Oracle.detail);
-          (* Re-check with only the violated oracle so shrinking chases
-             one bug, not whichever oracle trips first on the smaller
-             spec. *)
-          let oracle =
-            match Oracle.find violation.Oracle.oracle with
-            | Some o -> o
-            | None -> assert false
-          in
-          let shrunk, violation', evals =
-            Trace.with_ "check.shrink"
-              ~attrs:[ ("case", string_of_int index) ]
-            @@ fun () ->
-            Shrink.run ~max_evals:config.max_shrink_evals
-              ~check:(fun s -> oracle.Oracle.run ~inject:config.inject s)
-              original violation
-          in
-          Metrics.Histogram.observe shrink_h (float_of_int evals);
-          log
-            (Printf.sprintf
-               "case %d: shrunk to %d routers / %d links in %d evaluations"
-               index shrunk.Spec.n
-               (List.length shrunk.Spec.edges)
-               evals);
-          let artifact =
-            match config.out_dir with
-            | None -> None
-            | Some dir ->
-                let name =
-                  Printf.sprintf "counterexample_%s_%d.json"
-                    violation'.Oracle.oracle index
-                in
-                let json =
-                  artifact_json ~oracle ?inject:config.inject
-                    ~seed:config.seed ~index ~violation:violation'
-                    ~expect:`Violation shrunk
-                in
-                Rtr_sim.Report.save ~dir ~name (Json.to_string json ^ "\n");
-                Some (Filename.concat dir name)
-          in
-          failures :=
-            {
-              index;
-              original;
-              shrunk;
-              violation = violation';
-              shrink_evals = evals;
-              artifact;
-            }
-            :: !failures)
-    verdicts;
-  { cases_run = config.cases; failures = List.rev !failures }
+  let consumer index verdict =
+    match verdict with
+    | None -> ()
+    | Some (violation : Oracle.violation) ->
+        Metrics.Counter.incr violations_c;
+        (* The original is one regeneration away — cheaper than
+           keeping every spec alive for the rare failure. *)
+        let original = generate_spec ~seed:config.seed ~index in
+        log
+          (Printf.sprintf "case %d: %s violated (%s); shrinking..." index
+             violation.Oracle.oracle violation.Oracle.detail);
+        (* Re-check with only the violated oracle so shrinking chases
+           one bug, not whichever oracle trips first on the smaller
+           spec. *)
+        let oracle =
+          match Oracle.find violation.Oracle.oracle with
+          | Some o -> o
+          | None -> assert false
+        in
+        let shrunk, violation', evals =
+          Trace.with_ "check.shrink"
+            ~attrs:[ ("case", string_of_int index) ]
+          @@ fun () ->
+          Shrink.run ~max_evals:config.max_shrink_evals
+            ~check:(fun s -> oracle.Oracle.run ~inject:config.inject s)
+            original violation
+        in
+        Metrics.Histogram.observe shrink_h (float_of_int evals);
+        log
+          (Printf.sprintf
+             "case %d: shrunk to %d routers / %d links in %d evaluations"
+             index shrunk.Spec.n
+             (List.length shrunk.Spec.edges)
+             evals);
+        let artifact =
+          match config.out_dir with
+          | None -> None
+          | Some dir ->
+              let name =
+                Printf.sprintf "counterexample_%s_%d.json"
+                  violation'.Oracle.oracle index
+              in
+              let json =
+                artifact_json ~oracle ?inject:config.inject
+                  ~seed:config.seed ~index ~violation:violation'
+                  ~expect:`Violation shrunk
+              in
+              Rtr_sim.Report.save ~dir ~name (Json.to_string json ^ "\n");
+              Some (Filename.concat dir name)
+        in
+        failures :=
+          {
+            index;
+            original;
+            shrunk;
+            violation = violation';
+            shrink_evals = evals;
+            artifact;
+          }
+          :: !failures
+  in
+  let consumed =
+    Rtr_sim.Parallel.stream ~jobs:config.jobs check ~producer ~consumer ()
+  in
+  Metrics.Counter.add cases_c consumed;
+  { cases_run = consumed; failures = List.rev !failures }
 
 (* --- replay --------------------------------------------------------- *)
 

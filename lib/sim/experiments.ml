@@ -50,7 +50,156 @@ type topo_data = {
   irrecoverable : Runner.result list;
 }
 
+(* Reduce: fold evaluated records back into per-topology data, in seq
+   order.  The per-topology log lines and the experiments.* counters
+   live here — and only here, so a split generate/evaluate/reduce run
+   reports them exactly once, from the reduce process, with the same
+   values the in-process [collect] reports (they depend only on header
+   statistics fixed at generation time). *)
+let reduce_stream ?(log = fun _ -> ()) ~header ~mrc results =
+  Rtr_obs.Trace.with_ "stream.reduce" @@ fun () ->
+  if Array.length results <> header.Stream.count then
+    failwith
+      (Printf.sprintf "reduce: %d results for a stream of %d records"
+         (Array.length results) header.Stream.count);
+  let offset = ref 0 in
+  List.map
+    (fun (stat : Stream.topo_stat) ->
+      let preset =
+        match Isp.find stat.Stream.as_name with
+        | Some p -> p
+        | None -> failwith ("unknown topology " ^ stat.Stream.as_name)
+      in
+      let topo = Isp.load preset in
+      let rec_acc = ref [] and irr_acc = ref [] in
+      for i = !offset to !offset + stat.Stream.records - 1 do
+        List.iter
+          (fun (r : Runner.result) ->
+            match r.Runner.case.Scenario.kind with
+            | Scenario.Recoverable -> rec_acc := r :: !rec_acc
+            | Scenario.Irrecoverable -> irr_acc := r :: !irr_acc)
+          results.(i).Stream.results
+      done;
+      offset := !offset + stat.Stream.records;
+      log
+        (Printf.sprintf "%s: %d recoverable + %d irrecoverable cases (%d areas)"
+           stat.Stream.as_name stat.Stream.rec_cases stat.Stream.irr_cases
+           stat.Stream.areas);
+      Metrics.Counter.incr c_topologies;
+      Metrics.Counter.add c_scenarios_generated stat.Stream.areas;
+      Metrics.Histogram.observe h_case_throughput
+        (float_of_int (stat.Stream.rec_cases + stat.Stream.irr_cases));
+      let mrc_configs =
+        match List.assoc_opt stat.Stream.as_name mrc with
+        | Some n -> n
+        | None ->
+            (* No shard footer recorded this topology (e.g. every one
+               of its records was already committed before a resume):
+               rebuild — MRC construction is deterministic. *)
+            Rtr_baselines.Mrc.n_configs
+              (Pipeline.mrc_for ~mrc_k:header.Stream.mrc_k
+                 (Rtr_topo.Topology.graph topo))
+      in
+      {
+        preset;
+        topo;
+        mrc_configs;
+        recoverable = List.rev !rec_acc;
+        irrecoverable = List.rev !irr_acc;
+      })
+    header.Stream.topos
+
+let reduce_shards ?log ~header shards =
+  (match shards with
+  | [] -> failwith "reduce: no shards"
+  | first :: _ ->
+      let k = first.Shard_store.meta.Shard_store.shards in
+      List.iter
+        (fun (s : Shard_store.loaded) ->
+          if s.Shard_store.meta.Shard_store.shards <> k then
+            failwith "reduce: shards disagree on the shard count";
+          if s.Shard_store.meta.Shard_store.count <> header.Stream.count then
+            failwith "reduce: shard was evaluated against a different stream")
+        shards;
+      let seen = Array.make k false in
+      List.iter
+        (fun (s : Shard_store.loaded) ->
+          let i = s.Shard_store.meta.Shard_store.shard in
+          if i < 0 || i >= k then failwith "reduce: shard index out of range";
+          if seen.(i) then
+            failwith (Printf.sprintf "reduce: shard %d given twice" i);
+          seen.(i) <- true)
+        shards;
+      Array.iteri
+        (fun i present ->
+          if not present then
+            failwith (Printf.sprintf "reduce: shard %d/%d missing" i k))
+        seen);
+  let results = Array.make header.Stream.count None in
+  List.iter
+    (fun (s : Shard_store.loaded) ->
+      List.iter
+        (fun (r : Stream.result) ->
+          if r.Stream.rseq < 0 || r.Stream.rseq >= header.Stream.count then
+            failwith (Printf.sprintf "reduce: seq %d out of range" r.Stream.rseq);
+          results.(r.Stream.rseq) <- Some r)
+        s.Shard_store.results)
+    shards;
+  let results =
+    Array.mapi
+      (fun i -> function
+        | Some r -> r
+        | None -> failwith (Printf.sprintf "reduce: record %d missing" i))
+      results
+  in
+  (* Footers record the MRC size per topology; first writer wins, but a
+     disagreement means the shards came from different runs. *)
+  let mrc =
+    List.fold_left
+      (fun acc (s : Shard_store.loaded) ->
+        List.fold_left
+          (fun acc (name, n) ->
+            match List.assoc_opt name acc with
+            | None -> (name, n) :: acc
+            | Some n' when n' = n -> acc
+            | Some n' ->
+                failwith
+                  (Printf.sprintf
+                     "reduce: shards disagree on MRC for %s (%d vs %d)" name n'
+                     n))
+          acc s.Shard_store.mrc)
+      [] shards
+  in
+  reduce_stream ?log ~header ~mrc results
+
 let collect ?(log = fun _ -> ()) config =
+  let header, records =
+    Pipeline.generate ~presets:config.presets
+      ~rec_quota:config.recoverable_per_topo
+      ~irr_quota:config.irrecoverable_per_topo ~seed:config.seed
+      ~mrc_k:config.mrc_k ()
+  in
+  let results = Array.make header.Stream.count None in
+  let remaining = ref records in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | r :: tl ->
+        remaining := tl;
+        Some r
+  in
+  let mrc =
+    Pipeline.evaluate ~jobs:config.jobs ~header ~next
+      ~emit:(fun r -> results.(r.Stream.rseq) <- Some r)
+      ()
+  in
+  reduce_stream ~log ~header ~mrc
+    (Array.map (function Some r -> r | None -> assert false) results)
+
+(* The pre-stream collector, kept verbatim as the differential oracle:
+   tests assert [collect] (which round-trips every scenario through the
+   stream record representation) matches it field for field. *)
+let collect_legacy ?(log = fun _ -> ()) config =
   List.map
     (fun preset ->
       Trace.with_ "experiments.topology"

@@ -23,7 +23,8 @@ type config = {
 
 val default_config : unit -> config
 (** Table II presets, quotas from [REPRO_CASES] (default 2,000), seed
-    7, automatic MRC k, jobs from [RTR_JOBS] (default 1). *)
+    7, automatic MRC k, jobs from [RTR_JOBS] (default: the recommended
+    domain count, see [Parallel.env_jobs]). *)
 
 type topo_data = {
   preset : Rtr_topo.Isp.preset;
@@ -34,9 +35,45 @@ type topo_data = {
 }
 
 val collect : ?log:(string -> unit) -> config -> topo_data list
-(** Per topology: generate scenarios sequentially until both quotas
-    are met, then evaluate them across [config.jobs] worker domains.
-    The returned data is bit-identical for every [jobs] value. *)
+(** The three pipeline stages run in process: [Pipeline.generate]
+    (sequential RNG until both quotas are met), [Pipeline.evaluate]
+    (streaming across [config.jobs] worker domains with bounded
+    in-flight work), and {!reduce_stream}.  The returned data is
+    bit-identical for every [jobs] value, for every shard split of the
+    file-based path, and to {!collect_legacy}. *)
+
+val collect_legacy : ?log:(string -> unit) -> config -> topo_data list
+(** The pre-stream all-in-memory collector, kept verbatim as the
+    differential oracle for [collect]: per topology,
+    generate-then-[Parallel.map]-then-partition with no record
+    round-trip.  Tests assert the two agree field for field; new code
+    should use [collect]. *)
+
+val reduce_stream :
+  ?log:(string -> unit) ->
+  header:Stream.header ->
+  mrc:(string * int) list ->
+  Stream.result array ->
+  topo_data list
+(** The reduce stage: evaluated records (indexed by seq, dense) folded
+    back into per-topology data, deterministically — iteration is in
+    seq order, so the output is independent of how evaluation was
+    sharded or scheduled.  Emits the per-topology log lines and the
+    [experiments.*] counters (this is the only stage that does, so a
+    split run reports them exactly once).  [mrc] maps topology names to
+    the MRC configuration counts the evaluate stage recorded; missing
+    topologies are rebuilt. *)
+
+val reduce_shards :
+  ?log:(string -> unit) ->
+  header:Stream.header ->
+  Shard_store.loaded list ->
+  topo_data list
+(** {!reduce_stream} over loaded shard files: validates the shards are
+    a complete, non-overlapping cover of the stream (same shard count,
+    same record count, every shard index present, every seq present)
+    and that their footers agree, then reduces.  Raises [Failure]
+    otherwise. *)
 
 (** {1 Printable artifacts} *)
 

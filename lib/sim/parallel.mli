@@ -8,9 +8,22 @@
     — so callers shard with one function call. *)
 
 val env_jobs : unit -> int
-(** [RTR_JOBS] parsed as a positive integer; 1 (sequential) when the
-    variable is unset, with a warning to stderr when it is set but
-    malformed — mirroring how [REPRO_CASES] is read. *)
+(** [RTR_JOBS] parsed as a positive integer;
+    [Domain.recommended_domain_count ()] when the variable is unset, so
+    multi-core runners parallelise by default (results are
+    jobs-invariant throughout).  A set-but-malformed value falls back
+    to the same recommended count, with a warning to stderr —
+    mirroring how [REPRO_CASES] is read. *)
+
+val note_jobs : int -> unit
+(** Record a job count as used; [map] and [stream] call this on entry.
+    The maximum over the process lifetime is what [noted_jobs]
+    reports. *)
+
+val noted_jobs : unit -> int option
+(** The largest [jobs] any pool entry point of this process was called
+    with, or [None] when no sharded entry point ran — the effective
+    parallelism a run manifest should record. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f input] is [Rtr_util.Pool.map] plus observability.
@@ -26,3 +39,18 @@ val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     [pool.*] scheduling metrics are inherently timing-dependent; every
     simulation metric absorbed from workers merges to totals
     independent of the schedule. *)
+
+val stream :
+  jobs:int ->
+  ?capacity:int ->
+  ('a -> 'b) ->
+  producer:(unit -> 'a option) ->
+  consumer:(int -> 'b -> unit) ->
+  unit ->
+  int
+(** [Rtr_util.Pool.stream] plus the same observability wiring as
+    [map]: bounded in-flight work pulled from [producer], results
+    delivered to [consumer] in submission order, at most [capacity]
+    (default [4 * jobs]) tasks in flight.  Returns the task count.
+    [jobs <= 1] is the bare sequential loop with no [pool.*] metrics,
+    exactly like [map]'s degenerate case. *)

@@ -16,34 +16,36 @@ type result = {
   rtr_p1_bytes : int list;
   rtr_p1_completed : bool;
   rtr_recovered : bool;
+  rtr_cost : int option;
   rtr_stretch : float option;
   rtr_route_bytes : int;
   rtr_wasted_tx : int;
   rtr_calcs : int;
   fcp_delivered : bool;
+  fcp_cost : int option;
   fcp_stretch : float option;
   fcp_calcs : int;
   fcp_hop_bytes : int list;
   fcp_wasted_tx : int;
   mrc_delivered : bool;
+  mrc_cost : int option;
   mrc_stretch : float option;
 }
 
-let stretch_of g ~shortest_after path =
-  match shortest_after with
-  | None -> None
-  | Some best when best > 0 ->
-      Some (float_of_int (Path.cost g path) /. float_of_int best)
-  | Some _ -> Some 1.0
-
-(* Same ratio, but from a distance the session already knows (an SPT
-   path's [Path.cost] equals its distance label, so this is the value
-   [stretch_of] would compute — without re-walking the path). *)
+(* The stretch ratio from its integer cost numerator (an SPT path's
+   [Path.cost] equals its distance label).  Every stretch in a [result]
+   is this function of the recorded [*_cost] and the case's
+   [shortest_after] — which is what lets the stream codec serialise
+   only the exact integers and reconstruct identical floats. *)
 let stretch_of_dist ~shortest_after dist =
   match shortest_after with
   | None -> None
   | Some best when best > 0 -> Some (float_of_int dist /. float_of_int best)
   | Some _ -> Some 1.0
+
+let stretch_of_cost ~shortest_after = function
+  | None -> None
+  | Some cost -> stretch_of_dist ~shortest_after cost
 
 let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
   (* One RTR session per (initiator, trigger): phase 1's walk starts at
@@ -70,7 +72,7 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
     List.map (fun s -> s.Phase1.header_bytes) p1.Phase1.steps
   in
   let calcs_before = Rtr.sp_calculations session in
-  let rtr_recovered, rtr_stretch, rtr_route_bytes, rtr_wasted_tx =
+  let rtr_recovered, rtr_cost, rtr_route_bytes, rtr_wasted_tx =
     match Rtr.recover session ~dst:case.Scenario.dst with
     | Rtr.Recovered path ->
         (* The stretch numerator comes back through the session's
@@ -82,10 +84,7 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
           | Some d -> d
           | None -> assert false (* Recovered implies a cached path *)
         in
-        ( true,
-          stretch_of_dist ~shortest_after:case.Scenario.shortest_after dist,
-          Header.rtr_phase2 ~hops:(Path.hops path),
-          0 )
+        (true, Some dist, Header.rtr_phase2 ~hops:(Path.hops path), 0)
     | Rtr.Unreachable_in_view -> (false, None, 0, 0)
     | Rtr.False_path { path; hops_done; _ } ->
         let bytes = Header.rtr_phase2 ~hops:(Path.hops path) in
@@ -96,20 +95,18 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
     Fcp.run topo damage ~initiator:case.Scenario.initiator
       ~dst:case.Scenario.dst
   in
-  let fcp_stretch =
-    if fcp.Fcp.delivered then
-      stretch_of g ~shortest_after:case.Scenario.shortest_after fcp.Fcp.journey
-    else None
+  let fcp_cost =
+    if fcp.Fcp.delivered then Some (Path.cost g fcp.Fcp.journey) else None
   in
-  let mrc_delivered, mrc_stretch =
+  let mrc_delivered, mrc_cost =
     match
       Mrc.recover mrc damage ~initiator:case.Scenario.initiator
         ~trigger:case.Scenario.trigger ~dst:case.Scenario.dst
     with
-    | Mrc.Delivered path ->
-        (true, stretch_of g ~shortest_after:case.Scenario.shortest_after path)
+    | Mrc.Delivered path -> (true, Some (Path.cost g path))
     | Mrc.Dropped _ -> (false, None)
   in
+  let shortest_after = case.Scenario.shortest_after in
   {
     case;
     rtr_p1_hops = p1.Phase1.hops;
@@ -119,17 +116,20 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
       | Phase1.Completed | Phase1.No_live_neighbor -> true
       | Phase1.Hop_limit | Phase1.Stuck _ -> false);
     rtr_recovered;
-    rtr_stretch;
+    rtr_cost;
+    rtr_stretch = stretch_of_cost ~shortest_after rtr_cost;
     rtr_route_bytes;
     rtr_wasted_tx;
     rtr_calcs;
     fcp_delivered = fcp.Fcp.delivered;
-    fcp_stretch;
+    fcp_cost;
+    fcp_stretch = stretch_of_cost ~shortest_after fcp_cost;
     fcp_calcs = fcp.Fcp.sp_calculations;
     fcp_hop_bytes = List.map (fun h -> h.Fcp.header_bytes) fcp.Fcp.hops;
     fcp_wasted_tx = Fcp.wasted_transmission fcp;
     mrc_delivered;
-    mrc_stretch;
+    mrc_cost;
+    mrc_stretch = stretch_of_cost ~shortest_after mrc_cost;
   }
 
 let run_scenario ?cache ~mrc (scenario : Scenario.t) =

@@ -15,9 +15,13 @@ type result = {
       (** phase-1 recovery header size per hop, in hop order *)
   rtr_p1_completed : bool;
   rtr_recovered : bool;
+  rtr_cost : int option;
+      (** recovery-path cost (the stretch numerator), recovered cases
+          only — the exact integer the stream codec serialises *)
   rtr_stretch : float option;
       (** recovery-path cost / true shortest (recoverable and recovered
-          only); Theorem 2 makes this 1.0 whenever present *)
+          only); Theorem 2 makes this 1.0 whenever present.  Always
+          [stretch_of_dist ~shortest_after] of [rtr_cost]. *)
   rtr_route_bytes : int;
       (** phase-2 header (source route) size; 0 when the view had no
           path *)
@@ -31,12 +35,14 @@ type result = {
           cache already held the path *)
   (* FCP *)
   fcp_delivered : bool;
+  fcp_cost : int option;  (** journey cost, delivered cases only *)
   fcp_stretch : float option;
   fcp_calcs : int;
   fcp_hop_bytes : int list;
   fcp_wasted_tx : int;
   (* MRC *)
   mrc_delivered : bool;
+  mrc_cost : int option;  (** delivery-path cost, delivered cases only *)
   mrc_stretch : float option;
 }
 
@@ -49,3 +55,13 @@ val run_scenario :
 val rtr_sp_calculations : result -> int
 (** [rtr_calcs] — the paper's accounting for RTR: at most one
     calculation per destination, cached thereafter. *)
+
+val stretch_of_dist : shortest_after:int option -> int -> float option
+(** The stretch ratio from an integer cost numerator: [None] when
+    [shortest_after] is [None], [Some 1.0] when it is [Some 0], else
+    [Some (cost / best)].  Exposed so the stream codec reconstructs
+    the exact float stretches from serialised integer costs. *)
+
+val stretch_of_cost : shortest_after:int option -> int option -> float option
+(** [stretch_of_dist] lifted over the optional cost: [None] cost means
+    not recovered/delivered, hence no stretch. *)

@@ -43,3 +43,37 @@ val map :
     captured exception is re-raised — with its backtrace — in the
     calling domain.  [f] must be safe to run concurrently with
     itself. *)
+
+val stream :
+  ?wrap_worker:(int -> (unit -> unit) -> unit) ->
+  ?on_stats:(worker_stats list -> unit) ->
+  ?capacity:int ->
+  jobs:int ->
+  ('a -> 'b) ->
+  producer:(unit -> 'a option) ->
+  consumer:(int -> 'b -> unit) ->
+  unit ->
+  int
+(** [stream ~jobs f ~producer ~consumer ()] is the bounded-queue
+    submission seam: tasks are pulled one at a time from [producer]
+    (until it returns [None]), evaluated by [f] on the worker domains,
+    and handed to [consumer seq result] in {e strict submission order}
+    ([seq] counts 0, 1, 2, ...).  Returns the number of tasks consumed.
+
+    At most [capacity] tasks (default [4 * jobs], never below [jobs])
+    are in flight between [producer] and [consumer]: when the window is
+    full the coordinator stops producing until the next in-order result
+    has been consumed — backpressure, so a stream larger than memory is
+    never materialised.  [producer] and [consumer] both run on the
+    calling domain and need no synchronisation of their own; ordering
+    makes a parallel stream observationally the sequential loop.
+
+    With [jobs <= 1] this degenerates to an in-line
+    produce/apply/consume loop on the calling domain: no domains, no
+    hooks — bit-for-bit the sequential code path, mirroring [map].
+
+    Failure semantics match [map]: the first exception from [f] (or
+    from [producer]/[consumer]) abandons the remaining work, every
+    domain is joined, and the exception is re-raised with its
+    backtrace.  [wrap_worker] and [on_stats] are the same seams as in
+    [map]. *)

@@ -2,9 +2,11 @@
 # CI smoke: build, run the test suites, then exercise the observability
 # path end to end — a quick bench emitting a metrics snapshot and an
 # rtr_sim run emitting both a trace and a snapshot — and fail if any
-# emitted artifact is not valid JSON / JSONL.  Finally, the determinism
-# gate: the same workload at RTR_JOBS=1 and RTR_JOBS=4 must produce
-# byte-identical reports and (modulo scheduling fields) metrics.
+# emitted artifact is not valid JSON / JSONL.  Then the gates: the
+# determinism gate (RTR_JOBS must not change a byte), the microbench
+# hot-path gate, the recovery-map gate, the streaming-pipeline gate
+# (generate | evaluate | reduce must equal the in-process run, shard
+# splits and crash-resume included), and the fuzz gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,25 +14,17 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 
+# Every artifact the smoke produces lives under one temp dir, removed
+# by the one trap below.
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/rtr_smoke.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT
+
 REPRO_CASES=50 dune exec bench/main.exe -- --quick --metrics BENCH_smoke.json
 
-# POSIX mktemp: -t template is a GNU-ism (BSD/macOS -t takes a bare
-# prefix), so spell the full template out.  The trace needs a .jsonl
-# suffix (json_check picks line-by-line validation off the extension),
-# and POSIX mktemp can't put the Xs mid-name — rename after creation.
-trace=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_trace.XXXXXX")
-mv "$trace" "$trace.jsonl"
-trace="$trace.jsonl"
-metrics=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_metrics.XXXXXX")
-r1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_r1.XXXXXX")
-r4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_r4.XXXXXX")
-m1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_m1.XXXXXX")
-m4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_m4.XXXXXX")
-c1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_c1.XXXXXX")
-c4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_c4.XXXXXX")
-b1=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_b1.XXXXXX")
-b4=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_b4.XXXXXX")
-trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4"' EXIT
+# The trace needs a .jsonl suffix: json_check picks line-by-line
+# validation off the extension.
+trace="$tmp/trace.jsonl"
+metrics="$tmp/metrics.json"
 
 dune exec bin/rtr_sim.exe -- run --topo AS209 \
   --trace "$trace" --metrics "$metrics" > /dev/null
@@ -48,37 +42,36 @@ dune exec tools/json_check.exe -- BENCH_*.json
 # run to run — whereas the simulator's report and metrics are fully
 # deterministic.  json_canon strips the fields that may differ between
 # the two runs: the manifest (argv embeds the temp paths, wall_s is
-# timing) and the pool.* scheduling metrics that only the parallel run
-# records, plus spt.ws_alloc/ws_reuse: arenas live per domain, so the
-# alloc/reuse split depends on how many worker domains existed (their
-# sum is jobs-invariant, the split is not).
+# timing, jobs is the knob under test) and the pool.* scheduling
+# metrics that only the parallel run records, plus
+# spt.ws_alloc/ws_reuse: arenas live per domain, so the alloc/reuse
+# split depends on how many worker domains existed (their sum is
+# jobs-invariant, the split is not).
+canon() {
+  dune exec tools/json_canon.exe -- \
+    --strip manifest \
+    --strip metrics.counters.pool. \
+    --strip metrics.gauges.pool. \
+    --strip metrics.histograms.pool. \
+    --strip metrics.counters.spt.ws_ \
+    --strip metrics.counters.stream.shards_read \
+    "$1"
+}
 
 RTR_JOBS=1 dune exec bin/rtr_sim.exe -- table3 --cases 40 \
-  --topos AS209,AS1239 --metrics "$m1" > "$r1" 2> /dev/null
+  --topos AS209,AS1239 --metrics "$tmp/m1.json" > "$tmp/r1.txt" 2> /dev/null
 RTR_JOBS=4 dune exec bin/rtr_sim.exe -- table3 --cases 40 \
-  --topos AS209,AS1239 --metrics "$m4" > "$r4" 2> /dev/null
+  --topos AS209,AS1239 --metrics "$tmp/m4.json" > "$tmp/r4.txt" 2> /dev/null
 
-if ! diff "$r1" "$r4"; then
+if ! diff "$tmp/r1.txt" "$tmp/r4.txt"; then
   echo "ci_smoke: FAIL — report differs between RTR_JOBS=1 and RTR_JOBS=4" >&2
   exit 1
 fi
 
-dune exec tools/json_canon.exe -- \
-  --strip manifest \
-  --strip metrics.counters.pool. \
-  --strip metrics.gauges.pool. \
-  --strip metrics.histograms.pool. \
-  --strip metrics.counters.spt.ws_ \
-  "$m1" > "$c1"
-dune exec tools/json_canon.exe -- \
-  --strip manifest \
-  --strip metrics.counters.pool. \
-  --strip metrics.gauges.pool. \
-  --strip metrics.histograms.pool. \
-  --strip metrics.counters.spt.ws_ \
-  "$m4" > "$c4"
+canon "$tmp/m1.json" > "$tmp/c1.json"
+canon "$tmp/m4.json" > "$tmp/c4.json"
 
-if ! diff "$c1" "$c4"; then
+if ! diff "$tmp/c1.json" "$tmp/c4.json"; then
   echo "ci_smoke: FAIL — metrics differ between RTR_JOBS=1 and RTR_JOBS=4" >&2
   exit 1
 fi
@@ -88,11 +81,11 @@ fi
 # figures plus the DES motivation) is deterministic and must not move
 # with RTR_JOBS.
 REPRO_CASES=50 RTR_JOBS=1 dune exec bench/main.exe -- --quick \
-  | awk '/Bechamel microbenchmarks/{exit} {print}' > "$b1"
+  | awk '/Bechamel microbenchmarks/{exit} {print}' > "$tmp/b1.txt"
 REPRO_CASES=50 RTR_JOBS=4 dune exec bench/main.exe -- --quick \
-  | awk '/Bechamel microbenchmarks/{exit} {print}' > "$b4"
+  | awk '/Bechamel microbenchmarks/{exit} {print}' > "$tmp/b4.txt"
 
-if ! diff "$b1" "$b4"; then
+if ! diff "$tmp/b1.txt" "$tmp/b4.txt"; then
   echo "ci_smoke: FAIL — bench reproduction differs between RTR_JOBS=1 and RTR_JOBS=4" >&2
   exit 1
 fi
@@ -104,8 +97,7 @@ echo "ci_smoke: determinism gate OK (RTR_JOBS=1 == RTR_JOBS=4)"
 # one arena per domain plus the microbench's own pinned arena, far
 # below the thousands of runs), and the phase-2 per-destination cache
 # must be live (BENCH_0003 shipped with phase2.cache_hits stuck at 0).
-mb=$(mktemp "${TMPDIR:-/tmp}/rtr_smoke_mb.XXXXXX")
-trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"' EXIT
+mb="$tmp/microbench.json"
 
 dune exec bin/rtr_sim.exe -- microbench --topo AS209 --iters 4 \
   --metrics "$mb" > /dev/null
@@ -135,8 +127,8 @@ echo "ci_smoke: microbench gate OK (ws_alloc=$ws_alloc ws_reuse=$ws_reuse cache_
 # compiler must be jobs-invariant byte for byte, the manifest must be
 # valid JSON, and the lookup service must actually hit the index (the
 # bench perturbs 1 in 8 probes, so ~87% of 1000 lookups should hit).
-rmapdir=$(mktemp -d "${TMPDIR:-/tmp}/rtr_smoke_rmap.XXXXXX")
-trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"; rm -rf "$rmapdir"' EXIT
+rmapdir="$tmp/rmap"
+mkdir "$rmapdir"
 
 dune exec bin/rtr_sim.exe -- precompute --topo AS1239 \
   --out "$rmapdir/map1.bin" --grid 3x3 --radii 150,250 --jobs 1 \
@@ -164,6 +156,75 @@ fi
 
 echo "ci_smoke: rmap gate OK (artifact jobs-invariant, $rmap_hits/1000 lookup hits)"
 
+# --- streaming pipeline gate -----------------------------------------
+# The staged file pipeline (generate | evaluate | reduce) on the same
+# workload as the determinism gate.  One generated stream, evaluated
+# two ways — as a single shard, and as two shard processes with shard 0
+# killed mid-record and resumed — must reduce to reports byte-identical
+# to each other AND to the in-memory table3 run above; the reduce-stage
+# metrics must agree too (modulo stream.shards_read, which honestly
+# counts the files read).
+streamdir="$tmp/stream"
+mkdir "$streamdir"
+
+dune exec bin/rtr_sim.exe -- generate --cases 40 --topos AS209,AS1239 \
+  --stream "$streamdir/scenarios.jsonl" > /dev/null
+
+# One shard covering the whole stream.
+dune exec bin/rtr_sim.exe -- evaluate --stream "$streamdir/scenarios.jsonl" \
+  --out "$streamdir/whole.jsonl" --shards 1 --jobs 4 > /dev/null
+
+# Two shards; independent processes.
+dune exec bin/rtr_sim.exe -- evaluate --stream "$streamdir/scenarios.jsonl" \
+  --out "$streamdir/shard0.jsonl" --shard 0 --shards 2 --jobs 1 > /dev/null
+dune exec bin/rtr_sim.exe -- evaluate --stream "$streamdir/scenarios.jsonl" \
+  --out "$streamdir/shard1.jsonl" --shard 1 --shards 2 --jobs 4 > /dev/null
+
+# Kill shard 0 mid-record: drop the footer and the last record, leave
+# half of that record as an unterminated torn tail, then resume.
+total=$(wc -l < "$streamdir/shard0.jsonl")
+head -n $((total - 2)) "$streamdir/shard0.jsonl" > "$streamdir/shard0.cut"
+tail -n 2 "$streamdir/shard0.jsonl" | head -n 1 | cut -c1-50 | tr -d '\n' \
+  >> "$streamdir/shard0.cut"
+mv "$streamdir/shard0.cut" "$streamdir/shard0.jsonl"
+
+dune exec bin/rtr_sim.exe -- evaluate --stream "$streamdir/scenarios.jsonl" \
+  --out "$streamdir/shard0.jsonl" --shard 0 --shards 2 --jobs 1 --resume \
+  --metrics "$streamdir/resume_metrics.json" > /dev/null
+
+for counter in '"checkpoint.torn_tail":1' '"checkpoint.resumed":1'; do
+  if ! grep -q "$counter" "$streamdir/resume_metrics.json"; then
+    echo "ci_smoke: FAIL — resume did not record $counter" >&2
+    exit 1
+  fi
+done
+
+dune exec bin/rtr_sim.exe -- reduce --stream "$streamdir/scenarios.jsonl" \
+  --artifact table3 --metrics "$streamdir/ms1.json" \
+  "$streamdir/whole.jsonl" > "$streamdir/s1.txt" 2> /dev/null
+dune exec bin/rtr_sim.exe -- reduce --stream "$streamdir/scenarios.jsonl" \
+  --artifact table3 --metrics "$streamdir/ms2.json" \
+  "$streamdir/shard0.jsonl" "$streamdir/shard1.jsonl" \
+  > "$streamdir/s2.txt" 2> /dev/null
+
+if ! diff "$streamdir/s1.txt" "$streamdir/s2.txt"; then
+  echo "ci_smoke: FAIL — reduced report differs between 1 and 2 shards" >&2
+  exit 1
+fi
+if ! diff "$streamdir/s1.txt" "$tmp/r1.txt"; then
+  echo "ci_smoke: FAIL — staged pipeline differs from in-memory table3" >&2
+  exit 1
+fi
+
+canon "$streamdir/ms1.json" > "$streamdir/cs1.json"
+canon "$streamdir/ms2.json" > "$streamdir/cs2.json"
+if ! diff "$streamdir/cs1.json" "$streamdir/cs2.json"; then
+  echo "ci_smoke: FAIL — reduce metrics differ between 1 and 2 shards" >&2
+  exit 1
+fi
+
+echo "ci_smoke: stream gate OK (1 shard == 2 shards with crash-resume == in-memory)"
+
 # --- fuzz gate -------------------------------------------------------
 # Theorem-oracle fuzzing (lib/check): random topologies and failures
 # checked against Theorems 1-3 and the differential oracles.  The
@@ -176,8 +237,8 @@ dune exec bin/rtr_sim.exe -- fuzz --cases "$FUZZ_CASES" --seed 42
 # The fuzzer must still be able to see bugs: an injected Theorem-2
 # fault (phase 2 forgetting one collected failed link) has to be
 # caught, shrunk, and its artifact has to replay.
-fuzzdir=$(mktemp -d "${TMPDIR:-/tmp}/rtr_smoke_fuzz.XXXXXX")
-trap 'rm -f "$trace" "$metrics" "$r1" "$r4" "$m1" "$m4" "$c1" "$c4" "$b1" "$b4" "$mb"; rm -rf "$rmapdir" "$fuzzdir"' EXIT
+fuzzdir="$tmp/fuzz"
+mkdir "$fuzzdir"
 
 if dune exec bin/rtr_sim.exe -- fuzz --cases 40 --seed 42 \
      --oracle optimal --inject drop-failed-link --out "$fuzzdir" > /dev/null

@@ -77,10 +77,150 @@ let test_wrap_worker_runs_in_worker () =
   Alcotest.(check bool) "wrap ran on a spawned domain" true
     (Atomic.get saw_other)
 
+(* --- the bounded streaming seam -------------------------------------- *)
+
+(* Same adversarial skew as the map test: early tasks finish last, yet
+   the consumer must see results in submission order. *)
+let test_stream_order_under_skew () =
+  let n = 12 in
+  let produced = ref 0 in
+  let producer () =
+    if !produced >= n then None
+    else begin
+      let i = !produced in
+      incr produced;
+      Some i
+    end
+  in
+  let f i =
+    if i < 3 then Unix.sleepf (0.02 *. float_of_int (3 - i));
+    i * i
+  in
+  let seen = ref [] in
+  let consumer seq v =
+    Alcotest.(check int) (Printf.sprintf "slot %d" seq) (seq * seq) v;
+    seen := seq :: !seen
+  in
+  let total = Pool.stream ~jobs:4 f ~producer ~consumer () in
+  Alcotest.(check int) "all consumed" n total;
+  Alcotest.(check (list int)) "strict submission order"
+    (List.init n (fun i -> i))
+    (List.rev !seen)
+
+(* Backpressure: with a slow head-of-line task and [capacity] in-flight
+   slots, the coordinator must stop producing once the window is full —
+   the producer never runs more than [capacity] ahead of the consumer. *)
+let test_stream_backpressure () =
+  let n = 40 and capacity = 3 in
+  let produced = ref 0 and consumed = ref 0 and max_window = ref 0 in
+  let producer () =
+    max_window := max !max_window (!produced - !consumed);
+    if !produced >= n then None
+    else begin
+      let i = !produced in
+      incr produced;
+      Some i
+    end
+  in
+  let f i =
+    if i = 0 then Unix.sleepf 0.05;
+    i
+  in
+  let consumer _seq _v = incr consumed in
+  let total = Pool.stream ~jobs:3 ~capacity f ~producer ~consumer () in
+  Alcotest.(check int) "all consumed" n total;
+  Alcotest.(check bool)
+    (Printf.sprintf "window bounded by capacity (saw %d)" !max_window)
+    true
+    (!max_window <= capacity)
+
+let test_stream_exception_propagates () =
+  let produced = ref 0 in
+  let producer () =
+    if !produced >= 32 then None
+    else begin
+      let i = !produced in
+      incr produced;
+      Some i
+    end
+  in
+  Alcotest.check_raises "task failure re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Pool.stream ~jobs:4
+           (fun i -> if i = 13 then failwith "boom" else i)
+           ~producer
+           ~consumer:(fun _ _ -> ())
+           ()));
+  (* The stream joined every domain; a fresh one on the same inputs
+     works. *)
+  let produced = ref 0 in
+  let producer () =
+    if !produced >= 8 then None
+    else begin
+      incr produced;
+      Some !produced
+    end
+  in
+  let total = Pool.stream ~jobs:4 (fun i -> i) ~producer ~consumer:(fun _ _ -> ()) () in
+  Alcotest.(check int) "subsequent stream ok" 8 total
+
+(* jobs=1 degenerates to the in-line produce/apply/consume loop: same
+   domain, strictly alternating, no hook invocations — and an empty
+   producer consumes nothing. *)
+let test_stream_jobs1_inline () =
+  let self = Domain.self () in
+  let events = ref [] in
+  let wrapped = ref false in
+  let produced = ref 0 in
+  let producer () =
+    if !produced >= 3 then None
+    else begin
+      let i = !produced in
+      incr produced;
+      events := Printf.sprintf "P%d" i :: !events;
+      Some i
+    end
+  in
+  let total =
+    Pool.stream ~jobs:1
+      ~wrap_worker:(fun _ body ->
+        wrapped := true;
+        body ())
+      ~on_stats:(fun _ -> wrapped := true)
+      (fun i ->
+        Alcotest.(check bool) "same domain" true (Domain.self () = self);
+        events := Printf.sprintf "A%d" i :: !events;
+        i)
+      ~producer
+      ~consumer:(fun seq _ -> events := Printf.sprintf "C%d" seq :: !events)
+      ()
+  in
+  Alcotest.(check int) "consumed" 3 total;
+  Alcotest.(check (list string)) "strict alternation"
+    [ "P0"; "A0"; "C0"; "P1"; "A1"; "C1"; "P2"; "A2"; "C2" ]
+    (List.rev !events);
+  Alcotest.(check bool) "hooks not invoked" false !wrapped;
+  let empty =
+    Pool.stream ~jobs:1
+      (fun i -> i)
+      ~producer:(fun () -> None)
+      ~consumer:(fun _ _ -> Alcotest.fail "consumed from empty stream")
+      ()
+  in
+  Alcotest.(check int) "empty stream" 0 empty
+
 let suite =
   [
     Alcotest.test_case "submission order under skewed durations" `Quick
       test_order_under_skew;
+    Alcotest.test_case "stream order under skewed durations" `Quick
+      test_stream_order_under_skew;
+    Alcotest.test_case "stream backpressure bounds the window" `Quick
+      test_stream_backpressure;
+    Alcotest.test_case "stream exception propagates" `Quick
+      test_stream_exception_propagates;
+    Alcotest.test_case "stream jobs=1 runs inline" `Quick
+      test_stream_jobs1_inline;
     Alcotest.test_case "exception propagates, pool survives" `Quick
       test_exception_propagates_and_pool_survives;
     Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs1_inline;
