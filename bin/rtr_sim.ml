@@ -1092,11 +1092,12 @@ let fuzz_cmd =
         Option.iter (Format.printf "  wrote %s@.") c.Campaign.artifact)
       outcome.Campaign.failures;
     let n_fail = List.length outcome.Campaign.failures in
-    Format.printf "%d cases, %d violation%s, %d oracle%s@."
+    Format.printf "%d cases, %d violation%s, %d oracle%s: %s@."
       outcome.Campaign.cases_run n_fail
       (if n_fail = 1 then "" else "s")
       (List.length oracles)
-      (if List.length oracles = 1 then "" else "s");
+      (if List.length oracles = 1 then "" else "s")
+      (String.concat ", " (List.map (fun o -> o.Oracle.name) oracles));
     if n_fail > 0 then exit 1
   in
   Cmd.v

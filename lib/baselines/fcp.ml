@@ -62,7 +62,11 @@ let run topo damage ~initiator ~dst =
       fresh := []
     end;
     incr sp_calcs;
-    let spt = Dijkstra.spt !view ~root:current () in
+    (* Borrowed-workspace tree: consumed by the [Spt.path] walk right
+       here, before any other workspace operation can clobber it. *)
+    let spt =
+      Dijkstra.spt ~workspace:(Dijkstra.Workspace.get ()) !view ~root:current ()
+    in
     match Spt.path spt dst with
     | None -> finish ~delivered:false ~discarded_at:(Some current)
     | Some path -> follow path

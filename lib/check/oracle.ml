@@ -341,6 +341,42 @@ let ws_spt_run ~inject:_ spec =
     end
   done
 
+let dial_vs_heap_run ~inject:_ spec =
+  let topo, damage = Spec.build spec in
+  let g = Rtr_topo.Topology.graph topo in
+  let truth = Damage.view damage in
+  let full = View.full g in
+  let name = "dial_vs_heap" in
+  (* Passing the graph's own costs as a *custom* cost function forces
+     the binary heap (a closure's priorities carry no bound), while the
+     default run selects the Dial bucket queue whenever the graph bound
+     fits — so the two runs differ in nothing but the queue
+     discipline, and must agree on every label and parent (the Dial
+     pop order is lexicographic (prio, tag), same as the heap's). *)
+  let heap_cost id ~src = Graph.cost g id ~src in
+  let check ~root ~direction ~view label =
+    let a = Dijkstra.spt view ~root ~direction () in
+    let b = Dijkstra.spt view ~root ~direction ~cost:heap_cost () in
+    if
+      a.Spt.dist <> b.Spt.dist
+      || a.Spt.parent_node <> b.Spt.parent_node
+      || a.Spt.parent_link <> b.Spt.parent_link
+    then
+      raise
+        (Found
+           (violation name
+              "dial and heap Dijkstra runs differ at root v%d (%s)" root
+              label))
+  in
+  first_violation @@ fun () ->
+  for root = 0 to Graph.n_nodes g - 1 do
+    check ~root ~direction:Spt.From_root ~view:full "full, from-root";
+    if Damage.node_ok damage root then begin
+      check ~root ~direction:Spt.From_root ~view:truth "damaged, from-root";
+      check ~root ~direction:Spt.To_root ~view:truth "damaged, to-root"
+    end
+  done
+
 let parallel_run ~inject:_ spec =
   let topo, damage = Spec.build spec in
   let g = Rtr_topo.Topology.graph topo in
@@ -535,6 +571,13 @@ let ws_spt_vs_filtered =
     run = ws_spt_run;
   }
 
+let dial_vs_heap =
+  {
+    name = "dial_vs_heap";
+    doc = "bucket-queue (Dial) SPTs equal binary-heap SPTs bit for bit";
+    run = dial_vs_heap_run;
+  }
+
 let parallel_vs_sequential =
   {
     name = "parallel_vs_sequential";
@@ -557,6 +600,7 @@ let all =
     incr_spt_vs_dijkstra;
     view_vs_filtered;
     ws_spt_vs_filtered;
+    dial_vs_heap;
     parallel_vs_sequential;
     rmap_vs_reactive;
   ]

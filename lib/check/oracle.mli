@@ -25,6 +25,10 @@
     - [ws_spt_vs_filtered] — SPT runs through the per-domain reusable
       workspace equal the closure-pair oracle bit for bit, across the
       campaign's shape changes.
+    - [dial_vs_heap] — SPTs computed through the Dial bucket queue
+      (selected whenever the graph's cost bound fits) equal
+      binary-heap SPTs bit for bit, full and damaged views, both
+      directions.
     - [parallel_vs_sequential] — evaluating the scenario's cases on a
       multi-domain pool yields results structurally identical to the
       sequential run.
@@ -55,6 +59,7 @@ val single_link : t
 val incr_spt_vs_dijkstra : t
 val view_vs_filtered : t
 val ws_spt_vs_filtered : t
+val dial_vs_heap : t
 val parallel_vs_sequential : t
 val rmap_vs_reactive : t
 

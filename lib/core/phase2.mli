@@ -32,6 +32,27 @@ val create :
     from-scratch Dijkstra.  Raises [Invalid_argument] if it is rooted
     elsewhere, oriented [To_root] or built over a different graph. *)
 
+val create_batched :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  ?extra_removed:Graph.link_id list ->
+  phase1:Phase1.result ->
+  unit ->
+  t
+(** Like {!create}, but the session's shortest-path tree is a single
+    borrowed-workspace Dijkstra over the damaged view — no pre-failure
+    tree is cloned and no repair scratch runs, which is the cheap path
+    when one session serves a batch of destinations back to back.
+    Routes and distances are bit-identical to {!create}'s.
+
+    The tree aliases the calling domain's workspace: it stays readable
+    only until the next workspace operation on this domain (another
+    [~workspace] Dijkstra, an incremental repair, the next session).
+    Query every destination first; answers are cached with their
+    distance labels and survive the tree's expiry, but an {e uncached}
+    query after expiry raises [Invalid_argument].  Observable as
+    [phase2.batched]. *)
+
 val initiator : t -> Graph.node
 
 val view : t -> Rtr_graph.View.t

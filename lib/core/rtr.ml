@@ -17,9 +17,12 @@ type t = {
   phase2 : Phase2.t;
 }
 
-let start topo damage ?base_spt ~initiator ~trigger () =
+let start topo damage ?base_spt ?(batched = false) ~initiator ~trigger () =
   let phase1 = Phase1.run topo damage ~initiator ~trigger () in
-  let phase2 = Phase2.create topo damage ?base_spt ~phase1 () in
+  let phase2 =
+    if batched then Phase2.create_batched topo damage ~phase1 ()
+    else Phase2.create topo damage ?base_spt ~phase1 ()
+  in
   { topo; damage; phase1; phase2 }
 
 let phase1 t = t.phase1

@@ -28,12 +28,19 @@ val start :
   Rtr_topo.Topology.t ->
   Rtr_failure.Damage.t ->
   ?base_spt:Rtr_graph.Spt.t ->
+  ?batched:bool ->
   initiator:Graph.node ->
   trigger:Graph.node ->
   unit ->
   t
 (** Runs phase 1 and prepares phase 2.  [base_spt] is the initiator's
-    cached pre-failure SPF tree, forwarded to {!Phase2.create}. *)
+    cached pre-failure SPF tree, forwarded to {!Phase2.create}.
+
+    [batched] (default [false]) builds phase 2 with
+    {!Phase2.create_batched} instead ([base_spt] is then unused): the
+    session's tree borrows the domain workspace and every destination
+    must be queried before any other SPT runs on this domain — the
+    grouped-session discipline of the simulator's runner. *)
 
 val phase1 : t -> Phase1.result
 val phase2 : t -> Phase2.t

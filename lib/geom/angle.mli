@@ -15,6 +15,19 @@ val two_pi : float
 val of_vec : Point.t -> float
 (** Polar angle of a vector, in (-pi, pi], via [atan2]. *)
 
+val of_vec_xy : x:float -> y:float -> float
+(** [of_vec] on raw components, for hot loops that subtract embedded
+    points without materialising a vector.  Identical float pipeline
+    (and the same [Invalid_argument] on a null vector). *)
+
+val ccw_from_angle : reference:float -> float -> float
+(** [ccw_from] on precomputed polar angles: [ccw_from ~reference v] =
+    [ccw_from_angle ~reference:(of_vec reference) (of_vec v)]
+    definitionally, so hoisting the reference angle out of a scan over
+    candidates changes nothing bit-wise. *)
+
+val cw_from_angle : reference:float -> float -> float
+
 val normalize : float -> float
 (** Maps any angle into the half-open interval [0, 2*pi). *)
 

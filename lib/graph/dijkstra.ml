@@ -50,6 +50,10 @@ let run_into ~dist ~parent_node ~parent_link ~settled ~heap ~touch view ~root
 
 let spt ?workspace view ~root ?(direction = Spt.From_root) ?cost () =
   let g = View.graph view in
+  (* The graph's cost bound selects the queue discipline (see
+     [Pqueue]); a custom cost function can produce any priorities, so
+     it always gets the heap. *)
+  let custom_cost = Option.is_some cost in
   let cost =
     match cost with Some c -> c | None -> fun id ~src -> Graph.cost g id ~src
   in
@@ -61,12 +65,19 @@ let spt ?workspace view ~root ?(direction = Spt.From_root) ?cost () =
       let parent_node = Array.make n (-1) in
       let parent_link = Array.make n (-1) in
       let settled = Array.make n false in
-      let heap = Pqueue.create () in
+      let heap =
+        if custom_cost then Pqueue.create ()
+        else
+          Pqueue.create_bounded
+            ~bound:
+              (Pqueue.dial_bound_for ~max_cost:(Graph.max_cost g) ~n_nodes:n)
+      in
       run_into ~dist ~parent_node ~parent_link ~settled ~heap
         ~touch:(fun _ -> ()) view ~root ~direction ~cost;
       { Spt.graph = g; root; direction; dist; parent_node; parent_link }
   | Some ws ->
       Workspace.acquire ws g;
+      if custom_cost then Pqueue.configure ws.Workspace.heap ~bound:(-1);
       run_into ~dist:ws.Workspace.dist ~parent_node:ws.Workspace.parent_node
         ~parent_link:ws.Workspace.parent_link ~settled:ws.Workspace.settled
         ~heap:ws.Workspace.heap

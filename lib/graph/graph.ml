@@ -16,6 +16,10 @@ type t = {
   adj_off : int array;
   adj_ngb : int array;
   adj_lnk : int array;
+  (* Largest directional link cost; bounds every finite shortest-path
+     distance by [max_cost * (n - 1)], which is what lets Dijkstra pick
+     a bucket queue (see [Pqueue]) for small-weight graphs. *)
+  max_cost : int;
 }
 
 let n_nodes g = g.n
@@ -87,7 +91,15 @@ let build_weighted ~n ~edges =
         seg
     end
   done;
-  { n; link_u; link_v; cost_uv; cost_vu; adj_off; adj_ngb; adj_lnk }
+  let max_cost =
+    let best = ref 1 in
+    for id = 0 to m - 1 do
+      if cost_uv.(id) > !best then best := cost_uv.(id);
+      if cost_vu.(id) > !best then best := cost_vu.(id)
+    done;
+    !best
+  in
+  { n; link_u; link_v; cost_uv; cost_vu; adj_off; adj_ngb; adj_lnk; max_cost }
 
 let build ~n ~edges =
   build_weighted ~n ~edges:(List.map (fun (u, v) -> (u, v, 1, 1)) edges)
@@ -98,6 +110,8 @@ let other_end g id u =
   if g.link_u.(id) = u then g.link_v.(id)
   else if g.link_v.(id) = u then g.link_u.(id)
   else invalid_arg "Graph.other_end: node not an endpoint"
+
+let max_cost g = g.max_cost
 
 let cost g id ~src =
   if g.link_u.(id) = src then g.cost_uv.(id)

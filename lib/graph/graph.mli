@@ -43,6 +43,12 @@ val other_end : t -> link_id -> node -> node
 val cost : t -> link_id -> src:node -> int
 (** Cost of traversing the link out of [src]. *)
 
+val max_cost : t -> int
+(** Largest directional link cost in the graph (1 for a graph with no
+    links).  Every finite shortest-path distance is at most
+    [max_cost g * (n_nodes g - 1)] — the bound behind Dijkstra's
+    bucket-queue selection. *)
+
 val find_link : t -> node -> node -> link_id option
 (** The link between two nodes, if any. *)
 

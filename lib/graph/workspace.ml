@@ -31,6 +31,9 @@ type t = {
   mutable ltouched : int array;
   mutable n_ltouched : int;
   heap : Pqueue.t;
+  (* Bumped by every [acquire]: borrowed trees record it at birth so
+     stale reads can be detected instead of returning garbage. *)
+  mutable generation : int;
 }
 
 let create () =
@@ -50,6 +53,7 @@ let create () =
     ltouched = [||];
     n_ltouched = 0;
     heap = Pqueue.create ();
+    generation = 0;
   }
 
 let slot : t Rtr_util.Domain_local.t = Rtr_util.Domain_local.make create
@@ -95,11 +99,26 @@ let flush ws =
   ws.n_ltouched <- 0;
   Pqueue.clear ws.heap
 
+(* Retarget the persistent queue at [g]: dial buckets when the graph's
+   cost bound is small (IGP-style integer weights), binary heap
+   otherwise.  Runs with a custom cost function must override this with
+   [Pqueue.configure ~bound:(-1)] after acquiring — the graph bound
+   says nothing about their priorities. *)
+let select_queue ws g =
+  Pqueue.configure ws.heap
+    ~bound:
+      (Pqueue.dial_bound_for ~max_cost:(Graph.max_cost g)
+         ~n_nodes:(Graph.n_nodes g))
+
+let generation ws = ws.generation
+
 let acquire ws g =
+  ws.generation <- ws.generation + 1;
   let n = Graph.n_nodes g and m = Graph.n_links g in
   if ws.n = n && ws.m = m then begin
     Rtr_obs.Metrics.Counter.incr c_ws_reuse;
-    flush ws
+    flush ws;
+    select_queue ws g
   end
   else begin
     Rtr_obs.Metrics.Counter.incr c_ws_alloc;
@@ -120,5 +139,6 @@ let acquire ws g =
     ws.n_touched <- 0;
     ws.ltouched <- Array.make (max m 1) 0;
     ws.n_ltouched <- 0;
-    Pqueue.clear ws.heap
+    Pqueue.clear ws.heap;
+    select_queue ws g
   end

@@ -1,11 +1,24 @@
 (* Log-scale histogram bucketing, DDSketch-style: bucket [i] covers
-   (gamma^(i-1), gamma^i]; a value is represented by the bucket's
-   geometric midpoint, bounding relative error by (gamma-1)/2. *)
+   (gamma^(i-bucket_shift-1), gamma^(i-bucket_shift)]; a value is
+   represented by the bucket's geometric midpoint, bounding relative
+   error by (gamma-1)/2.
+
+   [bucket_shift] keys the whole sub-second range on non-negative
+   indices: raw log-bucketing sends any v < 1 to a negative index
+   (the pool's worker busy/idle seconds landed on keys like -62),
+   which snapshot consumers reasonably treat as corrupt.  Shifting by
+   ceil(-log 1e-9 / log gamma) = 424 keeps every value down to one
+   nanosecond positive; anything smaller clamps into bucket 0, whose
+   reported midpoint is then a floor, not an estimate. *)
 let gamma = 1.05
 let log_gamma = log gamma
+let bucket_shift = int_of_float (Float.ceil (-.log 1e-9 /. log_gamma))
 
-let bucket_of v = int_of_float (Float.ceil (log v /. log_gamma))
-let bucket_value i = (gamma ** float_of_int i) *. (2.0 /. (1.0 +. gamma))
+let bucket_of v =
+  max 0 (bucket_shift + int_of_float (Float.ceil (log v /. log_gamma)))
+
+let bucket_value i =
+  (gamma ** float_of_int (i - bucket_shift)) *. (2.0 /. (1.0 +. gamma))
 
 type hist = {
   mutable h_count : int;

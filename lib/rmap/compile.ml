@@ -11,64 +11,58 @@ let c_cases = Metrics.counter "rmap.cases"
 let g_bytes = Metrics.gauge "rmap.artifact_bytes"
 let g_cases_per_sec = Metrics.gauge "rmap.precompute_cases_per_sec"
 
-let eval_links ?cache topo table links =
+let eval_links ?cache:_ topo table links =
   let damage =
     Damage.of_failed (Rtr_topo.Topology.graph topo) ~nodes:[] ~links
   in
-  let cases = Scenario.cases_of_damage topo table damage in
-  let sessions = Hashtbl.create 8 in
-  let session (c : Scenario.case) =
-    let key = (c.Scenario.initiator, c.Scenario.trigger) in
-    match Hashtbl.find_opt sessions key with
-    | Some s -> s
-    | None ->
-        let base_spt =
-          Option.map
-            (fun cache -> Rtr_sim.Topo_cache.base_spt cache c.Scenario.initiator)
-            cache
-        in
-        let s =
-          Rtr.start topo damage ?base_spt ~initiator:c.Scenario.initiator
-            ~trigger:c.Scenario.trigger ()
-        in
-        Hashtbl.replace sessions key s;
-        s
-  in
-  List.map
-    (fun (c : Scenario.case) ->
-      let s = session c in
-      let true_cost = Option.value c.Scenario.shortest_after ~default:(-1) in
-      let kind, path =
-        match Rtr.recover s ~dst:c.Scenario.dst with
-        | Rtr.Recovered path -> (Store.Recovered, Some path)
-        | Rtr.Unreachable_in_view -> (Store.Unreachable, None)
-        | Rtr.False_path { path; _ } -> (Store.False_path, Some path)
-      in
-      let cost, path =
-        match path with
-        | None -> (-1, [||])
-        | Some p ->
-            (* The emitted route is a repaired-SPT path, so its view
-               cost is the session's cached distance label — a
-               phase2.cache_hit, not a recomputation. *)
-            let cost =
-              match Rtr.recovery_distance s ~dst:c.Scenario.dst with
-              | Some d -> d
-              | None -> assert false (* a path implies a cached label *)
-            in
-            (cost, Array.of_list (Rtr_graph.Path.nodes p))
-      in
-      {
-        Store.initiator = c.Scenario.initiator;
-        trigger = c.Scenario.trigger;
-        dst = c.Scenario.dst;
-        kind;
-        cost;
-        true_cost;
-        path;
-      })
-    cases
-  |> Array.of_list
+  let cases = Array.of_list (Scenario.cases_of_damage topo table damage) in
+  let results = Array.make (Array.length cases) None in
+  (* One batched RTR session per (initiator, trigger), the runner's
+     grouped discipline: the session's tree borrows the domain
+     workspace, and all its destinations are extracted while it is
+     live (the next group's session retires it). *)
+  List.iter
+    (fun ((initiator, trigger), idxs) ->
+      let s = Rtr.start topo damage ~batched:true ~initiator ~trigger () in
+      List.iter
+        (fun i ->
+          let c = cases.(i) in
+          let true_cost = Option.value c.Scenario.shortest_after ~default:(-1) in
+          let kind, path =
+            match Rtr.recover s ~dst:c.Scenario.dst with
+            | Rtr.Recovered path -> (Store.Recovered, Some path)
+            | Rtr.Unreachable_in_view -> (Store.Unreachable, None)
+            | Rtr.False_path { path; _ } -> (Store.False_path, Some path)
+          in
+          let cost, path =
+            match path with
+            | None -> (-1, [||])
+            | Some p ->
+                (* The emitted route is a recovery-SPT path, so its view
+                   cost is the session's cached distance label — a
+                   phase2.cache_hit, not a recomputation. *)
+                let cost =
+                  match Rtr.recovery_distance s ~dst:c.Scenario.dst with
+                  | Some d -> d
+                  | None -> assert false (* a path implies a cached label *)
+                in
+                (cost, Array.of_list (Rtr_graph.Path.nodes p))
+          in
+          results.(i) <-
+            Some
+              {
+                Store.initiator = c.Scenario.initiator;
+                trigger = c.Scenario.trigger;
+                dst = c.Scenario.dst;
+                kind;
+                cost;
+                true_cost;
+                path;
+              })
+        idxs)
+    (Rtr_sim.Runner.group_by_session cases (fun (c : Scenario.case) ->
+         (c.Scenario.initiator, c.Scenario.trigger)));
+  Array.map Option.get results
 
 type result = {
   artifact : string;

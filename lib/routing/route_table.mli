@@ -41,6 +41,12 @@ val dist : t -> src:Graph.node -> dst:Graph.node -> int
 val default_path : t -> src:Graph.node -> dst:Graph.node -> Rtr_graph.Path.t option
 (** The full default routing path, by following [next_hop]. *)
 
+val default_path_valid : t -> View.t -> src:Graph.node -> dst:Graph.node -> bool option
+(** [default_path_valid t view ~src ~dst] is
+    [Option.map (Path.is_valid view) (default_path t ~src ~dst)],
+    computed allocation-free by walking the table rows against the
+    view's bitsets — the hot classification kernel behind fig. 11. *)
+
 val equal : t -> t -> bool
 (** Structural equality of the routing state (same underlying graph,
     same next hops, links and distances) — the equivalence suite's

@@ -762,9 +762,10 @@ let ablation_constraints ?(cases = 500) config =
                   ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger
                   ()
               in
+              (* Batched: one borrowed-workspace SPT, queried for the
+                 single destination right below — no clone, no repair. *)
               let p2 =
-                Rtr_core.Phase2.create topo scenario.Scenario.damage
-                  ~base_spt:(Topo_cache.base_spt cache c.Scenario.initiator)
+                Rtr_core.Phase2.create_batched topo scenario.Scenario.damage
                   ~phase1:p1 ()
               in
               let delivered =
@@ -999,9 +1000,10 @@ let instance_variance ?(cases = 400) ?(instances = 5) config =
         (fun (c : Scenario.case) ->
           if c.Scenario.kind = Scenario.Recoverable && !n_done < cases then begin
             incr n_done;
+            (* Batched session, consumed for one destination before the
+               next scenario touches the workspace. *)
             let session =
-              Rtr_core.Rtr.start topo scenario.Scenario.damage
-                ~base_spt:(Topo_cache.base_spt cache c.Scenario.initiator)
+              Rtr_core.Rtr.start topo scenario.Scenario.damage ~batched:true
                 ~initiator:c.Scenario.initiator ~trigger:c.Scenario.trigger ()
             in
             match Rtr_core.Rtr.recover session ~dst:c.Scenario.dst with

@@ -47,32 +47,21 @@ let stretch_of_cost ~shortest_after = function
   | None -> None
   | Some cost -> stretch_of_dist ~shortest_after cost
 
-let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
-  (* One RTR session per (initiator, trigger): phase 1's walk starts at
-     the trigger, so two different triggers at the same initiator are
-     distinct sessions with possibly different collected failures. *)
-  let session =
-    let key = (case.Scenario.initiator, case.Scenario.trigger) in
-    match Hashtbl.find_opt sessions key with
-    | Some s -> s
-    | None ->
-        let base_spt =
-          Option.map (fun c -> Topo_cache.base_spt c case.Scenario.initiator)
-            cache
-        in
-        let s =
-          Rtr.start topo damage ?base_spt ~initiator:case.Scenario.initiator
-            ~trigger:case.Scenario.trigger ()
-        in
-        Hashtbl.replace sessions key s;
-        s
-  in
-  let p1 = Rtr.phase1 session in
-  let rtr_p1_bytes =
-    List.map (fun s -> s.Phase1.header_bytes) p1.Phase1.steps
-  in
+(* The slice of a result that reads the RTR session's phase-2 tree.
+   Batched sessions borrow the domain workspace, so every leg of a
+   session must run before anything else (FCP, the next session) runs
+   an SPT on this domain — [run_scenario] groups cases accordingly. *)
+type rtr_leg = {
+  leg_recovered : bool;
+  leg_cost : int option;
+  leg_route_bytes : int;
+  leg_wasted_tx : int;
+  leg_calcs : int;
+}
+
+let run_rtr_leg session (case : Scenario.case) =
   let calcs_before = Rtr.sp_calculations session in
-  let rtr_recovered, rtr_cost, rtr_route_bytes, rtr_wasted_tx =
+  let leg_recovered, leg_cost, leg_route_bytes, leg_wasted_tx =
     match Rtr.recover session ~dst:case.Scenario.dst with
     | Rtr.Recovered path ->
         (* The stretch numerator comes back through the session's
@@ -90,7 +79,18 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
         let bytes = Header.rtr_phase2 ~hops:(Path.hops path) in
         (false, None, bytes, hops_done * (Header.payload_bytes + bytes))
   in
-  let rtr_calcs = Rtr.sp_calculations session - calcs_before in
+  {
+    leg_recovered;
+    leg_cost;
+    leg_route_bytes;
+    leg_wasted_tx;
+    leg_calcs = Rtr.sp_calculations session - calcs_before;
+  }
+
+(* The baselines and the final record: free of the session's tree, so
+   it can run after the workspace moved on. *)
+let finish_case g topo ~mrc (p1 : Phase1.result) (case : Scenario.case)
+    damage leg =
   let fcp =
     Fcp.run topo damage ~initiator:case.Scenario.initiator
       ~dst:case.Scenario.dst
@@ -110,17 +110,17 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
   {
     case;
     rtr_p1_hops = p1.Phase1.hops;
-    rtr_p1_bytes;
+    rtr_p1_bytes = List.map (fun s -> s.Phase1.header_bytes) p1.Phase1.steps;
     rtr_p1_completed =
       (match p1.Phase1.status with
       | Phase1.Completed | Phase1.No_live_neighbor -> true
       | Phase1.Hop_limit | Phase1.Stuck _ -> false);
-    rtr_recovered;
-    rtr_cost;
-    rtr_stretch = stretch_of_cost ~shortest_after rtr_cost;
-    rtr_route_bytes;
-    rtr_wasted_tx;
-    rtr_calcs;
+    rtr_recovered = leg.leg_recovered;
+    rtr_cost = leg.leg_cost;
+    rtr_stretch = stretch_of_cost ~shortest_after leg.leg_cost;
+    rtr_route_bytes = leg.leg_route_bytes;
+    rtr_wasted_tx = leg.leg_wasted_tx;
+    rtr_calcs = leg.leg_calcs;
     fcp_delivered = fcp.Fcp.delivered;
     fcp_cost;
     fcp_stretch = stretch_of_cost ~shortest_after fcp_cost;
@@ -132,16 +132,49 @@ let run_case g topo ?cache sessions ~mrc (case : Scenario.case) damage =
     mrc_stretch = stretch_of_cost ~shortest_after mrc_cost;
   }
 
-let run_scenario ?cache ~mrc (scenario : Scenario.t) =
+(* Case indices grouped by key in first-appearance order; each group's
+   indices ascending.  Shared with the recovery-map compiler. *)
+let group_by_session cases key_of =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iteri
+    (fun i c ->
+      let key = key_of c in
+      match Hashtbl.find_opt groups key with
+      | Some r -> r := i :: !r
+      | None ->
+          let r = ref [ i ] in
+          Hashtbl.add groups key r;
+          order := (key, r) :: !order)
+    cases;
+  List.rev_map (fun (key, r) -> (key, List.rev !r)) !order
+
+let run_scenario ?cache:_ ~mrc (scenario : Scenario.t) =
   Rtr_obs.Trace.with_ "runner.scenario" @@ fun () ->
   Metrics.Counter.incr c_scenarios;
   Metrics.Counter.add c_cases (List.length scenario.Scenario.cases);
   let topo = scenario.Scenario.topo in
   let g = Rtr_topo.Topology.graph topo in
-  let sessions = Hashtbl.create 16 in
-  List.map
-    (fun case ->
-      run_case g topo ?cache sessions ~mrc case scenario.Scenario.damage)
-    scenario.Scenario.cases
+  let damage = scenario.Scenario.damage in
+  let cases = Array.of_list scenario.Scenario.cases in
+  let results = Array.make (Array.length cases) None in
+  (* One RTR session per (initiator, trigger): phase 1's walk starts at
+     the trigger, so two different triggers at the same initiator are
+     distinct sessions with possibly different collected failures.
+     Sessions are batched — the phase-2 tree borrows the domain
+     workspace — so each group's RTR legs all run while the tree is
+     live, then the baselines (whose own SPTs retire it). *)
+  List.iter
+    (fun ((initiator, trigger), idxs) ->
+      let session = Rtr.start topo damage ~batched:true ~initiator ~trigger () in
+      let p1 = Rtr.phase1 session in
+      let legs = List.map (fun i -> (i, run_rtr_leg session cases.(i))) idxs in
+      List.iter
+        (fun (i, leg) ->
+          results.(i) <- Some (finish_case g topo ~mrc p1 cases.(i) damage leg))
+        legs)
+    (group_by_session cases (fun (c : Scenario.case) ->
+         (c.Scenario.initiator, c.Scenario.trigger)));
+  Array.to_list results |> List.map Option.get
 
 let rtr_sp_calculations r = r.rtr_calcs

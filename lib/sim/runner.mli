@@ -48,9 +48,18 @@ type result = {
 
 val run_scenario :
   ?cache:Topo_cache.t -> mrc:Rtr_baselines.Mrc.t -> Scenario.t -> result list
-(** [cache], when given, must be the cache of the scenario's topology;
-    each session's phase 2 then clones the initiator's cached
-    pre-failure SPT instead of running Dijkstra from scratch. *)
+(** Results in case order.  Execution is grouped by (initiator,
+    trigger): one {e batched} RTR session per group serves all its
+    destinations from a single borrowed-workspace SPT
+    ([Rtr_core.Phase2.create_batched]), and the group's RTR legs run
+    before the baselines so the tree is never read after expiry.
+    [cache] is accepted for compatibility but unused — batched sessions
+    do not clone pre-failure trees. *)
+
+val group_by_session : 'a array -> ('a -> 'k) -> ('k * int list) list
+(** Indices of [cases] grouped by [key_of], groups in first-appearance
+    order and each group's indices ascending — the session-batching
+    order shared with the recovery-map compiler. *)
 
 val rtr_sp_calculations : result -> int
 (** [rtr_calcs] — the paper's accounting for RTR: at most one

@@ -26,14 +26,24 @@ let cases_of_damage topo table damage =
   let node_ok = Damage.node_ok damage in
   let n = Graph.n_nodes g in
   (* One damaged-graph SPT per initiator gives every case's optimality
-     yardstick; computed lazily since most nodes initiate nothing. *)
-  let spt_cache = Hashtbl.create 16 in
+     yardstick; computed lazily since most nodes initiate nothing.  The
+     tree lives in the domain workspace: each initiator's dst loop only
+     reads route-table rows and damage bitsets between queries, so the
+     borrowed arrays stay valid until the next initiator replaces
+     them. *)
+  let cached_root = ref (-1) in
+  let cached_spt = ref None in
   let shortest_from u =
-    match Hashtbl.find_opt spt_cache u with
-    | Some spt -> spt
-    | None ->
-        let spt = Rtr_graph.Dijkstra.spt view ~root:u () in
-        Hashtbl.replace spt_cache u spt;
+    match !cached_spt with
+    | Some spt when !cached_root = u -> spt
+    | _ ->
+        let spt =
+          Rtr_graph.Dijkstra.spt
+            ~workspace:(Rtr_graph.Dijkstra.Workspace.get ())
+            view ~root:u ()
+        in
+        cached_root := u;
+        cached_spt := Some spt;
         spt
   in
   let cases = ref [] in
@@ -90,14 +100,12 @@ let count_failed_paths topo table damage =
     if node_ok s then
       for t = 0 to n - 1 do
         if t <> s then
-          match Route_table.default_path table ~src:s ~dst:t with
-          | None -> ()
-          | Some path ->
-              let failed = not (Rtr_graph.Path.is_valid view path) in
-              if failed then
-                if node_ok t && Rtr_graph.Components.same comps s t then
-                  incr recoverable
-                else incr irrecoverable
+          match Route_table.default_path_valid table view ~src:s ~dst:t with
+          | None | Some true -> ()
+          | Some false ->
+              if node_ok t && Rtr_graph.Components.same comps s t then
+                incr recoverable
+              else incr irrecoverable
       done
   done;
   (!recoverable, !irrecoverable)

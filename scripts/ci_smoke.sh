@@ -3,7 +3,9 @@
 # path end to end — a quick bench emitting a metrics snapshot and an
 # rtr_sim run emitting both a trace and a snapshot — and fail if any
 # emitted artifact is not valid JSON / JSONL.  Then the gates: the
-# determinism gate (RTR_JOBS must not change a byte), the microbench
+# perf-regression gate (quick-bench throughput vs the latest committed
+# BENCH_*.json, see scripts/perf_gate.sh), the determinism gate
+# (RTR_JOBS must not change a byte), the microbench
 # hot-path gate, the recovery-map gate, the streaming-pipeline gate
 # (generate | evaluate | reduce must equal the in-process run, shard
 # splits and crash-resume included), and the fuzz gate.
@@ -33,6 +35,23 @@ dune exec tools/json_check.exe -- BENCH_smoke.json "$trace" "$metrics"
 
 # The committed bench series must stay valid JSON too.
 dune exec tools/json_check.exe -- BENCH_*.json
+
+# --- perf-regression gate --------------------------------------------
+# The quick bench above doubles as a performance probe: its headline
+# throughput gauges must stay within PERF_TOL percent of the latest
+# committed BENCH_*.json (mode-normalised; see scripts/perf_gate.sh).
+scripts/perf_gate.sh BENCH_smoke.json
+
+# And the gate itself must be live: the same probe with a simulated
+# 25% slowdown has to trip it.
+if PERF_INJECT_SLOWDOWN=25 scripts/perf_gate.sh BENCH_smoke.json \
+     > /dev/null 2>&1
+then
+  echo "ci_smoke: FAIL — perf gate missed an injected 25% slowdown" >&2
+  exit 1
+fi
+
+echo "ci_smoke: perf gate OK (throughput within tolerance; trips on injected 25% slowdown)"
 
 # --- determinism gate ------------------------------------------------
 # Parallel evaluation must not change a single byte of the science.

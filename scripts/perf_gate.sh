@@ -1,0 +1,82 @@
+#!/bin/sh
+# Perf-regression gate: compare a freshly measured metrics snapshot
+# (by default the quick-bench BENCH_smoke.json that ci_smoke just
+# produced) against the latest committed BENCH_*.json baseline, and
+# fail on a throughput regression beyond the tolerance.
+#
+#   usage: perf_gate.sh [PROBE [BASELINE]]
+#
+# Knobs (environment):
+#   PERF_TOL              allowed regression in percent (default 20 —
+#                         the headroom a noisy shared runner needs).
+#   PERF_RATIO_REPRODUCE  expected quick/full throughput quotient for
+#   PERF_RATIO_RMAP       the two gated gauges; only applied when the
+#                         probe and baseline disagree on the manifest's
+#                         "quick" flag (see below).  Override after
+#                         recalibrating against a new committed bench.
+#   PERF_INJECT_SLOWDOWN  self-test: scale the probe down by this many
+#                         percent before comparing.  ci_smoke uses it
+#                         to prove the gate still trips.
+#
+# The committed BENCH_*.json series is recorded with the full
+# configuration while CI probes with the quick one, and the two are
+# not directly comparable: the reproduce stage amortises fixed
+# per-topology work (tables, figure sweeps) over 4x fewer cases, and
+# the rmap stage times 200k lookups instead of 1M.  The ratios below
+# are the quick/full quotients measured on the BENCH_0007 runner
+# (142-145 / 434.9 cases/s; 6.2-6.7M / 9.47M lookups/s); a genuine
+# slowdown moves both modes together, so gating the normalised value
+# still catches it — demonstrably, a 25% injected slowdown fails.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+probe="${1:-BENCH_smoke.json}"
+baseline="${2:-$(ls BENCH_0*.json | LC_ALL=C sort | tail -n 1)}"
+
+PERF_TOL="${PERF_TOL:-20}"
+PERF_INJECT_SLOWDOWN="${PERF_INJECT_SLOWDOWN:-0}"
+
+jget() {
+  dune exec tools/json_get.exe -- "$@"
+}
+
+if [ "$(jget "$baseline" manifest/config/quick)" = \
+     "$(jget "$probe" manifest/config/quick)" ]
+then
+  ratio_reproduce="${PERF_RATIO_REPRODUCE:-1.0}"
+  ratio_rmap="${PERF_RATIO_RMAP:-1.0}"
+else
+  ratio_reproduce="${PERF_RATIO_REPRODUCE:-0.33}"
+  ratio_rmap="${PERF_RATIO_RMAP:-0.66}"
+fi
+
+check() { # gauge-name probe-value baseline-value ratio
+  awk -v name="$1" -v p="$2" -v b="$3" -v r="$4" \
+      -v tol="$PERF_TOL" -v inj="$PERF_INJECT_SLOWDOWN" '
+    BEGIN {
+      p = p * (100 - inj) / 100
+      floor = b * r * (100 - tol) / 100
+      if (p < floor) {
+        printf "perf_gate: FAIL — %s %.4g below floor %.4g " \
+               "(baseline %.4g x ratio %s, tol %s%%)\n",
+               name, p, floor, b, r, tol
+        exit 1
+      }
+      printf "perf_gate: %s OK — %.4g vs floor %.4g (baseline %.4g)\n",
+             name, p, floor, b
+    }'
+}
+
+status=0
+check bench.cases_per_sec.reproduce \
+  "$(jget "$probe" metrics/gauges/bench.cases_per_sec.reproduce)" \
+  "$(jget "$baseline" metrics/gauges/bench.cases_per_sec.reproduce)" \
+  "$ratio_reproduce" || status=1
+check rmap.lookups_per_sec \
+  "$(jget "$probe" metrics/gauges/rmap.lookups_per_sec)" \
+  "$(jget "$baseline" metrics/gauges/rmap.lookups_per_sec)" \
+  "$ratio_rmap" || status=1
+
+[ "$status" -eq 0 ] || exit 1
+echo "perf_gate: OK (probe $probe vs baseline $baseline)"

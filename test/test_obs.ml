@@ -89,6 +89,50 @@ let test_histogram_constant_and_edges () =
   Alcotest.(check bool) "empty quantile nan" true
     (Float.is_nan (Metrics.Histogram.quantile e 0.5))
 
+(* Sub-second observations — the pool's worker busy/idle seconds are
+   fractions of a second — must land on non-negative bucket keys
+   (raw log-bucketing sent them negative) and still quantile within
+   the sketch's relative error. *)
+let test_histogram_subsecond_buckets () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg "busy_s" in
+  List.iter (Metrics.Histogram.observe h) [ 1e-9; 4.2e-3; 0.25; 0.9; 12.5 ];
+  let got = Metrics.Histogram.quantile h 0.5 in
+  if Float.abs (got -. 0.25) /. 0.25 > 0.10 then
+    Alcotest.failf "median of sub-second mix: expected ~0.25, got %g" got;
+  let p50_small =
+    let s = Metrics.histogram ~registry:reg "idle_s" in
+    Metrics.Histogram.observe s 0.004;
+    Metrics.Histogram.observe s 0.004;
+    Metrics.Histogram.observe s 0.004;
+    Metrics.Histogram.quantile s 0.5
+  in
+  if Float.abs (p50_small -. 0.004) /. 0.004 > 0.10 then
+    Alcotest.failf "all-sub-second median: expected ~0.004, got %g" p50_small;
+  (* No bucket key in the exported snapshot may be negative. *)
+  let json = Metrics.Snapshot.to_json (Metrics.snapshot ~registry:reg ()) in
+  let rec walk = function
+    | Json.Obj fields ->
+        List.iter
+          (fun (k, v) ->
+            if k = "buckets" then
+              match v with
+              | Json.Arr entries ->
+                  List.iter
+                    (function
+                      | Json.Arr (Json.Int i :: _) ->
+                          if i < 0 then
+                            Alcotest.failf "negative bucket key %d" i
+                      | _ -> ())
+                    entries
+              | _ -> ()
+            else walk v)
+          fields
+    | Json.Arr items -> List.iter walk items
+    | _ -> ()
+  in
+  walk json
+
 (* --- registry + snapshot merge -------------------------------------- *)
 
 let fill_registry spec =
@@ -369,6 +413,8 @@ let suite =
       test_json_rejects_malformed;
     Alcotest.test_case "histogram quantiles (uniform)" `Quick
       test_histogram_quantiles_uniform;
+    Alcotest.test_case "histogram sub-second buckets" `Quick
+      test_histogram_subsecond_buckets;
     Alcotest.test_case "histogram constant + edges" `Quick
       test_histogram_constant_and_edges;
     Alcotest.test_case "snapshot merge associative" `Quick

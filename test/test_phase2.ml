@@ -159,6 +159,53 @@ let incremental_equals_scratch =
         | [] -> []
         | x :: _ -> [ x ]))
 
+(* Batched mode: one borrowed-workspace SPT, same routes and distances
+   as the clone-and-repair path, destination for destination. *)
+let test_batched_equals_classic () =
+  let topo, g, damage, p1 = setup () in
+  let classic = Phase2.create topo damage ~phase1:p1 () in
+  let batched = Phase2.create_batched topo damage ~phase1:p1 () in
+  Alcotest.(check (list int))
+    "same removed links"
+    (Phase2.removed_links classic)
+    (Phase2.removed_links batched);
+  (* Extract every destination from the batched session while its tree
+     is live (classic owns its arrays, so its queries can come after). *)
+  let n = Graph.n_nodes g in
+  let got =
+    List.init n (fun dst ->
+        (Phase2.recovery_path batched ~dst, Phase2.recovery_distance batched ~dst))
+  in
+  List.iteri
+    (fun dst (bp, bd) ->
+      let cp = Phase2.recovery_path classic ~dst in
+      if
+        Option.map Path.nodes bp <> Option.map Path.nodes cp
+        || bd <> Phase2.recovery_distance classic ~dst
+      then Alcotest.failf "batched differs from classic at dst v%d" dst)
+    got
+
+(* An uncached query on an expired batched tree must raise; cached
+   answers keep working because they carry their distance labels. *)
+let test_batched_expiry () =
+  let topo, g, damage, p1 = setup () in
+  let batched = Phase2.create_batched topo damage ~phase1:p1 () in
+  let first = Phase2.recovery_path batched ~dst:PE.destination in
+  Alcotest.(check bool) "destination reachable" true (first <> None);
+  let d_before = Phase2.recovery_distance batched ~dst:PE.destination in
+  (* Retire the tree: any other workspace run on this domain. *)
+  ignore
+    (Rtr_graph.Dijkstra.spt
+       ~workspace:(Rtr_graph.Dijkstra.Workspace.get ())
+       (View.full g) ~root:0 ());
+  Alcotest.(check bool) "cached path survives expiry" true
+    (Phase2.recovery_path batched ~dst:PE.destination = first);
+  Alcotest.(check (option int)) "cached distance survives expiry" d_before
+    (Phase2.recovery_distance batched ~dst:PE.destination);
+  match Phase2.recovery_path batched ~dst:(PE.v 18) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "uncached query on an expired tree must raise"
+
 let suite =
   [
     Alcotest.test_case "view removal" `Quick test_view_removes_collected_and_local;
@@ -171,5 +218,8 @@ let suite =
       test_uncollectable_failure_gives_false_path;
     Alcotest.test_case "extra removed (multi-area)" `Quick test_extra_removed;
     Alcotest.test_case "repaired nodes" `Quick test_repaired_nodes_positive;
+    Alcotest.test_case "batched equals classic" `Quick
+      test_batched_equals_classic;
+    Alcotest.test_case "batched expiry" `Quick test_batched_expiry;
     QCheck_alcotest.to_alcotest incremental_equals_scratch;
   ]

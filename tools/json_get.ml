@@ -1,0 +1,40 @@
+(* Print leaf values out of a metrics/manifest JSON file, one per line.
+
+   usage: json_get FILE PATH...
+
+   PATH segments are separated by '/' because metric names themselves
+   contain dots: metrics/gauges/bench.cases_per_sec.reproduce.  A
+   missing path or non-leaf target is an error — the perf gate must
+   fail loudly on a renamed gauge, not compare against garbage. *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: file :: (_ :: _ as paths) -> (
+      match
+        Rtr_obs.Json.parse
+          (String.trim (Rtr_tools.Json_tools.read_file file))
+      with
+      | exception Sys_error msg ->
+          Printf.eprintf "json_get: %s\n" msg;
+          exit 1
+      | Error msg ->
+          Printf.eprintf "json_get: %s: malformed JSON: %s\n" file msg;
+          exit 1
+      | Ok doc ->
+          List.iter
+            (fun path ->
+              let segs = String.split_on_char '/' path in
+              match Rtr_tools.Json_tools.get ~path:segs doc with
+              | None ->
+                  Printf.eprintf "json_get: %s: no such path: %s\n" file path;
+                  exit 1
+              | Some leaf -> (
+                  match Rtr_tools.Json_tools.scalar_to_string leaf with
+                  | Some s -> print_endline s
+                  | None ->
+                      Printf.eprintf "json_get: %s: not a leaf: %s\n" file path;
+                      exit 1))
+            paths)
+  | _ ->
+      prerr_endline "usage: json_get FILE PATH...";
+      exit 1
