@@ -522,6 +522,7 @@ let motivation () =
         t_fail = 1.0;
         t_end = 9.0;
         flows;
+        episodes = [];
       }
   in
   List.iter

@@ -1040,7 +1040,17 @@ let fuzz_cmd =
     let doc = "Write counterexample artifacts (JSON repro files) into $(docv)." in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run () cases seed jobs oracles inject out =
+  let episodes_arg =
+    let doc =
+      "Run an episode-timeline campaign instead of the static oracles: \
+       $(docv) is $(b,static), $(b,cascading), $(b,transient), $(b,moving) \
+       or $(b,all).  Prints the theorem-survival matrix; exits 1 only on \
+       Theorem 1/3 violations (Theorem-2 relaxation violations are the \
+       measurement)."
+    in
+    Arg.(value & opt (some string) None & info [ "episodes" ] ~docv:"KIND" ~doc)
+  in
+  let run () cases seed jobs oracles inject out episodes =
     let jobs = Option.value jobs ~default:(Rtr_sim.Parallel.env_jobs ()) in
     let oracles =
       match oracles with
@@ -1076,6 +1086,46 @@ let fuzz_cmd =
         out_dir = out;
       }
     in
+    (match episodes with
+    | None -> ()
+    | Some kind_s ->
+        let kinds =
+          match kind_s with
+          | "all" ->
+              [
+                Oracle.Episode.Static;
+                Oracle.Episode.Cascading;
+                Oracle.Episode.Transient;
+                Oracle.Episode.Moving;
+              ]
+          | s -> (
+              match Oracle.Episode.kind_of_string s with
+              | Some Oracle.Episode.Mixed | None ->
+                  prerr_endline ("rtr_sim: unknown episode kind " ^ s);
+                  exit 2
+              | Some k -> [ k ])
+        in
+        let outcome, rows = Campaign.run_episodes ~log:log_line config ~kinds in
+        List.iter
+          (fun (c : Campaign.counterexample) ->
+            Format.printf "case %d: %s: %s@." c.Campaign.index
+              c.Campaign.violation.Oracle.oracle
+              c.Campaign.violation.Oracle.detail;
+            Option.iter (Format.printf "  wrote %s@.") c.Campaign.artifact)
+          outcome.Campaign.failures;
+        List.iter
+          (fun (r : Campaign.survival_row) ->
+            Option.iter
+              (Format.printf "wrote %s thm2 exemplar %s@."
+                 (Oracle.Episode.kind_to_string r.Campaign.row_kind))
+              r.Campaign.thm2_artifact)
+          rows;
+        Campaign.pp_matrix Format.std_formatter rows;
+        Format.printf "%d specs (%d per kind), %d hard violation%s@."
+          outcome.Campaign.cases_run config.Campaign.cases
+          (List.length outcome.Campaign.failures)
+          (if List.length outcome.Campaign.failures = 1 then "" else "s");
+        exit (if outcome.Campaign.failures <> [] then 1 else 0));
     let outcome = Campaign.run ~log:log_line config in
     List.iter
       (fun (c : Campaign.counterexample) ->
@@ -1109,7 +1159,7 @@ let fuzz_cmd =
           found.")
     Term.(
       const run $ obs_term $ cases_arg $ seed_arg $ jobs_arg $ oracle_arg
-      $ inject_arg $ out_arg)
+      $ inject_arg $ out_arg $ episodes_arg)
 
 let replay_cmd =
   let module Campaign = Rtr_check.Campaign in

@@ -170,6 +170,316 @@ let run ?(log = fun _ -> ()) config =
   Metrics.Counter.add cases_c consumed;
   { cases_run = consumed; failures = List.rev !failures }
 
+(* --- episode campaigns: the theorem-survival matrix ------------------ *)
+
+type thm_cell = { checks : int; violations : int }
+
+type survival_row = {
+  row_kind : Oracle.Episode.kind;
+  specs : int;
+  transitions : int;
+  sessions : int;
+  thm1 : thm_cell;
+  thm2 : thm_cell;
+  delivered_suboptimal : int;
+  failed_recoverable : int;
+  false_unreachable : int;
+  stretch_mean : float;
+  stretch_max : float;
+  thm3 : thm_cell;
+  thm2_artifact : string option;
+}
+
+(* Per-kind accumulator, mutated only from the (sequential, ordered)
+   consumer, so the matrix is identical at any [jobs]. *)
+type acc = {
+  mutable a_specs : int;
+  mutable a_transitions : int;
+  mutable a_sessions : int;
+  mutable a_checks : int;
+  mutable a_thm1_violations : int;
+  mutable a_thm2_violations : int;
+  mutable a_subopt : int;
+  mutable a_failed_rec : int;
+  mutable a_false_unreach : int;
+  mutable a_stretch_sum : float;
+  mutable a_stretch_max : float;
+  mutable a_thm3_checks : int;
+  mutable a_thm3_violations : int;
+  mutable a_thm2_artifact : string option;
+}
+
+let episode_spec ~seed ~kind ~index =
+  let module E = Oracle.Episode in
+  (* Same (seed, index) keying discipline as [generate_spec], salted by
+     kind so each matrix row draws an independent population. *)
+  let salt =
+    match kind with
+    | E.Static -> 0
+    | E.Cascading -> 1
+    | E.Transient -> 2
+    | E.Moving -> 3
+    | E.Mixed -> invalid_arg "Campaign.episode_spec: Mixed is not generatable"
+  in
+  let rng =
+    Rtr_util.Rng.make (((((seed * 5) + salt) * 1_000_003) + index) lxor 0x5eed)
+  in
+  let name =
+    Printf.sprintf "episode-%s-%d-%d" (E.kind_to_string kind) seed index
+  in
+  match kind with
+  | E.Static -> Spec.generate rng ~name
+  | E.Cascading -> Spec.generate_episodes rng ~kind:`Cascading ~name
+  | E.Transient -> Spec.generate_episodes rng ~kind:`Transient ~name
+  | E.Moving -> Spec.generate_episodes rng ~kind:`Moving ~name
+  | E.Mixed -> assert false
+
+let survival_json ~seed ~cases rows =
+  let cell c =
+    Json.Obj
+      [ ("checks", Json.Int c.checks); ("violations", Json.Int c.violations) ]
+  in
+  let row r =
+    Json.Obj
+      [
+        ("kind", Json.String (Oracle.Episode.kind_to_string r.row_kind));
+        ("specs", Json.Int r.specs);
+        ("transitions", Json.Int r.transitions);
+        ("sessions", Json.Int r.sessions);
+        ("thm1", cell r.thm1);
+        ( "thm2",
+          Json.Obj
+            [
+              ("checks", Json.Int r.thm2.checks);
+              ("violations", Json.Int r.thm2.violations);
+              ("delivered_suboptimal", Json.Int r.delivered_suboptimal);
+              ("failed_recoverable", Json.Int r.failed_recoverable);
+              ("false_unreachable", Json.Int r.false_unreachable);
+              ( "stretch",
+                Json.Obj
+                  [
+                    ("count", Json.Int r.delivered_suboptimal);
+                    ("mean", Json.Float r.stretch_mean);
+                    ("max", Json.Float r.stretch_max);
+                  ] );
+            ] );
+        ("thm3", cell r.thm3);
+      ]
+  in
+  Json.Obj
+    [
+      ("format", Json.String "rtr-survival/1");
+      ("seed", Json.Int seed);
+      ("cases_per_kind", Json.Int cases);
+      ("rows", Json.Arr (List.map row rows));
+    ]
+
+let run_episodes ?(log = fun _ -> ()) config ~kinds =
+  let module E = Oracle.Episode in
+  Trace.with_ "check.episodes"
+    ~attrs:
+      [
+        ("cases", string_of_int config.cases);
+        ("seed", string_of_int config.seed);
+        ("jobs", string_of_int config.jobs);
+      ]
+  @@ fun () ->
+  let accs = Hashtbl.create 8 in
+  let acc_of kind =
+    match Hashtbl.find_opt accs kind with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_specs = 0;
+            a_transitions = 0;
+            a_sessions = 0;
+            a_checks = 0;
+            a_thm1_violations = 0;
+            a_thm2_violations = 0;
+            a_subopt = 0;
+            a_failed_rec = 0;
+            a_false_unreach = 0;
+            a_stretch_sum = 0.;
+            a_stretch_max = 0.;
+            a_thm3_checks = 0;
+            a_thm3_violations = 0;
+            a_thm2_artifact = None;
+          }
+        in
+        Hashtbl.replace accs kind a;
+        a
+  in
+  let items =
+    List.concat_map
+      (fun k -> List.init config.cases (fun i -> (k, i)))
+      kinds
+    |> ref
+  in
+  let producer () =
+    match !items with
+    | [] -> None
+    | x :: tl ->
+        items := tl;
+        Some x
+  in
+  let evaluate (kind, index) =
+    let spec = episode_spec ~seed:config.seed ~kind ~index in
+    let stats = E.measure ~inject:config.inject spec in
+    let thm3 = E.single_link_settled spec in
+    (kind, index, stats, thm3)
+  in
+  let failures = ref [] in
+  (* Shrink a violation against the single named oracle and persist it,
+     exactly like the static campaign does. *)
+  let shrink_and_save ~expect ~prefix (oracle : Oracle.t) kind index
+      (v : Oracle.violation) =
+    let original = episode_spec ~seed:config.seed ~kind ~index in
+    let shrunk, violation', evals =
+      Shrink.run ~max_evals:config.max_shrink_evals
+        ~check:(fun s -> oracle.Oracle.run ~inject:config.inject s)
+        original v
+    in
+    let artifact =
+      match config.out_dir with
+      | None -> None
+      | Some dir ->
+          let name =
+            Printf.sprintf "%s_%s_%s_%d.json" prefix oracle.Oracle.name
+              (E.kind_to_string kind) index
+          in
+          let json =
+            artifact_json ~oracle ?inject:config.inject ~seed:config.seed
+              ~index ~violation:violation' ~expect shrunk
+          in
+          Rtr_sim.Report.save ~dir ~name (Json.to_string json ^ "\n");
+          Some (Filename.concat dir name)
+    in
+    ( {
+        index;
+        original;
+        shrunk;
+        violation = violation';
+        shrink_evals = evals;
+        artifact;
+      },
+      artifact )
+  in
+  let consumer _ (kind, index, (stats : E.stats), (thm3_checks, thm3_viol)) =
+    let a = acc_of kind in
+    a.a_specs <- a.a_specs + 1;
+    a.a_transitions <- a.a_transitions + stats.E.transitions;
+    a.a_sessions <- a.a_sessions + stats.E.sessions;
+    a.a_checks <- a.a_checks + stats.E.checks;
+    a.a_thm2_violations <- a.a_thm2_violations + stats.E.thm2_violations;
+    a.a_subopt <- a.a_subopt + stats.E.delivered_suboptimal;
+    a.a_failed_rec <- a.a_failed_rec + stats.E.failed_recoverable;
+    a.a_false_unreach <- a.a_false_unreach + stats.E.false_unreachable;
+    a.a_stretch_sum <- a.a_stretch_sum +. stats.E.stretch_sum;
+    if stats.E.stretch_max > a.a_stretch_max then
+      a.a_stretch_max <- stats.E.stretch_max;
+    a.a_thm3_checks <- a.a_thm3_checks + thm3_checks;
+    (* Theorems 1 and 3 must survive every relaxation: their violations
+       are campaign failures, shrunk and persisted like any other
+       counterexample. *)
+    (match stats.E.thm1 with
+    | None -> ()
+    | Some v ->
+        a.a_thm1_violations <- a.a_thm1_violations + 1;
+        log
+          (Printf.sprintf "%s case %d: %s (%s); shrinking..."
+             (E.kind_to_string kind) index v.Oracle.oracle v.Oracle.detail);
+        let cex, _ =
+          shrink_and_save ~expect:`Violation ~prefix:"counterexample"
+            Oracle.episode_no_loop kind index v
+        in
+        failures := cex :: !failures);
+    (match thm3_viol with
+    | None -> ()
+    | Some v ->
+        a.a_thm3_violations <- a.a_thm3_violations + 1;
+        log
+          (Printf.sprintf "%s case %d: %s (%s); shrinking..."
+             (E.kind_to_string kind) index v.Oracle.oracle v.Oracle.detail);
+        let cex, _ =
+          shrink_and_save ~expect:`Violation ~prefix:"counterexample"
+            Oracle.episode_single_link kind index v
+        in
+        failures := cex :: !failures);
+    (* Theorem-2 relaxation violations are the measurement, not a bug:
+       they fill the matrix, and the first one per kind is shrunk into
+       an [expect = violation] exemplar artifact when persisting. *)
+    match stats.E.first_thm2 with
+    | Some v
+      when kind <> E.Static && config.out_dir <> None
+           && a.a_thm2_artifact = None ->
+        log
+          (Printf.sprintf
+             "%s case %d: thm2 relaxation violated as expected (%s); \
+              shrinking the exemplar..."
+             (E.kind_to_string kind) index v.Oracle.detail);
+        let _, artifact =
+          shrink_and_save ~expect:`Violation ~prefix:"episode"
+            Oracle.episode_optimal kind index v
+        in
+        a.a_thm2_artifact <- artifact
+    | _ -> ()
+  in
+  let consumed =
+    Rtr_sim.Parallel.stream ~jobs:config.jobs evaluate ~producer ~consumer ()
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let a = acc_of kind in
+        {
+          row_kind = kind;
+          specs = a.a_specs;
+          transitions = a.a_transitions;
+          sessions = a.a_sessions;
+          thm1 = { checks = a.a_checks; violations = a.a_thm1_violations };
+          thm2 = { checks = a.a_checks; violations = a.a_thm2_violations };
+          delivered_suboptimal = a.a_subopt;
+          failed_recoverable = a.a_failed_rec;
+          false_unreachable = a.a_false_unreach;
+          stretch_mean =
+            (if a.a_subopt = 0 then 0.
+             else a.a_stretch_sum /. float_of_int a.a_subopt);
+          stretch_max = a.a_stretch_max;
+          thm3 =
+            { checks = a.a_thm3_checks; violations = a.a_thm3_violations };
+          thm2_artifact = a.a_thm2_artifact;
+        })
+      kinds
+  in
+  (match config.out_dir with
+  | None -> ()
+  | Some dir ->
+      let json = survival_json ~seed:config.seed ~cases:config.cases rows in
+      Rtr_sim.Report.save ~dir ~name:"survival_matrix.json"
+        (Json.to_string json ^ "\n"));
+  ({ cases_run = consumed; failures = List.rev !failures }, rows)
+
+let pp_matrix ppf rows =
+  Format.fprintf ppf "%-10s %6s %6s  %12s %14s %12s  %8s %8s@."
+    "kind" "specs" "sess" "thm1 v/chk" "thm2 v/chk" "thm3 v/chk"
+    "stretch~" "stretch^";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %6d %6d  %12s %14s %12s  %8.3f %8.3f@."
+        (Oracle.Episode.kind_to_string r.row_kind)
+        r.specs r.sessions
+        (Printf.sprintf "%d/%d" r.thm1.violations r.thm1.checks)
+        (Printf.sprintf "%d/%d" r.thm2.violations r.thm2.checks)
+        (Printf.sprintf "%d/%d" r.thm3.violations r.thm3.checks)
+        r.stretch_mean r.stretch_max;
+      if r.thm2.violations > 0 then
+        Format.fprintf ppf
+          "%-10s   of which suboptimal %d, dropped-recoverable %d, \
+           false-unreachable %d@."
+          "" r.delivered_suboptimal r.failed_recoverable r.false_unreachable)
+    rows
+
 (* --- replay --------------------------------------------------------- *)
 
 type replay_result =

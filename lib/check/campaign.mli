@@ -57,6 +57,60 @@ val artifact_json :
   Spec.t ->
   Rtr_obs.Json.t
 
+(** {1 Episode campaigns: the theorem-survival matrix}
+
+    An episode campaign generates [cases] timeline specs {e per kind},
+    re-evaluates the three theorems across every timeline transition
+    ({!Oracle.Episode}), and folds the results into one matrix row per
+    kind.  Theorem 1 and Theorem 3 violations are campaign failures —
+    shrunk and persisted like static counterexamples.  Theorem-2
+    relaxation violations are the {e measurement}: they fill the row
+    (split by signature, with stretch statistics over suboptimal
+    deliveries), and when [out_dir] is set the first one per kind is
+    shrunk into an [expect = "violation"] exemplar artifact.  The
+    matrix itself is saved as [survival_matrix.json]
+    ([format = "rtr-survival/1"]).  Like {!run}, the outcome depends
+    only on [(cases, seed, kinds, inject)], never on [jobs]. *)
+
+type thm_cell = { checks : int; violations : int }
+
+type survival_row = {
+  row_kind : Oracle.Episode.kind;
+  specs : int;
+  transitions : int;
+  sessions : int;
+  thm1 : thm_cell;
+  thm2 : thm_cell;
+  delivered_suboptimal : int;
+  failed_recoverable : int;
+  false_unreachable : int;
+  stretch_mean : float;  (** mean cost/optimal over suboptimal deliveries *)
+  stretch_max : float;
+  thm3 : thm_cell;
+  thm2_artifact : string option;
+      (** the kind's shrunk exemplar, when one was persisted *)
+}
+
+val episode_spec :
+  seed:int -> kind:Oracle.Episode.kind -> index:int -> Spec.t
+(** The campaign's spec for [(seed, kind, index)] — same regeneration
+    discipline as {!run}'s, salted by kind.  Raises [Invalid_argument]
+    for [Mixed], which is never generated. *)
+
+val run_episodes :
+  ?log:(string -> unit) ->
+  config ->
+  kinds:Oracle.Episode.kind list ->
+  outcome * survival_row list
+(** [config.oracles] is ignored (the episode evaluation is fixed);
+    [config.cases] counts per kind; rows come back in [kinds] order. *)
+
+val survival_json :
+  seed:int -> cases:int -> survival_row list -> Rtr_obs.Json.t
+
+val pp_matrix : Format.formatter -> survival_row list -> unit
+(** The human-readable matrix, one kind per line. *)
+
 type replay_result =
   | Matched of Oracle.violation option
       (** observed behaviour agrees with the artifact's [expect] *)

@@ -61,6 +61,29 @@ let random_damage ~seed topo =
   let area = Rtr_failure.Area.random_disc rng ~r_min:100.0 ~r_max:300.0 () in
   Rtr_failure.Damage.apply topo area
 
+(* Links untouched by a damage, as endpoint pairs (stable under spec
+   shrinking, unlike link ids) — the candidate pool for cascade bursts
+   and flap episodes. *)
+let alive_link_endpoints topo damage =
+  let g = Rtr_topo.Topology.graph topo in
+  Graph.fold_links g ~init:[] ~f:(fun acc id u v ->
+      if Rtr_failure.Damage.link_ok damage id then (u, v) :: acc else acc)
+  |> List.rev
+
+(* Failed links whose endpoint routers both survived: exactly the links
+   a repair timer can bring back (restoring a link incident to a dead
+   router changes nothing). *)
+let restorable_failed_links topo damage =
+  let g = Rtr_topo.Topology.graph topo in
+  Graph.fold_links g ~init:[] ~f:(fun acc id u v ->
+      if
+        (not (Rtr_failure.Damage.link_ok damage id))
+        && Rtr_failure.Damage.node_ok damage u
+        && Rtr_failure.Damage.node_ok damage v
+      then (u, v) :: acc
+      else acc)
+  |> List.rev
+
 (* Deterministic list of all (initiator, trigger) pairs a damage
    creates: live nodes with a locally unreachable neighbour. *)
 let detectors topo damage =

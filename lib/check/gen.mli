@@ -22,6 +22,20 @@ val random_topology : seed:int -> n:int -> Rtr_topo.Topology.t
 val random_damage : seed:int -> Rtr_topo.Topology.t -> Rtr_failure.Damage.t
 (** A random disc damage with the paper's U(100, 300) radius. *)
 
+val alive_link_endpoints :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  (Graph.node * Graph.node) list
+(** Links untouched by the damage, as endpoint pairs in link-id order —
+    the candidate pool for cascade bursts and flap episodes. *)
+
+val restorable_failed_links :
+  Rtr_topo.Topology.t ->
+  Rtr_failure.Damage.t ->
+  (Graph.node * Graph.node) list
+(** Failed links whose endpoint routers both survived: exactly the
+    links a repair timer can meaningfully bring back. *)
+
 val detectors :
   Rtr_topo.Topology.t ->
   Rtr_failure.Damage.t ->

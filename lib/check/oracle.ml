@@ -13,12 +13,15 @@ module Scenario = Rtr_sim.Scenario
 
 type violation = { oracle : string; detail : string }
 
-type injection = Drop_failed_link
+type injection = Drop_failed_link | Truncate_walk
 
-let injection_to_string Drop_failed_link = "drop-failed-link"
+let injection_to_string = function
+  | Drop_failed_link -> "drop-failed-link"
+  | Truncate_walk -> "truncate-walk"
 
 let injection_of_string = function
   | "drop-failed-link" | "drop_failed_link" -> Some Drop_failed_link
+  | "truncate-walk" | "truncate_walk" -> Some Truncate_walk
   | _ -> None
 
 type t = {
@@ -129,12 +132,12 @@ let optimal_run ~inject spec =
         (Damage.unreachable_neighbors damage g initiator);
       let phase1 =
         match inject with
-        | None -> p1
         | Some Drop_failed_link -> (
             match List.rev p1.Phase1.failed_links with
             | [] -> p1
             | _ :: rest ->
                 { p1 with Phase1.failed_links = List.rev rest })
+        | _ -> p1
       in
       let ph2 = Phase2.create topo damage ~phase1 () in
       let truth_spt = Dijkstra.spt truth ~root:initiator () in
@@ -228,6 +231,332 @@ let single_link_run ~inject:_ spec =
           [ (u, v); (v, u) ]
       end
     done
+
+(* --- episode timelines ---------------------------------------------- *)
+
+module Episode = struct
+  type kind = Static | Cascading | Transient | Moving | Mixed
+
+  let kind_to_string = function
+    | Static -> "static"
+    | Cascading -> "cascading"
+    | Transient -> "transient"
+    | Moving -> "moving"
+    | Mixed -> "mixed"
+
+  let kind_of_string = function
+    | "static" -> Some Static
+    | "cascading" -> Some Cascading
+    | "transient" -> Some Transient
+    | "moving" -> Some Moving
+    | "mixed" -> Some Mixed
+    | _ -> None
+
+  let kind_of_spec spec =
+    match spec.Spec.episodes with
+    | [] -> Static
+    | eps ->
+        let all p = List.for_all p eps in
+        if all (function Spec.Cascade _ -> true | _ -> false) then Cascading
+        else if all (function Spec.Flap _ -> true | _ -> false) then Transient
+        else if all (function Spec.Move _ -> true | _ -> false) then Moving
+        else Mixed
+
+  type stats = {
+    transitions : int;
+    sessions : int;
+    checks : int;
+    thm1 : violation option;
+        (** Theorem 1 must survive every relaxation: walks terminate and
+            routes stay simple under {e any} sealed damage. *)
+    thm2_violations : int;
+    delivered_suboptimal : int;
+    failed_recoverable : int;
+    false_unreachable : int;
+    stretch_sum : float;
+    stretch_max : float;
+    first_thm2 : violation option;
+  }
+
+  (* The episode evaluation protocol.  For each timeline transition
+     d_prev -> d_next: recovery {e started} under d_prev (phase 1 walked
+     the old picture) and {e completes} under d_next — phase 2 is built
+     from the stale collection, but against d_next, so the initiator's
+     local knowledge refreshes while its remote knowledge does not.
+     Packets are then forwarded and scored against the new ground truth.
+     A static spec degenerates to the single pair (base, base), which is
+     exactly Theorem 2's setting — the matrix's baseline row. *)
+  let measure ~inject spec =
+    let topo, epochs = Spec.timeline spec in
+    let g = Rtr_topo.Topology.graph topo in
+    let pairs =
+      let rec consec = function
+        | a :: (b :: _ as rest) -> (a, b) :: consec rest
+        | _ -> []
+      in
+      match List.map snd epochs with [ d ] -> [ (d, d) ] | ds -> consec ds
+    in
+    let sessions = ref 0 and checks = ref 0 in
+    let thm1 = ref None and first_thm2 = ref None in
+    let thm2 = ref 0 in
+    let subopt = ref 0 and failed_rec = ref 0 and false_unreach = ref 0 in
+    let stretch_sum = ref 0. and stretch_max = ref 0. in
+    let name1 = "episode_no_loop" and name2 = "episode_optimal" in
+    let thm1_hit v = if !thm1 = None then thm1 := Some v in
+    let thm2_hit v =
+      incr thm2;
+      if !first_thm2 = None then first_thm2 := Some v
+    in
+    List.iteri
+      (fun ti (d_prev, d_next) ->
+        List.iter
+          (fun (initiator, trigger) ->
+            let p1 =
+              match inject with
+              | Some Truncate_walk ->
+                  (* the injected Theorem-1 bug: a TTL far below 4|E|+4
+                     cuts walks that would have closed their cycle *)
+                  Phase1.run topo d_prev ~hop_limit:3 ~initiator ~trigger ()
+              | _ -> Phase1.run topo d_prev ~initiator ~trigger ()
+            in
+            let p1 =
+              match inject with
+              | Some Drop_failed_link -> (
+                  match List.rev p1.Phase1.failed_links with
+                  | [] -> p1
+                  | _ :: rest -> { p1 with Phase1.failed_links = List.rev rest }
+                  )
+              | _ -> p1
+            in
+            (match p1.Phase1.status with
+            | Phase1.Completed | Phase1.No_live_neighbor -> ()
+            | Phase1.Hop_limit ->
+                thm1_hit
+                  (violation name1
+                     "transition %d: walk from (v%d, v%d) hit the hop limit"
+                     ti initiator trigger)
+            | Phase1.Stuck u ->
+                thm1_hit
+                  (violation name1
+                     "transition %d: walk from (v%d, v%d) stuck at v%d" ti
+                     initiator trigger u));
+            if p1.Phase1.hops > ttl g then
+              thm1_hit
+                (violation name1
+                   "transition %d: walk from (v%d, v%d) took %d hops > TTL %d"
+                   ti initiator trigger p1.Phase1.hops (ttl g));
+            let seen = Hashtbl.create 64 in
+            List.iter
+              (fun (s : Phase1.step) ->
+                let key =
+                  (s.Phase1.at, s.Phase1.reference, s.Phase1.header_bytes)
+                in
+                if Hashtbl.mem seen key then
+                  thm1_hit
+                    (violation name1
+                       "transition %d: walk from (v%d, v%d) revisited v%d \
+                        with an unchanged header"
+                       ti initiator trigger s.Phase1.at);
+                Hashtbl.replace seen key ())
+              p1.Phase1.steps;
+            (* An initiator the new episode killed takes its session
+               with it — nothing to score. *)
+            if Damage.node_ok d_next initiator then begin
+              incr sessions;
+              let ph2 = Phase2.create topo d_next ~phase1:p1 () in
+              let truth_spt =
+                Dijkstra.spt (Damage.view d_next) ~root:initiator ()
+              in
+              for dst = 0 to Graph.n_nodes g - 1 do
+                if dst <> initiator then begin
+                  incr checks;
+                  let recoverable =
+                    Damage.node_ok d_next dst && Spt.reached truth_spt dst
+                  in
+                  match Phase2.recovery_path ph2 ~dst with
+                  | None ->
+                      (* Only a transient repair can make this happen:
+                         the stale view is missing links the episode
+                         restored. *)
+                      if recoverable then begin
+                        incr false_unreach;
+                        thm2_hit
+                          (violation name2
+                             "transition %d: false unreachable verdict for \
+                              v%d from (v%d, v%d) under the stale collection"
+                             ti dst initiator trigger)
+                      end
+                  | Some path ->
+                      let distinct = Hashtbl.create 16 in
+                      List.iter
+                        (fun v ->
+                          if Hashtbl.mem distinct v then
+                            thm1_hit
+                              (violation name1
+                                 "transition %d: recovery path (v%d -> v%d) \
+                                  revisits v%d"
+                                 ti initiator dst v);
+                          Hashtbl.replace distinct v ())
+                        (Path.nodes path);
+                      (match
+                         Rtr_routing.Source_route.follow g d_next path
+                       with
+                      | Rtr_routing.Source_route.Delivered ->
+                          let cost = Path.cost g path in
+                          let best = Spt.dist truth_spt dst in
+                          if cost > best then begin
+                            (* delivered, but over a detour: the stale
+                               view still excludes restored links *)
+                            incr subopt;
+                            let s =
+                              float_of_int cost /. float_of_int best
+                            in
+                            stretch_sum := !stretch_sum +. s;
+                            if s > !stretch_max then stretch_max := s;
+                            thm2_hit
+                              (violation name2
+                                 "transition %d: delivered (v%d -> v%d) at \
+                                  cost %d, optimal is %d (stretch %.3f)"
+                                 ti initiator dst cost best s)
+                          end
+                      | Rtr_routing.Source_route.Dropped _ ->
+                          (* Dropping at an {e old} uncollected failure
+                             is E1 ⊆ E2's legitimate first-attempt loss
+                             (the static oracle accepts it too); only a
+                             drop the episode itself caused — the same
+                             packet would have been delivered under the
+                             picture the walk saw — counts: the
+                             cascading signature. *)
+                          if
+                            recoverable
+                            && Rtr_routing.Source_route.follow g d_prev path
+                               = Rtr_routing.Source_route.Delivered
+                          then begin
+                            incr failed_rec;
+                            thm2_hit
+                              (violation name2
+                                 "transition %d: packet (v%d -> v%d) dropped \
+                                  though the destination is recoverable"
+                                 ti initiator dst)
+                          end)
+                end
+              done
+            end)
+          (Gen.detectors topo d_prev))
+      pairs;
+    {
+      transitions = List.length pairs;
+      sessions = !sessions;
+      checks = !checks;
+      thm1 = !thm1;
+      thm2_violations = !thm2;
+      delivered_suboptimal = !subopt;
+      failed_recoverable = !failed_rec;
+      false_unreachable = !false_unreach;
+      stretch_sum = !stretch_sum;
+      stretch_max = !stretch_max;
+      first_thm2 = !first_thm2;
+    }
+
+  (* Theorem 3 on the settled network: after the last epoch the network
+     has converged — every router knows the surviving topology — and
+     then one more non-bridge link fails.  Converged base knowledge is
+     modelled by carrying all of the settled damage as [extra_removed]
+     (failure information "already in the header"), so optimality must
+     hold exactly, single-failure style, on whatever topology the
+     episodes left behind. *)
+  let single_link_settled spec =
+    let topo, epochs = Spec.timeline spec in
+    let g = Rtr_topo.Topology.graph topo in
+    let d_end = snd (List.hd (List.rev epochs)) in
+    let view_end = Damage.view d_end in
+    let base_count = Components.count (Components.compute view_end) in
+    let known = Damage.failed_links d_end in
+    let checks = ref 0 in
+    let name = "episode_single_link" in
+    let viol =
+      first_violation @@ fun () ->
+      for l = 0 to Graph.n_links g - 1 do
+        if Damage.link_ok d_end l then begin
+          (* Theorem 3 presumes the extra link is not a bridge {e of the
+             settled network}. *)
+          let view' = View.remove_links view_end [ l ] in
+          if Components.count (Components.compute view') = base_count then begin
+            let damage =
+              Damage.merge d_end (Damage.of_failed g ~nodes:[] ~links:[ l ])
+            in
+            let u, v = Graph.endpoints g l in
+            List.iter
+              (fun (initiator, trigger) ->
+                let p1 = Phase1.run topo damage ~initiator ~trigger () in
+                let ph2 =
+                  Phase2.create topo damage ~extra_removed:known ~phase1:p1 ()
+                in
+                let spt =
+                  Dijkstra.spt (Damage.view damage) ~root:initiator ()
+                in
+                for dst = 0 to Graph.n_nodes g - 1 do
+                  if
+                    dst <> initiator
+                    && Damage.node_ok damage dst
+                    && Spt.reached spt dst
+                  then begin
+                    incr checks;
+                    match Phase2.recovery_path ph2 ~dst with
+                    | None ->
+                        raise
+                          (Found
+                             (violation name
+                                "settled + %s: false unreachable verdict for \
+                                 v%d from v%d"
+                                (Graph.link_name g l) dst initiator))
+                    | Some path -> (
+                        match
+                          Rtr_routing.Source_route.follow g damage path
+                        with
+                        | Rtr_routing.Source_route.Delivered ->
+                            let cost = Path.cost g path in
+                            let best = Spt.dist spt dst in
+                            if cost <> best then
+                              raise
+                                (Found
+                                   (violation name
+                                      "settled + %s: path (v%d -> v%d) costs \
+                                       %d, shortest is %d"
+                                      (Graph.link_name g l) initiator dst cost
+                                      best))
+                        | Rtr_routing.Source_route.Dropped _ ->
+                            raise
+                              (Found
+                                 (violation name
+                                    "settled + %s: packet (v%d -> v%d) \
+                                     dropped despite converged base knowledge"
+                                    (Graph.link_name g l) initiator dst)))
+                  end
+                done)
+              [ (u, v); (v, u) ]
+          end
+        end
+      done
+    in
+    (!checks, viol)
+end
+
+(* Episode oracles return [None] instantly on a static spec, so the
+   default campaigns (and every pre-episode corpus artifact) are
+   untouched by their presence in [all]. *)
+
+let episode_no_loop_run ~inject spec =
+  if spec.Spec.episodes = [] then None
+  else (Episode.measure ~inject spec).Episode.thm1
+
+let episode_optimal_run ~inject spec =
+  if spec.Spec.episodes = [] then None
+  else (Episode.measure ~inject spec).Episode.first_thm2
+
+let episode_single_link_run ~inject:_ spec =
+  if spec.Spec.episodes = [] then None
+  else snd (Episode.single_link_settled spec)
 
 (* --- differential oracles ------------------------------------------- *)
 
@@ -592,6 +921,33 @@ let rmap_vs_reactive =
     run = rmap_run;
   }
 
+let episode_no_loop =
+  {
+    name = "episode_no_loop";
+    doc =
+      "Theorem 1 across episode transitions: stale-picture walks still \
+       terminate loop-free";
+    run = episode_no_loop_run;
+  }
+
+let episode_optimal =
+  {
+    name = "episode_optimal";
+    doc =
+      "Theorem 2 across episode transitions: expected to break under \
+       cascading/transient relaxations (measured, with stretch)";
+    run = episode_optimal_run;
+  }
+
+let episode_single_link =
+  {
+    name = "episode_single_link";
+    doc =
+      "Theorem 3 on the settled post-episode network with converged base \
+       knowledge";
+    run = episode_single_link_run;
+  }
+
 let all =
   [
     no_loop;
@@ -603,6 +959,9 @@ let all =
     dial_vs_heap;
     parallel_vs_sequential;
     rmap_vs_reactive;
+    episode_no_loop;
+    episode_optimal;
+    episode_single_link;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

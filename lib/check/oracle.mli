@@ -35,14 +35,25 @@
     - [rmap_vs_reactive] — compiling the failure into an [rmap/1]
       artifact and probing it back returns, case for case, exactly what
       an independently-built reactive session answers (fresh sessions
-      without the shared SPT cache, costs summed link by link). *)
+      without the shared SPT cache, costs summed link by link).
+    - [episode_no_loop] / [episode_optimal] / [episode_single_link] —
+      the three theorems re-evaluated per episode transition of a
+      timeline spec (see {!Episode}); all three return [None] instantly
+      on a static spec. *)
 
 type violation = { oracle : string; detail : string }
 
-type injection = Drop_failed_link
-    (** Deliberately weaken phase 2 by dropping the last link phase 1
-        collected before the view is built — the Theorem-2 bug the
-        fuzzer must be able to catch.  Honoured by [optimal] only. *)
+type injection =
+  | Drop_failed_link
+      (** Deliberately weaken phase 2 by dropping the last link phase 1
+          collected before the view is built — the Theorem-2 bug the
+          fuzzer must be able to catch.  Honoured by [optimal] and the
+          episode oracles. *)
+  | Truncate_walk
+      (** Cut phase-1 walks at 3 hops — far below the 4|E|+4 TTL of
+          Theorem 1 — so terminating walks report [Hop_limit]: the
+          Theorem-1 bug the episode gate's self-check must catch.
+          Honoured by the episode oracles. *)
 
 val injection_to_string : injection -> string
 val injection_of_string : string -> injection option
@@ -53,6 +64,55 @@ type t = {
   run : inject:injection option -> Spec.t -> violation option;
 }
 
+(** Per-transition re-evaluation of the three theorems over a spec's
+    episode timeline — the machinery behind the theorem-survival
+    matrix. *)
+module Episode : sig
+  type kind = Static | Cascading | Transient | Moving | Mixed
+
+  val kind_to_string : kind -> string
+  val kind_of_string : string -> kind option
+
+  val kind_of_spec : Spec.t -> kind
+  (** [Static] for an episode-free spec; the episode kind when the
+      timeline is homogeneous; [Mixed] otherwise. *)
+
+  type stats = {
+    transitions : int;  (** timeline transitions evaluated (≥ 1) *)
+    sessions : int;  (** recovery sessions scored *)
+    checks : int;  (** (session, destination) checks *)
+    thm1 : violation option;
+        (** first Theorem-1 violation — must stay [None] under every
+            relaxation *)
+    thm2_violations : int;  (** total Theorem-2 relaxation violations *)
+    delivered_suboptimal : int;
+        (** delivered over a detour (stale view excludes restored
+            links) — the transient signature *)
+    failed_recoverable : int;
+        (** dropped at an uncollected new failure though the
+            destination is recoverable — the cascading signature *)
+    false_unreachable : int;
+        (** "unreachable" verdict for a recoverable destination — only
+            a transient repair can cause it *)
+    stretch_sum : float;  (** Σ cost/optimal over suboptimal deliveries *)
+    stretch_max : float;
+    first_thm2 : violation option;
+  }
+
+  val measure : inject:injection option -> Spec.t -> stats
+  (** Score every timeline transition d_prev → d_next: phase 1 walks
+      d_prev (the stale picture), phase 2 is built from that collection
+      against d_next, packets are forwarded and judged under d_next.  A
+      static spec degenerates to the single pair (base, base) —
+      Theorem 2's own setting, the matrix's baseline row. *)
+
+  val single_link_settled : Spec.t -> int * violation option
+  (** Theorem 3 on the settled post-episode network: each alive
+      non-bridge link fails on its own, with the settled damage carried
+      as converged base knowledge; returns (checks, first violation).
+      Must hold exactly. *)
+end
+
 val no_loop : t
 val optimal : t
 val single_link : t
@@ -62,6 +122,9 @@ val ws_spt_vs_filtered : t
 val dial_vs_heap : t
 val parallel_vs_sequential : t
 val rmap_vs_reactive : t
+val episode_no_loop : t
+val episode_optimal : t
+val episode_single_link : t
 
 val all : t list
 (** Every oracle, in the order the campaign runs them. *)

@@ -49,12 +49,32 @@ let run ?(max_evals = 2000) ~check spec violation =
     done;
     !progress
   in
+  (* Episodes shrink before topology: a dropped or merged episode
+     often removes whole epochs, making every later topology move
+     cheaper.  High indices first, same reason as [shrink_links]; the
+     merge move shortens the list, so re-clamp after each try. *)
+  let shrink_episodes () =
+    let progress = ref false in
+    let i = ref (List.length (fst !best).Spec.episodes - 1) in
+    while !i >= 0 do
+      if try_move (Spec.drop_episode (fst !best) !i) then progress := true;
+      if try_move (Spec.merge_episodes (fst !best) !i) then progress := true;
+      while try_move (Spec.shorten_timer (fst !best) !i) do
+        progress := true
+      done;
+      decr i;
+      let limit = List.length (fst !best).Spec.episodes in
+      if !i >= limit then i := limit - 1
+    done;
+    !progress
+  in
   let continue = ref true in
   while !continue && !evals < max_evals do
+    let e = shrink_episodes () in
     let a = shrink_links () in
     let b = shrink_nodes () in
     let c = shrink_radius () in
-    continue := a || b || c
+    continue := e || a || b || c
   done;
   let spec', violation' = !best in
   (spec', violation', !evals)

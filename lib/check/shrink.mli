@@ -1,10 +1,11 @@
 (** Greedy structural counterexample shrinking.
 
     Given a spec that a checker rejects, repeatedly try the moves of
-    {!Spec} — halve the failure radius, drop a link, drop a node — and
-    keep any result the checker still rejects (for the same oracle,
-    though possibly with a different detail).  Passes repeat until a
-    whole pass makes no progress or the evaluation budget runs out. *)
+    {!Spec} — drop, merge or timer-shorten an episode, halve the
+    failure radius, drop a link, drop a node — and keep any result the
+    checker still rejects (for the same oracle, though possibly with a
+    different detail).  Passes repeat until a whole pass makes no
+    progress or the evaluation budget runs out. *)
 
 val run :
   ?max_evals:int ->

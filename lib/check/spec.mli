@@ -18,12 +18,30 @@ type failure =
       (** failed routers and failed links by endpoints (stable under
           shrinking, unlike link ids) *)
 
+(** One timed failure event after the base failure.  Times are seconds
+    from the base failure, on the 0.01 grid. *)
+type episode =
+  | Cascade of { at : float; failure : failure }
+      (** a second area fails at [at] while recovery from the first is
+          still in flight — the ground truth becomes the union *)
+  | Flap of { at : float; up_at : float; links : (int * int) list }
+      (** the links go down at [at] and their repair timer brings them
+          back at [up_at]; with [at = 0.] this marks part of the base
+          failure itself as transient.  Repairs never resurrect links
+          incident to failed routers.  Degenerate windows
+          ([up_at <= at]) are ignored. *)
+  | Move of { at : float; cx : float; cy : float; r : float }
+      (** the failure disc is re-sampled at a new position: elements it
+          left recover, elements it reached fail — a storm tracking a
+          path across the plane *)
+
 type t = {
   name : string;
   n : int;
   coords : (float * float) array;  (** one (x, y) per node *)
   edges : (int * int * int * int) list;  (** u, v, c_uv, c_vu *)
   failure : failure;
+  episodes : episode list;  (** [[]] = the static single-episode case *)
 }
 
 val equal : t -> t -> bool
@@ -32,13 +50,28 @@ val grid : float -> float
 (** Round to the 0.01 grid all spec floats live on. *)
 
 val build : t -> Rtr_topo.Topology.t * Rtr_failure.Damage.t
-(** Materialise the spec.  Deterministic; crossings are recomputed from
-    the stored embedding. *)
+(** Materialise the spec's base failure.  Deterministic; crossings are
+    recomputed from the stored embedding. *)
+
+val timeline : t -> Rtr_topo.Topology.t * (float * Rtr_failure.Damage.t) list
+(** The ground-truth damage as a function of time: [(0., base damage)]
+    first, then one epoch per episode event in time order (episode
+    order breaks ties).  Events that leave the damage unchanged produce
+    no epoch, so a static spec has exactly one. *)
 
 val generate : Rtr_util.Rng.t -> name:string -> t
 (** A random small topology (6-24 routers) with a random disc failure,
     re-drawn (bounded) until the damage creates at least one recovery
     initiator.  Deterministic in the RNG state. *)
+
+val generate_episodes :
+  Rtr_util.Rng.t ->
+  kind:[ `Cascading | `Transient | `Moving ] ->
+  name:string ->
+  t
+(** [generate] plus an episode timeline of the given kind, re-drawn
+    (bounded) until at least one episode event changes the ground
+    truth. *)
 
 val of_topology : Rtr_topo.Topology.t -> name:string -> failure -> t
 (** Snapshot an existing topology (e.g. a Rocketfuel parse) into a
@@ -59,6 +92,18 @@ val drop_node : t -> Graph.node -> t option
 
 val halve_radius : t -> t option
 (** Halve a [Disc] failure's radius (floor 1.0). *)
+
+val drop_episode : t -> int -> t option
+(** Remove the i-th episode (0-based). *)
+
+val shorten_timer : t -> int -> t option
+(** Halve the i-th episode's timer: a flap's repair window, a cascade's
+    or move's onset time (floor one 0.01 grid step). *)
+
+val merge_episodes : t -> int -> t option
+(** Merge episodes i and i+1 into one when the pair collapses
+    naturally: explicit cascades union their failures, flaps union
+    windows and links, moves drop the intermediate disc sample. *)
 
 (** {1 JSON} *)
 

@@ -123,6 +123,12 @@ let create_batched topo damage ?(extra_removed = []) ~phase1 () =
 let initiator t = t.initiator
 let removed_links t = t.removed_list
 let view t = t.view
+let batched t = t.lease <> None
+
+let expired t =
+  match t.lease with
+  | Some (ws, born) -> Dijkstra.Workspace.generation ws <> born
+  | None -> false
 
 let check_lease t =
   match t.lease with

@@ -55,6 +55,15 @@ val create_batched :
 
 val initiator : t -> Graph.node
 
+val batched : t -> bool
+(** Whether this session was built with {!create_batched}. *)
+
+val expired : t -> bool
+(** In batched mode: whether the borrowed tree's workspace has been
+    reused since, i.e. the next {e uncached} query would raise.  Cached
+    answers keep being served either way.  Always [false] for
+    {!create} sessions. *)
+
 val view : t -> Rtr_graph.View.t
 (** The initiator's post-phase-1 failure view: the full graph minus
     [removed_links]. *)

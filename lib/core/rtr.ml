@@ -28,6 +28,21 @@ let start topo damage ?base_spt ?(batched = false) ~initiator ~trigger () =
 let phase1 t = t.phase1
 let phase2 t = t.phase2
 
+(* An episode changed the ground truth mid-convergence: rebuild phase 2
+   from the SAME phase-1 collection (now stale — re-walking is a new
+   recovery, not a resumption) against the new damage.  Local knowledge
+   refreshes for free: [Phase2] re-reads the initiator's unreachable
+   neighbours from the damage it is given.  The mode is preserved, so a
+   batched session's old workspace tree is deliberately abandoned to
+   its lease. *)
+let resume t damage =
+  let phase2 =
+    if Phase2.batched t.phase2 then
+      Phase2.create_batched t.topo damage ~phase1:t.phase1 ()
+    else Phase2.create t.topo damage ~phase1:t.phase1 ()
+  in
+  { t with damage; phase2 }
+
 let recover t ~dst =
   match Phase2.recovery_path t.phase2 ~dst with
   | None -> Unreachable_in_view

@@ -45,6 +45,17 @@ val start :
 val phase1 : t -> Phase1.result
 val phase2 : t -> Phase2.t
 
+val resume : t -> Rtr_failure.Damage.t -> t
+(** The ground truth changed mid-convergence (a cascading, transient or
+    moving episode): rebuild phase 2 against the new damage from the
+    {e same, now stale} phase-1 collection — the initiator has no way to
+    know remote repairs or remote cascades without walking again.  Its
+    local knowledge refreshes (phase 2 re-reads the initiator's
+    unreachable neighbours).  Batched sessions resume batched; the old
+    session's uncached queries may now raise (its workspace tree was
+    abandoned) while its cached answers keep serving — see
+    {!Phase2.create_batched}. *)
+
 val recover : t -> dst:Graph.node -> outcome
 
 val recovery_distance : t -> dst:Graph.node -> int option

@@ -32,6 +32,7 @@ type config = {
   t_fail : float;
   t_end : float;
   flows : flow list;
+  episodes : (float * Damage.t) list;
 }
 
 type drop_reason =
@@ -107,16 +108,32 @@ type session =
 
 type event = Arrival of { packet : packet; at : Graph.node; from : Graph.node option }
 
+(* One ground-truth era.  Epoch 0 is the base failure at [t_fail]; each
+   episode opens another.  A router's world is always the epoch active
+   at the current instant: its FIB after convergence is [e_post], its
+   convergence clock restarts at [e_start], and a link's detection
+   hold-down counts from [e_since] — the time its *current* outage
+   began, inherited across epochs while it stays down so a cascade does
+   not reset already-running detections. *)
+type epoch = {
+  e_start : float;
+  e_damage : Damage.t;
+  e_post : Route_table.t;
+  e_convergence : Convergence.t;
+  e_since : float array;  (** per link id; [infinity] while up *)
+}
+
 type sim = {
   topo : Rtr_topo.Topology.t;
   g : Graph.t;
-  damage : Damage.t;
   config : config;
   pre : Route_table.t;
-  post : Route_table.t;
-  convergence : Convergence.t;
+  epochs : epoch array;
+  mutable cur : int;  (** epoch active at the event being handled *)
   queue : event Event_queue.t;
-  sessions : (Graph.node, session) Hashtbl.t;
+  sessions : (Graph.node, int * session) Hashtbl.t;
+      (** initiator -> (epoch that built it, session); stale entries are
+          discarded on lookup *)
   (* metrics *)
   mutable generated : int;
   mutable delivered : int;
@@ -126,6 +143,28 @@ type sim = {
   mutable n_dropped : int;
   buckets : (int, int ref * int ref) Hashtbl.t;
 }
+
+let cur_epoch sim = sim.epochs.(sim.cur)
+let cur_damage sim = (cur_epoch sim).e_damage
+
+(* Events pop in time order, so the active epoch only moves forward. *)
+let set_now sim t =
+  while
+    sim.cur + 1 < Array.length sim.epochs
+    && t >= sim.epochs.(sim.cur + 1).e_start
+  do
+    sim.cur <- sim.cur + 1
+  done
+
+(* Pure lookup for the generation loop, whose times restart per flow. *)
+let epoch_at sim t =
+  let i = ref 0 in
+  while
+    !i + 1 < Array.length sim.epochs && t >= sim.epochs.(!i + 1).e_start
+  do
+    incr i
+  done;
+  sim.epochs.(!i)
 
 let bucket_width = 0.05
 
@@ -152,19 +191,22 @@ let drop sim t reason =
   | Some r -> incr r
   | None -> Hashtbl.replace sim.drops reason (ref 1)
 
-(* What a router can locally know at time [t]: failures exist from
-   [t_fail] but are only observable after the detection hold-down. *)
+(* What a router can locally know at time [t]: failures exist from the
+   epoch that introduced them but are only observable once their
+   outage has lasted the detection hold-down. *)
 let failure_active sim t = t >= sim.config.t_fail
-let failure_detected sim t = t >= sim.config.t_fail +. sim.config.igp.Rtr_igp.Igp_config.detection_s
 
 let observably_unreachable sim t v link =
-  failure_detected sim t && Damage.neighbor_unreachable sim.damage v link
+  let e = cur_epoch sim in
+  Damage.neighbor_unreachable e.e_damage v link
+  && t >= e.e_since.(link) +. sim.config.igp.Rtr_igp.Igp_config.detection_s
 
 let actually_unreachable sim t v link =
-  failure_active sim t && Damage.neighbor_unreachable sim.damage v link
+  failure_active sim t && Damage.neighbor_unreachable (cur_damage sim) v link
 
 let converged sim t u =
-  let c = sim.config.t_fail +. Convergence.converged_at sim.convergence u in
+  let e = cur_epoch sim in
+  let c = e.e_start +. Convergence.converged_at e.e_convergence u in
   Float.is_finite c && t >= c
 
 let ttl_initial = 255
@@ -198,7 +240,7 @@ let initial_cross sim initiator =
   List.filter_map
     (fun (_, id) ->
       if Crossings.has_crossing (crossings sim) id then Some id else None)
-    (Damage.unreachable_neighbors sim.damage sim.g initiator)
+    (Damage.unreachable_neighbors (cur_damage sim) sim.g initiator)
 
 let record_failures sim hdr w =
   if w <> hdr.rec_init then
@@ -206,10 +248,10 @@ let record_failures sim hdr w =
       (fun (v, id) ->
         if v <> hdr.rec_init && not (List.mem id hdr.failed) then
           hdr.failed <- id :: hdr.failed)
-      (Damage.unreachable_neighbors sim.damage sim.g w)
+      (Damage.unreachable_neighbors (cur_damage sim) sim.g w)
 
 let sweep_next sim hdr ~at ~reference =
-  Sweep.select sim.topo sim.damage ~at ~reference
+  Sweep.select sim.topo (cur_damage sim) ~at ~reference
     ~excluded:(excluded_by hdr sim) ()
 
 (* Phase 2, from header contents plus the initiator's own adjacencies
@@ -217,11 +259,12 @@ let sweep_next sim hdr ~at ~reference =
 let install_ready sim initiator collected =
   let removed =
     collected
-    @ List.map snd (Damage.unreachable_neighbors sim.damage sim.g initiator)
+    @ List.map snd
+        (Damage.unreachable_neighbors (cur_damage sim) sim.g initiator)
   in
   let view = View.remove_links (View.full sim.g) removed in
   let ready = Ready { view; cache = Hashtbl.create 8 } in
-  Hashtbl.replace sim.sessions initiator ready;
+  Hashtbl.replace sim.sessions initiator (sim.cur, ready);
   ready
 
 let recovery_route initiator ready dst =
@@ -241,7 +284,7 @@ let recovery_route initiator ready dst =
 (* --- per-arrival dispatch ----------------------------------------- *)
 
 let rec handle sim t packet ~at ~from =
-  if failure_active sim t && Damage.node_failed sim.damage at then
+  if failure_active sim t && Damage.node_failed (cur_damage sim) at then
     (* the router died while the packet was in flight *)
     drop sim t Blackhole
   else if at = packet.dst then deliver sim t packet
@@ -254,7 +297,9 @@ let rec handle sim t packet ~at ~from =
 and handle_default sim t packet ~at =
   if converged sim t at then
     (* post-convergence FIB: correct by construction *)
-    match Route_table.next_hop sim.post ~src:at ~dst:packet.dst with
+    match
+      Route_table.next_hop (cur_epoch sim).e_post ~src:at ~dst:packet.dst
+    with
     | None -> drop sim t No_route
     | Some v -> forward sim t packet ~from_:at ~to_:v
   else
@@ -273,10 +318,14 @@ and handle_default sim t packet ~at =
     | _ -> drop sim t No_route
 
 and start_or_join_recovery sim t packet ~at ~trigger =
+  (* A session built under an earlier epoch describes a world that no
+     longer exists: discard it and recover afresh. *)
   match Hashtbl.find_opt sim.sessions at with
-  | Some (Ready _ as ready) -> dispatch_recovered sim t packet ~at ~ready
-  | Some (Collecting { first_hop }) -> launch_walk sim t packet ~at ~first_hop
-  | None -> (
+  | Some (ep, (Ready _ as ready)) when ep = sim.cur ->
+      dispatch_recovered sim t packet ~at ~ready
+  | Some (ep, Collecting { first_hop }) when ep = sim.cur ->
+      launch_walk sim t packet ~at ~first_hop
+  | Some _ | None -> (
       (* become a recovery initiator *)
       let hdr_probe =
         {
@@ -293,7 +342,7 @@ and start_or_join_recovery sim t packet ~at ~trigger =
           let ready = install_ready sim at [] in
           dispatch_recovered sim t packet ~at ~ready
       | Some (first_hop, _) ->
-          Hashtbl.replace sim.sessions at (Collecting { first_hop });
+          Hashtbl.replace sim.sessions at (sim.cur, Collecting { first_hop });
           launch_walk sim t packet ~at ~first_hop)
 
 and launch_walk sim t packet ~at ~first_hop =
@@ -333,8 +382,8 @@ and handle_phase1 sim t packet hdr ~at ~from =
              home, then source-route *)
           let ready =
             match Hashtbl.find_opt sim.sessions at with
-            | Some (Ready _ as r) -> r
-            | Some (Collecting _) | None -> install_ready sim at hdr.failed
+            | Some (ep, (Ready _ as r)) when ep = sim.cur -> r
+            | _ -> install_ready sim at hdr.failed
           in
           packet.mode <- Default;
           dispatch_recovered sim t packet ~at ~ready
@@ -380,12 +429,43 @@ and handle_sourced sim t packet remaining ~at =
 
 (* --- driver -------------------------------------------------------- *)
 
+let build_epochs g config damage =
+  let eras =
+    (config.t_fail, damage)
+    :: List.stable_sort
+         (fun (a, _) (b, _) -> Float.compare a b)
+         config.episodes
+  in
+  let n_links = Graph.n_links g in
+  let prev = ref None in
+  List.map
+    (fun (e_start, e_damage) ->
+      let e_since = Array.make n_links infinity in
+      for l = 0 to n_links - 1 do
+        if Damage.link_failed e_damage l then
+          e_since.(l) <-
+            (match !prev with
+            | Some p when Float.is_finite p.(l) -> p.(l)
+            | _ -> e_start)
+      done;
+      prev := Some e_since;
+      {
+        e_start;
+        e_damage;
+        e_post = Route_table.compute (Damage.view e_damage);
+        e_convergence = Convergence.compute config.igp g e_damage;
+        e_since;
+      })
+    eras
+  |> Array.of_list
+
 let run topo damage config =
   Trace.with_ "netsim.run"
     ~attrs:
       [
         ("flows", string_of_int (List.length config.flows));
         ("rtr_enabled", string_of_bool config.rtr_enabled);
+        ("episodes", string_of_int (List.length config.episodes));
       ]
   @@ fun () ->
   let g = Rtr_topo.Topology.graph topo in
@@ -393,11 +473,10 @@ let run topo damage config =
     {
       topo;
       g;
-      damage;
       config;
       pre = Route_table.compute (View.full g);
-      post = Route_table.compute (Damage.view damage);
-      convergence = Convergence.compute config.igp g damage;
+      epochs = build_epochs g config damage;
+      cur = 0;
       queue = Event_queue.create ();
       sessions = Hashtbl.create 16;
       generated = 0;
@@ -420,7 +499,7 @@ let run topo damage config =
         while !t < config.t_end do
           let alive =
             (not (failure_active sim !t))
-            || Damage.node_ok damage flow.src
+            || Damage.node_ok (epoch_at sim !t).e_damage flow.src
           in
           if alive then begin
             let packet =
@@ -453,6 +532,7 @@ let run topo damage config =
         (* t_end bounds generation; packets already in flight drain
            fully so every packet ends up delivered or dropped *)
         Metrics.Counter.incr c_events;
+        set_now sim t;
         handle sim t packet ~at ~from;
         Metrics.Gauge.set_max g_queue_depth
           (float_of_int (Event_queue.length sim.queue));

@@ -40,6 +40,16 @@ type config = {
   t_fail : float;  (** when the area fails *)
   t_end : float;  (** traffic generation stops here; in-flight packets drain fully *)
   flows : flow list;
+  episodes : (float * Rtr_failure.Damage.t) list;
+      (** later ground-truth eras: [(at, damage)] replaces the active
+          damage wholesale at absolute time [at] (expected after
+          [t_fail]; sorted internally).  Each era restarts the IGP
+          convergence clock and swaps the post-convergence FIB; a
+          link's detection hold-down counts from the start of its
+          current outage, carried across eras while it stays down.
+          Recovery sessions built under an earlier era are discarded
+          when next consulted.  [[]] — the default everywhere — is the
+          original single-failure simulation, bit-identically. *)
 }
 
 type drop_reason =

@@ -49,6 +49,20 @@ let merge a b =
      through [seal] so the view is rebuilt consistently. *)
   seal a.graph node_failed link_failed
 
+let restore t ?(nodes = []) ?(links = []) () =
+  let node_failed = Array.copy t.node_failed in
+  let link_failed = Array.copy t.link_failed in
+  List.iter (fun v -> node_failed.(v) <- false) nodes;
+  List.iter (fun l -> link_failed.(l) <- false) links;
+  (* [seal] re-fails any restored link still incident to a failed
+     router: repairing a link cannot resurrect its dead endpoint. *)
+  seal t.graph node_failed link_failed
+
+let equal a b =
+  a.graph == b.graph
+  && a.node_failed = b.node_failed
+  && a.link_failed = b.link_failed
+
 let view t = t.view
 
 let node_ok t v = not t.node_failed.(v)

@@ -24,6 +24,15 @@ val none : Graph.t -> t
 val merge : t -> t -> t
 (** Union of two damages on the same graph — multiple failure areas. *)
 
+val restore :
+  t -> ?nodes:Graph.node list -> ?links:Graph.link_id list -> unit -> t
+(** Episode repair: clear the failed bits of the given elements and
+    re-seal.  A restored link whose endpoint router is still failed
+    stays unusable — repairs never resurrect dead routers. *)
+
+val equal : t -> t -> bool
+(** Same graph (physically) and identical failed sets. *)
+
 val view : t -> Rtr_graph.View.t
 (** The surviving network as a failure view: everything not failed.
     Computed once when the damage is sealed — callers share one bitset

@@ -8,7 +8,9 @@
 # (RTR_JOBS must not change a byte), the microbench
 # hot-path gate, the recovery-map gate, the streaming-pipeline gate
 # (generate | evaluate | reduce must equal the in-process run, shard
-# splits and crash-resume included), and the fuzz gate.
+# splits and crash-resume included), the fuzz gate, and the episode
+# gate (theorem-survival matrix on cascading/transient/moving
+# timelines).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -283,4 +285,41 @@ if ! diff -r "$fuzzdir/j1" "$fuzzdir/j4"; then
 fi
 
 echo "ci_smoke: fuzz gate OK ($FUZZ_CASES clean cases; injected bug caught, replayed, jobs-invariant)"
+
+# --- episode gate ----------------------------------------------------
+# The theorem-survival matrix on episode timelines (cascading /
+# transient / moving failures).  A small clean campaign per kind:
+# Theorems 1 and 3 must hold everywhere — the expected Theorem-2
+# relaxation violations are matrix measurements, not failures, so a
+# clean exit means "loop-free survived, stretch measured".  Then the
+# committed episode corpus must replay, an injected truncated
+# collection walk must trip the episode loop oracle, and the matrix
+# must be jobs-invariant byte for byte.
+EPISODE_CASES="${EPISODE_CASES:-15}"
+
+epidir="$tmp/episodes"
+dune exec bin/rtr_sim.exe -- fuzz --episodes all --cases "$EPISODE_CASES" \
+  --seed 7 --out "$epidir"
+dune exec tools/json_check.exe -- "$epidir/survival_matrix.json"
+
+dune exec bin/rtr_sim.exe -- replay test/corpus/episode_*.json > /dev/null
+
+if dune exec bin/rtr_sim.exe -- fuzz --episodes cascading --cases 6 --seed 7 \
+     --inject truncate-walk > /dev/null
+then
+  echo "ci_smoke: FAIL — injected truncate-walk bug missed by the episode oracles" >&2
+  exit 1
+fi
+
+rm -rf "$epidir/j1" "$epidir/j4"
+dune exec bin/rtr_sim.exe -- fuzz --episodes all --cases 10 --seed 7 \
+  --jobs 1 --out "$epidir/j1" > /dev/null
+dune exec bin/rtr_sim.exe -- fuzz --episodes all --cases 10 --seed 7 \
+  --jobs 4 --out "$epidir/j4" > /dev/null
+if ! diff -r "$epidir/j1" "$epidir/j4"; then
+  echo "ci_smoke: FAIL — survival matrix differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+
+echo "ci_smoke: episode gate OK ($EPISODE_CASES cases/kind clean; corpus replayed; injected walk truncation caught; jobs-invariant)"
 echo "ci_smoke: OK"

@@ -92,8 +92,10 @@ let test_oracles_pass_on_protocol () =
     (List.length outcome.Campaign.failures)
 
 let test_corpus_specs_pass_every_oracle () =
-  (* Corpus artifacts name one oracle each; the committed specs must be
-     green under all of them. *)
+  (* Corpus artifacts name one oracle each.  An [expect=pass] spec must
+     be green under every oracle; an [expect=violation] spec must trip
+     exactly the named oracle (under the recorded injection) and stay
+     green under all the others, run clean. *)
   Sys.readdir "corpus" |> Array.to_list |> List.sort compare
   |> List.iter (fun file ->
          let path = Filename.concat "corpus" file in
@@ -101,13 +103,34 @@ let test_corpus_specs_pass_every_oracle () =
          let spec =
            Result.get_ok (Spec.of_json (Option.get (Json.member "spec" json)))
          in
+         let named =
+           match Json.member "oracle" json with
+           | Some (Json.String s) -> s
+           | _ -> Alcotest.failf "%s: missing oracle name" file
+         in
+         let expect_violation =
+           match Json.member "expect" json with
+           | Some (Json.String "violation") -> true
+           | _ -> false
+         in
+         let inject =
+           match Json.member "inject" json with
+           | Some (Json.String s) -> Oracle.injection_of_string s
+           | _ -> None
+         in
          List.iter
            (fun (o : Oracle.t) ->
-             match o.Oracle.run ~inject:None spec with
-             | None -> ()
-             | Some v ->
-                 Alcotest.failf "%s: %s: %s" file v.Oracle.oracle
-                   v.Oracle.detail)
+             if expect_violation && o.Oracle.name = named then (
+               match o.Oracle.run ~inject spec with
+               | Some _ -> ()
+               | None ->
+                   Alcotest.failf "%s: %s no longer violates" file named)
+             else
+               match o.Oracle.run ~inject:None spec with
+               | None -> ()
+               | Some v ->
+                   Alcotest.failf "%s: %s: %s" file v.Oracle.oracle
+                     v.Oracle.detail)
            Oracle.all)
 
 (* The acceptance gate: a deliberately injected protocol bug (phase 2
@@ -187,6 +210,157 @@ let test_shrink_is_greedy_fixpoint () =
         (shrunk.Spec.n <= spec.Spec.n
         && List.length shrunk.Spec.edges <= List.length spec.Spec.edges)
 
+(* --- episode timelines --------------------------------------------- *)
+
+let gen_episode_spec ~kind seed =
+  Spec.generate_episodes (Rtr_util.Rng.make seed) ~kind
+    ~name:(Printf.sprintf "ep-%d" seed)
+
+let test_episode_json_round_trip () =
+  List.iter
+    (fun kind ->
+      for seed = 0 to 9 do
+        let spec = gen_episode_spec ~kind seed in
+        Alcotest.(check bool) "has episodes" true (spec.Spec.episodes <> []);
+        let rendered = Json.to_string (Spec.to_json spec) in
+        match Result.bind (Json.parse rendered) Spec.of_json with
+        | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+        | Ok spec' -> Alcotest.check spec_t "round-trips" spec spec'
+      done)
+    [ `Cascading; `Transient; `Moving ];
+  (* Episode-free specs keep their original serialisation: the field is
+     simply absent, so every pre-episode artifact stays byte-stable. *)
+  let static = gen_spec 3 in
+  Alcotest.(check bool) "no episodes field on static specs" true
+    (Json.member "episodes" (Spec.to_json static) = None)
+
+let test_episode_shrink_moves () =
+  let base = gen_spec 5 in
+  let flap =
+    { base with Spec.episodes = [ Spec.Flap { at = 0.; up_at = 0.4; links = [ (0, 1) ] } ] }
+  in
+  (match Spec.drop_episode flap 0 with
+  | Some s -> Alcotest.(check bool) "episode dropped" true (s.Spec.episodes = [])
+  | None -> Alcotest.fail "drop_episode 0 must apply");
+  Alcotest.(check bool) "drop_episode out of range" true
+    (Spec.drop_episode flap 1 = None);
+  Alcotest.(check bool) "drop_episode on static" true
+    (Spec.drop_episode base 0 = None);
+  (match Spec.shorten_timer flap 0 with
+  | Some s -> (
+      match s.Spec.episodes with
+      | [ Spec.Flap { up_at; _ } ] ->
+          Alcotest.(check (float 1e-9)) "flap window halved" 0.2 up_at
+      | _ -> Alcotest.fail "episode shape changed")
+  | None -> Alcotest.fail "shorten_timer must apply");
+  let two_cascades =
+    {
+      base with
+      Spec.episodes =
+        [
+          Spec.Cascade
+            { at = 0.1; failure = Spec.Explicit { nodes = []; links = [ (0, 1) ] } };
+          Spec.Cascade
+            { at = 0.3; failure = Spec.Explicit { nodes = [ 2 ]; links = [] } };
+        ];
+    }
+  in
+  match Spec.merge_episodes two_cascades 0 with
+  | None -> Alcotest.fail "merge_episodes must apply"
+  | Some s -> (
+      match s.Spec.episodes with
+      | [ Spec.Cascade { at; failure = Spec.Explicit { nodes; links } } ] ->
+          Alcotest.(check (float 1e-9)) "merged at the earlier time" 0.1 at;
+          Alcotest.(check (list int)) "nodes unioned" [ 2 ] nodes;
+          Alcotest.(check bool) "links unioned" true (links = [ (0, 1) ])
+      | _ -> Alcotest.fail "merge did not produce one explicit cascade")
+
+let test_episode_oracles_skip_static_specs () =
+  let static = gen_spec 11 in
+  List.iter
+    (fun (o : Oracle.t) ->
+      Alcotest.(check bool) (o.Oracle.name ^ " skips static") true
+        (o.Oracle.run ~inject:None static = None))
+    [ Oracle.episode_no_loop; Oracle.episode_optimal; Oracle.episode_single_link ]
+
+let all_kinds =
+  Oracle.Episode.[ Static; Cascading; Transient; Moving ]
+
+let test_episode_matrix_clean () =
+  let module E = Oracle.Episode in
+  let config = { Campaign.default with Campaign.cases = 5; seed = 7; jobs = 2 } in
+  let outcome, rows = Campaign.run_episodes config ~kinds:all_kinds in
+  Alcotest.(check int) "all specs ran" 20 outcome.Campaign.cases_run;
+  Alcotest.(check int) "no hard violations" 0
+    (List.length outcome.Campaign.failures);
+  Alcotest.(check int) "one row per kind" 4 (List.length rows);
+  List.iter2
+    (fun kind (r : Campaign.survival_row) ->
+      Alcotest.(check bool)
+        ("row order: " ^ E.kind_to_string kind)
+        true (r.Campaign.row_kind = kind);
+      Alcotest.(check int) "five specs" 5 r.Campaign.specs;
+      Alcotest.(check int) "theorem 1 survives" 0 r.Campaign.thm1.Campaign.violations;
+      Alcotest.(check int) "theorem 3 survives" 0 r.Campaign.thm3.Campaign.violations;
+      Alcotest.(check bool) "sessions ran" true (r.Campaign.sessions > 0))
+    all_kinds rows;
+  let static = List.hd rows in
+  Alcotest.(check int) "static row is the plain theorem 2" 0
+    static.Campaign.thm2.Campaign.violations;
+  Alcotest.(check int) "static specs have one transition each" 5
+    static.Campaign.transitions
+
+let test_episode_matrix_jobs_invariant () =
+  let config = { Campaign.default with Campaign.cases = 4; seed = 42 } in
+  let run jobs =
+    snd (Campaign.run_episodes { config with Campaign.jobs } ~kinds:all_kinds)
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check bool) "identical survival rows" true (a = b)
+
+let test_episode_injected_bug_caught () =
+  (* Truncating the collection walk must surface as episode_no_loop
+     hard violations — the matrix is a working alarm, not a report. *)
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 6;
+      seed = 7;
+      inject = Some Oracle.Truncate_walk;
+    }
+  in
+  let outcome, _ =
+    Campaign.run_episodes config ~kinds:Oracle.Episode.[ Cascading; Transient ]
+  in
+  Alcotest.(check bool) "bug caught" true (outcome.Campaign.failures <> []);
+  List.iter
+    (fun (c : Campaign.counterexample) ->
+      Alcotest.(check string) "flagged by the episode loop oracle"
+        "episode_no_loop" c.Campaign.violation.Oracle.oracle)
+    outcome.Campaign.failures
+
+let test_episode_shrink_fixpoint () =
+  (* Shrinking must work on the episode axis too: find a spec whose
+     timeline trips the theorem-2 relaxation, shrink it, and land on a
+     violating spec that is no larger on any axis. *)
+  let check s = Oracle.episode_optimal.Oracle.run ~inject:None s in
+  let rec find seed =
+    if seed > 40 then Alcotest.fail "no violating cascading spec found"
+    else
+      let spec = gen_episode_spec ~kind:`Cascading seed in
+      match check spec with Some v -> (spec, v) | None -> find (seed + 1)
+  in
+  let spec, v = find 0 in
+  let shrunk, v', evals = Shrink.run ~check spec v in
+  Alcotest.(check bool) "still violating" true (check shrunk = Some v');
+  Alcotest.(check bool) "spent some budget" true (evals > 0);
+  Alcotest.(check bool) "episodes kept (else it could not violate)" true
+    (shrunk.Spec.episodes <> []);
+  Alcotest.(check bool) "not larger on any axis" true
+    (shrunk.Spec.n <= spec.Spec.n
+    && List.length shrunk.Spec.edges <= List.length spec.Spec.edges
+    && List.length shrunk.Spec.episodes <= List.length spec.Spec.episodes)
+
 let suite =
   [
     Alcotest.test_case "spec JSON round-trip" `Quick test_json_round_trip;
@@ -202,4 +376,18 @@ let suite =
       test_campaign_jobs_invariant;
     Alcotest.test_case "shrink reaches a violating fixpoint" `Quick
       test_shrink_is_greedy_fixpoint;
+    Alcotest.test_case "episode spec JSON round-trip" `Quick
+      test_episode_json_round_trip;
+    Alcotest.test_case "episode shrinking moves" `Quick
+      test_episode_shrink_moves;
+    Alcotest.test_case "episode oracles skip static specs" `Quick
+      test_episode_oracles_skip_static_specs;
+    Alcotest.test_case "episode matrix clean on the protocol" `Quick
+      test_episode_matrix_clean;
+    Alcotest.test_case "episode matrix independent of jobs" `Quick
+      test_episode_matrix_jobs_invariant;
+    Alcotest.test_case "episode injected bug caught" `Quick
+      test_episode_injected_bug_caught;
+    Alcotest.test_case "episode shrink reaches a violating fixpoint" `Quick
+      test_episode_shrink_fixpoint;
   ]

@@ -39,6 +39,7 @@ let quick_config ?(rtr = true) ?(flows = []) () =
     t_fail = 0.5;
     t_end = 4.0;
     flows;
+    episodes = [];
   }
 
 let paper_topo () = Rtr_topo.Paper_example.topology ()
@@ -146,6 +147,7 @@ let packets_conserved =
             t_fail = 0.3;
             t_end = 2.0;
             flows;
+            episodes = [];
           }
       in
       stats.Netsim.generated = stats.Netsim.delivered + stats.Netsim.dropped)
@@ -174,9 +176,81 @@ let rtr_never_hurts =
             t_fail = 0.5;
             t_end = 3.0;
             flows;
+            episodes = [];
           }
       in
       (run true).Netsim.delivered >= (run false).Netsim.delivered)
+
+(* --- episode timelines ---------------------------------------------- *)
+
+let test_episode_after_drain_is_inert () =
+  (* An episode scheduled after every packet has drained never
+     activates: the multi-epoch machinery must not perturb the
+     single-failure simulation. *)
+  let topo = paper_topo () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = paper_damage g in
+  let flows = [ { Netsim.src = v 7; dst = v 17; rate_pps = 100.0 } ] in
+  let base = quick_config ~flows () in
+  let plain = Netsim.run topo damage base in
+  let inert =
+    Netsim.run topo damage { base with Netsim.episodes = [ (100.0, Damage.none g) ] }
+  in
+  Alcotest.(check bool) "identical stats" true (plain = inert)
+
+let test_transient_restore_improves_delivery () =
+  (* A transient failure: the area comes back at t=1.0, long before the
+     IGP would have converged around it.  Packets after the repair ride
+     the pre-failure FIBs again, so delivery must beat the permanent
+     run's. *)
+  let topo = paper_topo () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = paper_damage g in
+  let flows = [ { Netsim.src = v 7; dst = v 17; rate_pps = 100.0 } ] in
+  let base = quick_config ~rtr:false ~flows () in
+  let permanent = Netsim.run topo damage base in
+  let restored =
+    Netsim.run topo damage
+      { base with Netsim.episodes = [ (1.0, Damage.none g) ] }
+  in
+  Alcotest.(check int) "conservation"
+    restored.Netsim.generated
+    (restored.Netsim.delivered + restored.Netsim.dropped);
+  Alcotest.(check bool) "restore beats permanent failure" true
+    (restored.Netsim.delivered > permanent.Netsim.delivered)
+
+let test_cascade_cuts_delivery () =
+  (* A cascade at t=1.0 isolates the destination; recovery sessions
+     built for the first failure are stale and must be discarded, and
+     everything after the cascade drops. *)
+  let topo = paper_topo () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = paper_damage g in
+  let cascade =
+    Damage.merge damage
+      (Damage.of_failed g ~nodes:[]
+         ~links:
+           [
+             Rtr_topo.Paper_example.link 15 17;
+             Rtr_topo.Paper_example.link 17 18;
+           ])
+  in
+  let flows = [ { Netsim.src = v 7; dst = v 17; rate_pps = 100.0 } ] in
+  let base = quick_config ~flows () in
+  let on = Netsim.run topo damage base in
+  let cascaded =
+    Netsim.run topo damage { base with Netsim.episodes = [ (1.0, cascade) ] }
+  in
+  Alcotest.(check int) "conservation"
+    cascaded.Netsim.generated
+    (cascaded.Netsim.delivered + cascaded.Netsim.dropped);
+  Alcotest.(check bool) "cascade loses packets the single failure kept" true
+    (cascaded.Netsim.delivered < on.Netsim.delivered);
+  (* Episode runs are as deterministic as static ones. *)
+  let again =
+    Netsim.run topo damage { base with Netsim.episodes = [ (1.0, cascade) ] }
+  in
+  Alcotest.(check bool) "deterministic" true (cascaded = again)
 
 let suite =
   [
@@ -189,6 +263,12 @@ let suite =
     Alcotest.test_case "unreachable discarded early" `Quick
       test_unreachable_destination_discarded_early;
     Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "inert episode leaves the run untouched" `Quick
+      test_episode_after_drain_is_inert;
+    Alcotest.test_case "transient restore improves delivery" `Quick
+      test_transient_restore_improves_delivery;
+    Alcotest.test_case "cascade cuts delivery" `Quick
+      test_cascade_cuts_delivery;
     QCheck_alcotest.to_alcotest packets_conserved;
     QCheck_alcotest.to_alcotest rtr_never_hurts;
   ]

@@ -134,11 +134,89 @@ let no_false_unreachable =
             (List.init (Graph.n_nodes g) Fun.id))
         (match Rtr_check.Gen.detectors topo damage with [] -> [] | x :: _ -> [ x ]))
 
+(* A mid-convergence episode invalidates a batched session's workspace
+   lease: its cached answers keep serving, uncached queries raise, and
+   [resume] yields a fresh batched session against the new damage. *)
+let test_resume_expires_batched_lease () =
+  let topo, g, damage, _ = paper_session () in
+  let session =
+    Rtr.start topo damage ~batched:true ~initiator:PE.initiator
+      ~trigger:PE.trigger ()
+  in
+  let p2 = Rtr.phase2 session in
+  Alcotest.(check bool) "session is batched" true (Rtr_core.Phase2.batched p2);
+  Alcotest.(check bool) "lease starts live" false (Rtr_core.Phase2.expired p2);
+  let cached_path =
+    match Rtr.recover session ~dst:PE.destination with
+    | Rtr.Recovered path -> path
+    | _ -> Alcotest.fail "expected recovery before the episode"
+  in
+  let cached_dist = Rtr.recovery_distance session ~dst:PE.destination in
+  (* The episode: one more link dies while the session is mid-flight.
+     Pick an alive link that keeps the destination recoverable. *)
+  let extra =
+    let n_links = Graph.n_links g in
+    let rec find id =
+      if id >= n_links then Alcotest.fail "no episode link found"
+      else
+        let cand =
+          Damage.merge damage (Damage.of_failed g ~nodes:[] ~links:[ id ])
+        in
+        if
+          Damage.link_ok damage id
+          && Rtr_graph.Bfs.reachable (Damage.view cand) PE.initiator
+               PE.destination
+        then cand
+        else find (id + 1)
+    in
+    find 0
+  in
+  let resumed = Rtr.resume session extra in
+  Alcotest.(check bool) "old lease expired" true (Rtr_core.Phase2.expired p2);
+  (* Cached answers survive the expiry... *)
+  (match Rtr.recover session ~dst:PE.destination with
+  | Rtr.Recovered path ->
+      Alcotest.(check bool) "cached path still served" true (path = cached_path)
+  | _ -> Alcotest.fail "cached destination no longer served");
+  Alcotest.(check bool) "cached distance still served" true
+    (Rtr.recovery_distance session ~dst:PE.destination = cached_dist);
+  (* ...but an uncached query on the expired session must raise, never
+     silently answer from another session's tree. *)
+  let uncached =
+    let rec pick dst =
+      if dst = PE.initiator || dst = PE.destination || dst = PE.failed_router
+      then pick (dst + 1)
+      else dst
+    in
+    pick 0
+  in
+  (match Rtr.recover session ~dst:uncached with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expired lease served an uncached query");
+  (* The resumed session is batched again, holds a live lease, and
+     answers against the episode's damage. *)
+  Alcotest.(check bool) "resumed session batched" true
+    (Rtr_core.Phase2.batched (Rtr.phase2 resumed));
+  Alcotest.(check bool) "resumed lease live" false
+    (Rtr_core.Phase2.expired (Rtr.phase2 resumed));
+  Alcotest.(check bool) "same stale phase 1" true
+    (Rtr.phase1 session == Rtr.phase1 resumed);
+  match Rtr.recover resumed ~dst:PE.destination with
+  | Rtr.Recovered path ->
+      Alcotest.(check bool) "path valid under the episode damage" true
+        (Path.is_valid (Damage.view extra) path)
+  | Rtr.Unreachable_in_view | Rtr.False_path _ ->
+      (* The stale collection may legitimately miss the new failure —
+         but the session must answer, not raise. *)
+      ()
+
 let suite =
   [
     Alcotest.test_case "paper recovery" `Quick test_paper_recovery;
     Alcotest.test_case "one phase1, many destinations" `Quick
       test_all_destinations_one_phase1;
+    Alcotest.test_case "resume expires the batched lease" `Quick
+      test_resume_expires_batched_lease;
     QCheck_alcotest.to_alcotest theorem3_single_link_failure;
     QCheck_alcotest.to_alcotest theorem2_recovered_is_optimal;
     QCheck_alcotest.to_alcotest no_false_unreachable;

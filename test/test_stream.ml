@@ -141,6 +141,113 @@ let test_result_roundtrip () =
             true (d = r))
     results
 
+(* --- episode records and stream versioning --------------------------- *)
+
+(* Tiny synthetic fixtures: the codec is plain data, no topology
+   needed. *)
+let tiny_header =
+  {
+    Stream.seed = 1;
+    mrc_k = None;
+    rec_quota = 1;
+    irr_quota = 0;
+    topos =
+      [ { Stream.as_name = "tiny"; areas = 1; rec_cases = 1; irr_cases = 0; records = 1 } ];
+    count = 1;
+  }
+
+let tiny_record ~episodes =
+  {
+    Stream.seq = 0;
+    topo = 0;
+    area = (1.0, 2.0, 3.0);
+    failed_nodes = [ 1 ];
+    failed_links = [ 0; 2 ];
+    episodes;
+    cases =
+      [
+        {
+          Rtr_sim.Scenario.initiator = 0;
+          trigger = 1;
+          dst = 2;
+          kind = Rtr_sim.Scenario.Recoverable;
+          shortest_after = Some 7;
+        };
+      ];
+  }
+
+let tiny_episodes =
+  [
+    {
+      Rtr_sim.Scenario.at_cs = 25;
+      fail_nodes = [ 1; 2 ];
+      fail_links = [ 0 ];
+      restore_nodes = [];
+      restore_links = [ 3; 4 ];
+    };
+    {
+      Rtr_sim.Scenario.at_cs = 75;
+      fail_nodes = [];
+      fail_links = [];
+      restore_nodes = [ 1 ];
+      restore_links = [ 0 ];
+    };
+  ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_episode_record_roundtrip () =
+  (* Episodes are integer-only, so the round-trip is exact — including
+     empty halves and multiple events per record. *)
+  let r = tiny_record ~episodes:tiny_episodes in
+  match Stream.parse_scenario (Stream.scenario_line r) with
+  | Error e -> Alcotest.fail ("episode record did not parse: " ^ e)
+  | Ok d -> Alcotest.(check bool) "round-trips exactly" true (d = r)
+
+let test_v1_stream_bit_identical () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "s.jsonl" in
+  (* Episode-free records write the v1 format, byte for byte: no "ep"
+     key, no version bump — a pre-episode reader still accepts the
+     file and old streams hash identically. *)
+  let plain = tiny_record ~episodes:[] in
+  Stream.write path tiny_header [ plain ];
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string) "byte-identical to a v1 writer"
+    (Stream.header_line tiny_header ^ "\n" ^ Stream.scenario_line plain ^ "\n")
+    content;
+  Alcotest.(check bool) "tagged rtr-stream/1" true
+    (contains content "\"rtr-stream/1\"");
+  Alcotest.(check bool) "no ep key on episode-free records" true
+    (not (contains content "\"ep\""));
+  let h, next = Stream.open_reader path in
+  Alcotest.(check bool) "v1 header decodes" true (h = tiny_header);
+  (match next () with
+  | Some d ->
+      Alcotest.(check bool) "v1 record decodes with no episodes" true
+        (d = plain && d.Stream.episodes = [])
+  | None -> Alcotest.fail "record missing");
+  ignore (next ());
+  (* Any record carrying episodes promotes the whole stream to v2. *)
+  let with_ep = tiny_record ~episodes:tiny_episodes in
+  Stream.write path tiny_header [ with_ep ];
+  let v2 = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string) "v2 header emitted"
+    (Stream.header_line ~format:Stream.format_stream_v2 tiny_header
+    ^ "\n"
+    ^ Stream.scenario_line with_ep
+    ^ "\n")
+    v2;
+  let h2, next2 = Stream.open_reader path in
+  Alcotest.(check bool) "v2 header decodes" true (h2 = tiny_header);
+  (match next2 () with
+  | Some d -> Alcotest.(check bool) "episodes survive the file" true (d = with_ep)
+  | None -> Alcotest.fail "record missing");
+  ignore (next2 ())
+
 (* --- the staged file pipeline vs the in-memory collectors ----------- *)
 
 let check_same_data label (a : Experiments.topo_data list)
@@ -272,6 +379,10 @@ let test_crash_resume () =
 
 let suite =
   [
+    Alcotest.test_case "episode record round-trip" `Quick
+      test_episode_record_roundtrip;
+    Alcotest.test_case "v1 streams stay bit-identical" `Quick
+      test_v1_stream_bit_identical;
     Alcotest.test_case "header round-trip" `Slow test_header_roundtrip;
     Alcotest.test_case "scenario round-trip" `Slow test_scenario_roundtrip;
     Alcotest.test_case "result round-trip" `Slow test_result_roundtrip;
