@@ -106,6 +106,34 @@ let reproduce () =
        ~cases:(min 500 config.Experiments.recoverable_per_topo)
        config)
 
+(* The flow-level congestion sweep: every recovery scheme over the
+   same demand matrices (REPRO_FLOWS flows per topology, default
+   125,000 — x5 schemes x topologies, so a full sweep evaluates well
+   over 10^6 flows, and the quick two-topology smoke still clears a
+   million).  Prints before the microbench marker on purpose: the
+   output is deterministic and jobs-invariant, so the CI determinism
+   gate diffs it across RTR_JOBS values. *)
+let flows_stage () =
+  let config = Experiments.default_config () in
+  let config = { config with Experiments.jobs = effective_jobs config } in
+  let config =
+    if !quick then
+      let presets =
+        match config.Experiments.presets with
+        | a :: b :: _ -> [ a; b ]
+        | presets -> presets
+      in
+      { config with Experiments.presets }
+    else config
+  in
+  section "Flow-level congestion sweep (delivery, stretch, link load)";
+  let log s = Printf.printf "# %s\n%!" s in
+  let data = Experiments.congestion_data ~log config in
+  print_string (Report.render_table (Experiments.congestion_table data));
+  print_newline ();
+  print_string (Report.render_figure (Experiments.congestion_figure data));
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks *)
 
@@ -550,6 +578,19 @@ let () =
        Metrics.Gauge.set
          (Metrics.gauge "bench.cases_per_sec.reproduce")
          (float_of_int cases /. wall)
+   | _ -> ());
+  timed "flows" flows_stage;
+  (* Headline flow throughput: flows evaluated (across every scheme
+     and topology) per wall-clock second of the sweep. *)
+  (let snap = Metrics.snapshot () in
+   match
+     ( Metrics.Snapshot.counter snap "netsim.flows",
+       Metrics.Snapshot.gauge snap "bench.wall_s.flows" )
+   with
+   | Some flows, Some wall when wall > 0.0 ->
+       Metrics.Gauge.set
+         (Metrics.gauge "bench.flows_per_sec")
+         (float_of_int flows /. wall)
    | _ -> ());
   timed "motivation" motivation;
   timed "microbench" run_benchmarks;

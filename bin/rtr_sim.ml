@@ -298,6 +298,30 @@ let bidir_cmd =
       const run $ obs_term $ seed_arg $ topos_arg $ cases_arg $ jobs_arg
       $ out_arg)
 
+let flows_cmd =
+  let flows_arg =
+    let doc = "Flows per topology (default: REPRO_FLOWS, else 125,000)." in
+    Arg.(value & opt (some int) None & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let run () seed topos mrc_k jobs flows out =
+    let config = config_of ~cases:None ~seed ~topos ~mrc_k ~jobs in
+    let data =
+      Experiments.congestion_data ~log:log_line ?flows_per_topo:flows config
+    in
+    let t = Experiments.congestion_table data in
+    emit ?out ~csv_name:"congestion.csv" (Report.render_table t)
+      (Report.table_to_csv t);
+    emit_figure ?out (Experiments.congestion_figure data)
+  in
+  Cmd.v
+    (Cmd.info "flows"
+       ~doc:
+         "Flow-level congestion sweep: delivery, stretch and link load per \
+          recovery scheme (not in the paper)")
+    Term.(
+      const run $ obs_term $ seed_arg $ topos_arg $ mrc_k_arg $ jobs_arg
+      $ flows_arg $ out_arg)
+
 let fig11_cmd =
   let areas_arg =
     let doc = "Failure areas per radius (the paper used 1000)." in
@@ -1209,6 +1233,7 @@ let cmds =
     fig11_cmd;
     ablation_cmd;
     bidir_cmd;
+    flows_cmd;
     mrc_k_sweep_cmd;
     variance_cmd;
     needs_data_cmd Fig12 "fig12" "CDF of wasted computation (irrecoverable)";

@@ -948,6 +948,89 @@ let episode_single_link =
     run = episode_single_link_run;
   }
 
+(* --- flow engine vs packet engine ----------------------------------- *)
+
+(* Differential check of the two DES backends: the flow-level engine
+   (piecewise-constant windows, global detection/convergence
+   boundaries) and the per-packet engine (per-link hold-downs,
+   per-router convergence, packets in flight across transitions) must
+   agree on the delivered fraction of the same demand matrix, within a
+   tolerance covering exactly the boundary effects the flow engine
+   coarsens away.  Runs on static specs only — episode timelines are
+   where the two time models legitimately diverge (and where the
+   episode oracles already bite), so they return [None] here, the
+   mirror image of the episode oracles' static short-circuit. *)
+let flow_vs_packet_tolerance = 0.08
+
+let flow_vs_packet_run ~inject:_ spec =
+  if spec.Spec.episodes <> [] then None
+  else
+    let module Netsim = Rtr_des.Netsim in
+    let module Flowsim = Rtr_des.Flowsim in
+    let topo, damage = Spec.build spec in
+    let name = "flow_vs_packet" in
+    first_violation @@ fun () ->
+    let flows = Flowsim.demand topo ~n:250 ~seed:11 in
+    let packet_flows =
+      Array.to_list
+        (Array.map
+           (fun (f : Flowsim.flow) ->
+             {
+               Netsim.src = f.Flowsim.src;
+               dst = f.Flowsim.dst;
+               rate_pps = 10.0 *. float_of_int f.Flowsim.rate;
+             })
+           flows)
+    in
+    List.iter
+      (fun (rtr_enabled, scheme) ->
+        let ns =
+          Netsim.run topo damage
+            {
+              Netsim.igp = Rtr_igp.Igp_config.classic;
+              rtr_enabled;
+              t_fail = 0.5;
+              t_end = 4.0;
+              flows = packet_flows;
+              episodes = [];
+            }
+        in
+        let fs =
+          Flowsim.run topo damage
+            {
+              Flowsim.default_config with
+              Flowsim.scheme;
+              t_fail = 0.5;
+              t_end = 4.0;
+            }
+            flows
+        in
+        let packet_frac =
+          if ns.Netsim.generated = 0 then 0.0
+          else
+            float_of_int ns.Netsim.delivered /. float_of_int ns.Netsim.generated
+        in
+        let gap = Float.abs (packet_frac -. fs.Flowsim.delivered_frac) in
+        if gap > flow_vs_packet_tolerance then
+          raise
+            (Found
+               (violation name
+                  "scheme %s: packet engine delivered %.4f, flow engine %.4f \
+                   (gap %.4f > %.2f) on %d flows"
+                  (Flowsim.scheme_name scheme)
+                  packet_frac fs.Flowsim.delivered_frac gap
+                  flow_vs_packet_tolerance (Array.length flows))))
+      [ (false, Flowsim.No_recovery); (true, Flowsim.Rtr_scheme) ]
+
+let flow_vs_packet =
+  {
+    name = "flow_vs_packet";
+    doc =
+      "flow-level delivery fractions match the per-packet engine within \
+       tolerance (static specs; RTR on and off)";
+    run = flow_vs_packet_run;
+  }
+
 let all =
   [
     no_loop;
@@ -962,6 +1045,7 @@ let all =
     episode_no_loop;
     episode_optimal;
     episode_single_link;
+    flow_vs_packet;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

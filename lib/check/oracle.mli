@@ -39,7 +39,10 @@
     - [episode_no_loop] / [episode_optimal] / [episode_single_link] —
       the three theorems re-evaluated per episode transition of a
       timeline spec (see {!Episode}); all three return [None] instantly
-      on a static spec. *)
+      on a static spec.
+    - [flow_vs_packet] — the flow-level engine's delivered fractions
+      match the per-packet engine within tolerance on the same demand
+      matrix (static specs only). *)
 
 type violation = { oracle : string; detail : string }
 
@@ -125,6 +128,13 @@ val rmap_vs_reactive : t
 val episode_no_loop : t
 val episode_optimal : t
 val episode_single_link : t
+
+val flow_vs_packet : t
+(** Differential check of the flow-level engine against the per-packet
+    engine: delivered fractions of the same demand matrix must agree
+    within a fixed tolerance (RTR on and off).  Static specs only —
+    returns [None] instantly on episode timelines, the mirror image of
+    the episode oracles' static short-circuit. *)
 
 val all : t list
 (** Every oracle, in the order the campaign runs them. *)

@@ -1,0 +1,547 @@
+module Graph = Rtr_graph.Graph
+module View = Rtr_graph.View
+module Damage = Rtr_failure.Damage
+module Route_table = Rtr_routing.Route_table
+module Convergence = Rtr_igp.Convergence
+module Fcp = Rtr_baselines.Fcp
+module Mrc = Rtr_baselines.Mrc
+module Randroute = Rtr_baselines.Randroute
+module Rtr = Rtr_core.Rtr
+module Path = Rtr_graph.Path
+module Metrics = Rtr_obs.Metrics
+module Trace = Rtr_obs.Trace
+
+let c_flows = Metrics.counter "netsim.flows"
+let g_max_load = Metrics.gauge "netsim.max_load"
+
+let ensure_metrics_registered () = ()
+
+type flow = { src : Graph.node; dst : Graph.node; rate : int }
+
+type scheme = No_recovery | Rtr_scheme | Fcp_scheme | Mrc_scheme | Randroute_scheme
+
+let scheme_name = function
+  | No_recovery -> "none"
+  | Rtr_scheme -> "rtr"
+  | Fcp_scheme -> "fcp"
+  | Mrc_scheme -> "mrc"
+  | Randroute_scheme -> "randroute"
+
+let scheme_of_name = function
+  | "none" -> Some No_recovery
+  | "rtr" -> Some Rtr_scheme
+  | "fcp" -> Some Fcp_scheme
+  | "mrc" -> Some Mrc_scheme
+  | "randroute" -> Some Randroute_scheme
+  | _ -> None
+
+type config = {
+  igp : Rtr_igp.Igp_config.t;
+  scheme : scheme;
+  t_fail : float;
+  t_end : float;
+  episodes : (float * Damage.t) list;
+  seed : int;
+  overload_factor : float;
+}
+
+let default_config =
+  {
+    igp = Rtr_igp.Igp_config.classic;
+    scheme = Rtr_scheme;
+    t_fail = 0.5;
+    t_end = 30.0;
+    episodes = [];
+    seed = 7;
+    overload_factor = 1.25;
+  }
+
+(* One ground-truth era, with its regime boundaries precomputed.  The
+   flow engine's time model is piecewise constant per era:
+
+     [e_start, e_det)   hold-down — routers forward on the pre-failure
+                        FIBs; flows whose default path crosses the
+                        damage black-hole
+     [e_det, e_conv)    recovery window — broken flows are rerouted by
+                        the configured scheme; this is where rerouted
+                        load piles onto surviving links, so this window
+                        is the congestion measurement window
+     [e_conv, e_end)    converged — everything follows the era's
+                        post-failure FIBs
+
+   Unlike the per-packet engine, detection and convergence are global
+   boundaries per era (the packet engine keeps them per link and per
+   router); the differential oracle bounds the gap. *)
+type era = {
+  e_start : float;
+  e_end : float;
+  e_det : float;
+  e_conv : float;
+  e_damage : Damage.t;
+  e_post : Route_table.t;
+}
+
+type context = {
+  topo : Rtr_topo.Topology.t;
+  g : Graph.t;
+  config : config;
+  pre : Route_table.t;
+  eras : era array;
+  mrc : Mrc.t option;
+  rr : Randroute.t option;
+}
+
+let context topo damage ?mrc config =
+  let g = Rtr_topo.Topology.graph topo in
+  let timeline =
+    (config.t_fail, damage)
+    :: List.stable_sort
+         (fun (a, _) (b, _) -> Float.compare a b)
+         config.episodes
+  in
+  let rec build = function
+    | [] -> []
+    | (e_start, e_damage) :: rest ->
+        let e_end =
+          match rest with
+          | (next, _) :: _ -> Float.min next config.t_end
+          | [] -> config.t_end
+        in
+        let conv = Convergence.compute config.igp g e_damage in
+        let e_det = e_start +. config.igp.Rtr_igp.Igp_config.detection_s in
+        let e_conv = e_start +. Convergence.finished_at conv in
+        {
+          e_start;
+          e_end;
+          e_det = Float.min e_det e_end;
+          e_conv = Float.max (Float.min e_conv e_end) (Float.min e_det e_end);
+          e_damage;
+          e_post = Route_table.compute (Damage.view e_damage);
+        }
+        :: build rest
+  in
+  let mrc =
+    match (config.scheme, mrc) with
+    | Mrc_scheme, None -> Some (Mrc.build_auto g)
+    | _, m -> m
+  in
+  let rr =
+    match config.scheme with
+    | Randroute_scheme -> Some (Randroute.create ~seed:config.seed g)
+    | _ -> None
+  in
+  { topo; g; config; pre = Route_table.compute (View.full g); eras = Array.of_list (build timeline); mrc; rr }
+
+(* --- integer accumulators ------------------------------------------- *)
+
+(* Everything merged across shards is an integer (rate sums, rate x
+   millisecond products, per-link load arrays): integer addition is
+   associative, so any chunking of the flow array folds to the same
+   totals and reports stay byte-identical at every --jobs.  The only
+   floats are ratios computed once in [finish]. *)
+type acc = {
+  mutable flows : int;
+  mutable offered : int;  (* rate x ms *)
+  mutable delivered : int;
+  mutable blackholed : int;
+  mutable dropped_recovery : int;
+  mutable dropped_no_route : int;
+  mutable broken : int;  (* flow-eras whose default path crossed the damage *)
+  mutable recovered : int;  (* of those, delivered during the recovery window *)
+  mutable stretch_cost : int;  (* sum of recovery route costs, recovered flow-eras *)
+  mutable stretch_best : int;  (* sum of converged shortest-path costs *)
+  mutable stretch_max : float;
+  base_loads : int array;  (* pps per link, pre-failure window *)
+  rec_loads : int array array;  (* pps per link per era, recovery window *)
+  post_loads : int array;  (* pps per link, converged windows *)
+}
+
+let acc_create ctx =
+  let n_links = Graph.n_links ctx.g in
+  {
+    flows = 0;
+    offered = 0;
+    delivered = 0;
+    blackholed = 0;
+    dropped_recovery = 0;
+    dropped_no_route = 0;
+    broken = 0;
+    recovered = 0;
+    stretch_cost = 0;
+    stretch_best = 0;
+    stretch_max = 0.0;
+    base_loads = Array.make n_links 0;
+    rec_loads = Array.init (Array.length ctx.eras) (fun _ -> Array.make n_links 0);
+    post_loads = Array.make n_links 0;
+  }
+
+let merge a b =
+  a.flows <- a.flows + b.flows;
+  a.offered <- a.offered + b.offered;
+  a.delivered <- a.delivered + b.delivered;
+  a.blackholed <- a.blackholed + b.blackholed;
+  a.dropped_recovery <- a.dropped_recovery + b.dropped_recovery;
+  a.dropped_no_route <- a.dropped_no_route + b.dropped_no_route;
+  a.broken <- a.broken + b.broken;
+  a.recovered <- a.recovered + b.recovered;
+  a.stretch_cost <- a.stretch_cost + b.stretch_cost;
+  a.stretch_best <- a.stretch_best + b.stretch_best;
+  a.stretch_max <- Float.max a.stretch_max b.stretch_max;
+  let add dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src in
+  add a.base_loads b.base_loads;
+  Array.iteri (fun e src -> add a.rec_loads.(e) src) b.rec_loads;
+  add a.post_loads b.post_loads;
+  a
+
+(* Millisecond quantization of a window.  Boundaries are computed the
+   same way for every flow regardless of sharding, so the products
+   below stay shard-invariant. *)
+let ms_between t0 t1 =
+  if t1 <= t0 then 0 else int_of_float (Float.round ((t1 -. t0) *. 1000.0))
+
+(* --- per-era default-path classification ---------------------------- *)
+
+type classified =
+  | Intact of Graph.link_id list
+  | Broken of {
+      at : Graph.node;  (* last live router before the break *)
+      trigger : Graph.node;
+      prefix_rev : Graph.node list;  (* src .. at, reversed *)
+    }
+  | No_pre_route
+
+let classify ctx damage ~src ~dst =
+  let rec go at links_rev prefix_rev =
+    if at = dst then Intact (List.rev links_rev)
+    else
+      match
+        ( Route_table.next_hop ctx.pre ~src:at ~dst,
+          Route_table.next_link ctx.pre ~src:at ~dst )
+      with
+      | Some v, Some l ->
+          if Damage.neighbor_unreachable damage v l then
+            Broken { at; trigger = v; prefix_rev }
+          else go v (l :: links_rev) (v :: prefix_rev)
+      | _ -> No_pre_route
+  in
+  go src [] [ src ]
+
+(* --- recovery schemes ------------------------------------------------ *)
+
+(* Route cost and link charging both walk consecutive node pairs. *)
+let links_of_nodes g nodes =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> (
+        match Graph.find_link g a b with
+        | Some l -> go (l :: acc) rest
+        | None -> assert false)
+    | _ -> List.rev acc
+  in
+  go [] nodes
+
+let cost_of_nodes g nodes =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> (
+        match Graph.find_link g a b with
+        | Some l -> go (acc + Graph.cost g l ~src:a) rest
+        | None -> assert false)
+    | _ -> acc
+  in
+  go 0 nodes
+
+(* Per-slice mutable state: RTR sessions and recovery outcomes, keyed
+   by era so a stale session is never consulted across a transition.
+   Slices rebuild their own caches — recovery outcomes are pure
+   functions of (era, initiator, trigger, dst), so this only costs
+   repeated work, never divergent results. *)
+type slice_caches = {
+  sessions : (int * Graph.node * Graph.node, Rtr.t) Hashtbl.t;
+  outcomes : (int * Graph.node * Graph.node * Graph.node, Graph.node list option) Hashtbl.t;
+}
+
+let rtr_session ctx caches era_idx era ~initiator ~trigger =
+  let key = (era_idx, initiator, trigger) in
+  match Hashtbl.find_opt caches.sessions key with
+  | Some s -> s
+  | None ->
+      let s = Rtr.start ctx.topo era.e_damage ~initiator ~trigger () in
+      Hashtbl.replace caches.sessions key s;
+      s
+
+(* RTR with Sec. III-E chaining, as the packet engine plays it: when a
+   source route hits a failure phase 1 missed, the router at the break
+   starts its own recovery session for the remaining journey. *)
+let rtr_recover ctx caches era_idx era ~initiator ~trigger ~dst =
+  let rec go u trigger depth carried_rev =
+    if depth > 8 then None
+    else
+      let s = rtr_session ctx caches era_idx era ~initiator:u ~trigger in
+      match Rtr.recover s ~dst with
+      | Rtr.Recovered p ->
+          Some (List.rev_append carried_rev (Path.nodes p))
+      | Rtr.Unreachable_in_view -> None
+      | Rtr.False_path { path; dropped_at; _ } -> (
+          (* nodes walked before the break: initiator .. dropped_at *)
+          let rec split acc = function
+            | x :: (y :: _ as _rest) when x = dropped_at ->
+                Some (acc, y) (* acc excludes dropped_at; y = dead hop *)
+            | x :: rest -> split (x :: acc) rest
+            | [] -> None
+          in
+          match split [] (Path.nodes path) with
+          | Some (walked_rev, next_trigger) ->
+              go dropped_at next_trigger (depth + 1)
+                (walked_rev @ carried_rev)
+          | None -> None)
+  in
+  go initiator trigger 0 []
+
+let recover ctx caches ~flow_idx era_idx era ~initiator ~trigger ~dst =
+  match ctx.config.scheme with
+  | No_recovery -> None
+  | Randroute_scheme -> (
+      (* per-flow randomization: not cacheable by (initiator, dst),
+         but three table lookups and a walk are cheap *)
+      match ctx.rr with
+      | None -> None
+      | Some rr -> (
+          match Randroute.reroute rr era.e_post ~flow:flow_idx ~initiator ~dst with
+          | Randroute.Rerouted { nodes; _ } -> Some nodes
+          | Randroute.No_route -> None))
+  | Rtr_scheme | Fcp_scheme | Mrc_scheme -> (
+      let key = (era_idx, initiator, trigger, dst) in
+      match Hashtbl.find_opt caches.outcomes key with
+      | Some r -> r
+      | None ->
+          let r =
+            match ctx.config.scheme with
+            | Rtr_scheme ->
+                rtr_recover ctx caches era_idx era ~initiator ~trigger ~dst
+            | Fcp_scheme ->
+                let res = Fcp.run ctx.topo era.e_damage ~initiator ~dst in
+                if res.Fcp.delivered then Some (Path.nodes res.Fcp.journey)
+                else None
+            | Mrc_scheme -> (
+                match ctx.mrc with
+                | None -> None
+                | Some mrc -> (
+                    match Mrc.recover mrc era.e_damage ~initiator ~trigger ~dst with
+                    | Mrc.Delivered p -> Some (Path.nodes p)
+                    | Mrc.Dropped _ -> None))
+            | No_recovery | Randroute_scheme -> None
+          in
+          Hashtbl.replace caches.outcomes key r;
+          r)
+
+(* --- evaluation ------------------------------------------------------ *)
+
+let add_load loads links rate =
+  List.iter (fun l -> loads.(l) <- loads.(l) + rate) links
+
+let eval_flow ctx acc caches ~flow_idx f =
+  acc.flows <- acc.flows + 1;
+  let rate = f.rate in
+  (* pre-failure window *)
+  let pre_ms = ms_between 0.0 (Float.min ctx.config.t_fail ctx.config.t_end) in
+  if pre_ms > 0 then begin
+    acc.offered <- acc.offered + (rate * pre_ms);
+    match classify ctx (Damage.none ctx.g) ~src:f.src ~dst:f.dst with
+    | Intact links ->
+        acc.delivered <- acc.delivered + (rate * pre_ms);
+        add_load acc.base_loads links rate
+    | Broken _ | No_pre_route ->
+        acc.dropped_no_route <- acc.dropped_no_route + (rate * pre_ms)
+  end;
+  Array.iteri
+    (fun era_idx era ->
+      let seg1 = ms_between era.e_start era.e_det in
+      let seg2 = ms_between era.e_det era.e_conv in
+      let seg3 = ms_between era.e_conv era.e_end in
+      if
+        seg1 + seg2 + seg3 > 0
+        && Damage.node_ok era.e_damage f.src
+      then begin
+        acc.offered <- acc.offered + (rate * (seg1 + seg2 + seg3));
+        (* converged tail: the era's post-failure FIB *)
+        let post_route =
+          if Route_table.dist era.e_post ~src:f.src ~dst:f.dst = max_int then
+            None
+          else
+            Some
+              (let rec go at acc_links =
+                 if at = f.dst then List.rev acc_links
+                 else
+                   match
+                     ( Route_table.next_hop era.e_post ~src:at ~dst:f.dst,
+                       Route_table.next_link era.e_post ~src:at ~dst:f.dst )
+                   with
+                   | Some v, Some l -> go v (l :: acc_links)
+                   | _ -> List.rev acc_links
+               in
+               go f.src [])
+        in
+        (if seg3 > 0 then
+           match post_route with
+           | Some links ->
+               acc.delivered <- acc.delivered + (rate * seg3);
+               add_load acc.post_loads links rate
+           | None ->
+               acc.dropped_no_route <- acc.dropped_no_route + (rate * seg3));
+        (* pre-convergence: the pre-failure FIB against this era's truth *)
+        match classify ctx era.e_damage ~src:f.src ~dst:f.dst with
+        | Intact links ->
+            if seg1 > 0 then acc.delivered <- acc.delivered + (rate * seg1);
+            if seg2 > 0 then begin
+              acc.delivered <- acc.delivered + (rate * seg2);
+              add_load acc.rec_loads.(era_idx) links rate
+            end
+        | No_pre_route ->
+            if seg1 + seg2 > 0 then
+              acc.dropped_no_route <-
+                acc.dropped_no_route + (rate * (seg1 + seg2))
+        | Broken { at; trigger; prefix_rev } ->
+            if seg1 > 0 then acc.blackholed <- acc.blackholed + (rate * seg1);
+            if seg2 > 0 then begin
+              acc.broken <- acc.broken + 1;
+              match
+                recover ctx caches ~flow_idx era_idx era ~initiator:at ~trigger
+                  ~dst:f.dst
+              with
+              | Some tail_nodes ->
+                  (* full route: src .. at, then the recovery walk *)
+                  let nodes =
+                    List.rev_append prefix_rev (List.tl tail_nodes)
+                  in
+                  acc.delivered <- acc.delivered + (rate * seg2);
+                  acc.recovered <- acc.recovered + 1;
+                  add_load acc.rec_loads.(era_idx)
+                    (links_of_nodes ctx.g nodes)
+                    rate;
+                  let cost = cost_of_nodes ctx.g nodes in
+                  let best =
+                    Route_table.dist era.e_post ~src:f.src ~dst:f.dst
+                  in
+                  if best > 0 && best < max_int then begin
+                    acc.stretch_cost <- acc.stretch_cost + cost;
+                    acc.stretch_best <- acc.stretch_best + best;
+                    let s = float_of_int cost /. float_of_int best in
+                    if s > acc.stretch_max then acc.stretch_max <- s
+                  end
+              | None ->
+                  acc.dropped_recovery <-
+                    acc.dropped_recovery + (rate * seg2)
+            end
+      end)
+    ctx.eras
+
+let eval_slice ctx flows ~lo ~hi =
+  let acc = acc_create ctx in
+  let caches =
+    { sessions = Hashtbl.create 32; outcomes = Hashtbl.create 256 }
+  in
+  for i = lo to hi - 1 do
+    let f = flows.(i) in
+    if f.src <> f.dst && f.rate > 0 then
+      eval_flow ctx acc caches ~flow_idx:i f
+  done;
+  acc
+
+(* --- reduction -------------------------------------------------------- *)
+
+type stats = {
+  flows : int;
+  offered_ratems : int;
+  delivered_ratems : int;
+  blackholed_ratems : int;
+  dropped_recovery_ratems : int;
+  dropped_no_route_ratems : int;
+  delivered_frac : float;
+  broken : int;
+  recovered : int;
+  stretch_agg : float;
+  stretch_max : float;
+  base_max_load : int;
+  rec_max_load : int;
+  post_max_load : int;
+  overloaded_links : int;
+  rec_link_loads : int array;
+}
+
+let array_max a = Array.fold_left max 0 a
+
+let finish ctx acc =
+  let n_links = Graph.n_links ctx.g in
+  let rec_link_loads = Array.make n_links 0 in
+  Array.iter
+    (fun per_era ->
+      for l = 0 to n_links - 1 do
+        if per_era.(l) > rec_link_loads.(l) then
+          rec_link_loads.(l) <- per_era.(l)
+      done)
+    acc.rec_loads;
+  let base_max_load = array_max acc.base_loads in
+  let rec_max_load = array_max rec_link_loads in
+  let capacity =
+    max 1
+      (int_of_float
+         (Float.round (ctx.config.overload_factor *. float_of_int base_max_load)))
+  in
+  let overloaded_links = ref 0 in
+  Array.iter (fun v -> if v > capacity then incr overloaded_links) rec_link_loads;
+  Metrics.Counter.add c_flows acc.flows;
+  Metrics.Gauge.set_max g_max_load (float_of_int rec_max_load);
+  {
+    flows = acc.flows;
+    offered_ratems = acc.offered;
+    delivered_ratems = acc.delivered;
+    blackholed_ratems = acc.blackholed;
+    dropped_recovery_ratems = acc.dropped_recovery;
+    dropped_no_route_ratems = acc.dropped_no_route;
+    delivered_frac =
+      (if acc.offered = 0 then 0.0
+       else float_of_int acc.delivered /. float_of_int acc.offered);
+    broken = acc.broken;
+    recovered = acc.recovered;
+    stretch_agg =
+      (if acc.stretch_best = 0 then 1.0
+       else float_of_int acc.stretch_cost /. float_of_int acc.stretch_best);
+    stretch_max = acc.stretch_max;
+    base_max_load;
+    rec_max_load;
+    post_max_load = array_max acc.post_loads;
+    overloaded_links = !overloaded_links;
+    rec_link_loads;
+  }
+
+let run topo damage ?mrc config flows =
+  Trace.with_ "flowsim.run"
+    ~attrs:
+      [
+        ("flows", string_of_int (Array.length flows));
+        ("scheme", scheme_name config.scheme);
+        ("episodes", string_of_int (List.length config.episodes));
+      ]
+  @@ fun () ->
+  let ctx = context topo damage ?mrc config in
+  finish ctx (eval_slice ctx flows ~lo:0 ~hi:(Array.length flows))
+
+(* --- demand matrices -------------------------------------------------- *)
+
+(* Gravity-style synthetic demand: endpoints drawn proportionally to
+   node degree (hubs originate and sink more traffic), small integer
+   rates.  Deterministic in (topology, seed, n). *)
+let demand topo ~n ~seed =
+  let g = Rtr_topo.Topology.graph topo in
+  let n_nodes = Graph.n_nodes g in
+  let rng = Rtr_util.Rng.make seed in
+  let nodes = Array.init n_nodes (fun i -> i) in
+  let weight u = float_of_int (Graph.degree g u) in
+  Array.init n (fun _ ->
+      let src = Rtr_util.Rng.pick_weighted rng nodes ~weight in
+      let rec draw_dst tries =
+        let d = Rtr_util.Rng.pick_weighted rng nodes ~weight in
+        if d <> src || tries > 16 then d else draw_dst (tries + 1)
+      in
+      let dst = draw_dst 0 in
+      let dst = if dst = src then (src + 1) mod n_nodes else dst in
+      { src; dst; rate = 1 + Rtr_util.Rng.int rng 9 })

@@ -1,7 +1,9 @@
 type t = { sorted : float array }
 
+let empty = { sorted = [||] }
+
 let of_values = function
-  | [] -> invalid_arg "Cdf.of_values: empty"
+  | [] -> empty
   | xs ->
       let sorted = Array.of_list xs in
       Array.sort Float.compare sorted;
@@ -21,17 +23,24 @@ let count_le t x =
   done;
   !lo
 
-let eval t x = float_of_int (count_le t x) /. float_of_int (size t)
+let eval t x =
+  if size t = 0 then 0.0
+  else float_of_int (count_le t x) /. float_of_int (size t)
 
 let quantile t q =
   if q < 0.0 || q > 1.0 then invalid_arg "Cdf.quantile: out of range";
   let n = size t in
-  let rank = int_of_float (ceil (q *. float_of_int n)) in
-  t.sorted.(max 0 (min (n - 1) (rank - 1)))
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    t.sorted.(max 0 (min (n - 1) (rank - 1)))
 
-let minimum t = t.sorted.(0)
-let maximum t = t.sorted.(size t - 1)
-let mean t = Array.fold_left ( +. ) 0.0 t.sorted /. float_of_int (size t)
+let minimum t = if size t = 0 then 0.0 else t.sorted.(0)
+let maximum t = if size t = 0 then 0.0 else t.sorted.(size t - 1)
+
+let mean t =
+  if size t = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 t.sorted /. float_of_int (size t)
 
 let sample t ~xs = List.map (fun x -> (x, eval t x)) xs
 

@@ -2,22 +2,35 @@
 
     Half of the paper's figures are CDFs (Figs. 7, 8, 9, 12, 13); this
     is the common representation the harness reduces samples into and
-    the reporters sample out of. *)
+    the reporters sample out of.
+
+    The empty distribution is a valid value: the flow engine's load
+    CDFs can legitimately cover zero links (a fully partitioned
+    recovery window), so every accessor is total.  On an empty CDF the
+    summary accessors ([quantile], [minimum], [maximum], [mean])
+    return [0.0] and [eval] returns [0.0] everywhere — a defined,
+    documented convention rather than an exception. *)
 
 type t
 
+val empty : t
+
 val of_values : float list -> t
-(** Raises [Invalid_argument] on the empty list. *)
+(** The empty list yields {!empty}. *)
 
 val of_ints : int list -> t
 
 val size : t -> int
 
 val eval : t -> float -> float
-(** [eval t x] is the fraction of samples [<= x]. *)
+(** [eval t x] is the fraction of samples [<= x]; [0.0] on {!empty}. *)
 
 val quantile : t -> float -> float
-(** [quantile t q], [q] in [0, 1]: smallest x with [eval t x >= q]. *)
+(** [quantile t q], [q] in [0, 1]: smallest x with [eval t x >= q],
+    nearest-rank over the samples ([q = 0.0] is the minimum, [q = 1.0]
+    the maximum, a singleton answers every q with its one sample).
+    [0.0] on {!empty}.  Raises [Invalid_argument] only when [q] is
+    outside [0, 1]. *)
 
 val minimum : t -> float
 val maximum : t -> float
@@ -27,4 +40,5 @@ val sample : t -> xs:float list -> (float * float) list
 (** The CDF evaluated at each requested x, for tabular rendering. *)
 
 val steps : t -> (float * float) list
-(** The (x, P(X <= x)) staircase at the distinct sample values. *)
+(** The (x, P(X <= x)) staircase at the distinct sample values; [[]]
+    on {!empty}. *)

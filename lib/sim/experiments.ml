@@ -1045,3 +1045,187 @@ let instance_variance ?(cases = 400) ?(instances = 5) config =
     header = [ "Topology"; "Mean%"; "Min%"; "Max%"; "Spread" ];
     rows = List.map row config.presets;
   }
+
+(* ------------------------------------------------------------------ *)
+
+(* The flow-level congestion sweep (not in the paper): what does each
+   recovery scheme do to link load while the IGP converges?  One
+   large-scale disc failure per topology, a synthetic demand matrix,
+   and every scheme evaluated on the identical flows, so the
+   stretch-vs-congestion trade-off lands in one table.  Evaluation
+   shards over a fixed chunk grid and merges integer accumulators, so
+   the output is byte-identical for every [config.jobs]. *)
+
+module Flowsim = Rtr_des.Flowsim
+
+let congestion_schemes =
+  [
+    Flowsim.No_recovery;
+    Flowsim.Rtr_scheme;
+    Flowsim.Fcp_scheme;
+    Flowsim.Mrc_scheme;
+    Flowsim.Randroute_scheme;
+  ]
+
+let default_flows_per_topo = 125_000
+
+let flows_quota () =
+  match Sys.getenv_opt "REPRO_FLOWS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | Some _ | None ->
+          Printf.eprintf
+            "warning: REPRO_FLOWS=%S is not a positive integer; using the \
+             default of %d\n\
+             %!"
+            s default_flows_per_topo;
+          default_flows_per_topo)
+  | None -> default_flows_per_topo
+
+(* Fixed shard grid: the chunk boundaries depend only on the flow
+   count, never on the worker count, so merged results cannot vary
+   with --jobs. *)
+let flow_chunks = 64
+
+let congestion_eval ~jobs ctx flows =
+  let n = Array.length flows in
+  let chunks = min flow_chunks (max 1 n) in
+  let bounds =
+    Array.init chunks (fun i -> (i * n / chunks, (i + 1) * n / chunks))
+  in
+  let accs =
+    Parallel.map ~jobs (fun (lo, hi) -> Flowsim.eval_slice ctx flows ~lo ~hi) bounds
+  in
+  let merged =
+    match Array.to_list accs with
+    | first :: rest -> List.fold_left Flowsim.merge first rest
+    | [] -> assert false
+  in
+  Flowsim.finish ctx merged
+
+let congestion_data ?(log = fun _ -> ()) ?flows_per_topo
+    ?(schemes = congestion_schemes) config =
+  Trace.with_ "experiments.congestion" @@ fun () ->
+  let flows_per_topo =
+    match flows_per_topo with Some n -> n | None -> flows_quota ()
+  in
+  List.map
+    (fun (preset : Isp.preset) ->
+      let topo = Isp.load preset in
+      let table = Topo_cache.table (Topo_cache.shared topo) in
+      let rng = Rtr_util.Rng.make (config.seed + preset.Isp.seed + 47) in
+      (* Random discs can miss the embedding entirely; keep drawing
+         from the same sequential stream until the failure is real, so
+         every topology's row reflects an actual large-scale failure. *)
+      let rec draw_damage tries =
+        let scenario = Scenario.generate topo table rng () in
+        let d = scenario.Scenario.damage in
+        if Rtr_failure.Damage.n_failed_links d > 0 || tries > 64 then d
+        else draw_damage (tries + 1)
+      in
+      let damage = draw_damage 0 in
+      let flows =
+        Flowsim.demand topo ~n:flows_per_topo
+          ~seed:(config.seed + preset.Isp.seed + 53)
+      in
+      let mrc =
+        if List.mem Flowsim.Mrc_scheme schemes then
+          Some
+            (let g = Rtr_topo.Topology.graph topo in
+             match config.mrc_k with
+             | Some k -> (
+                 match Rtr_baselines.Mrc.build g ~k with
+                 | Some t -> t
+                 | None -> Rtr_baselines.Mrc.build_auto g)
+             | None -> Rtr_baselines.Mrc.build_auto g)
+        else None
+      in
+      let per_scheme =
+        List.map
+          (fun scheme ->
+            let fcfg =
+              {
+                Flowsim.default_config with
+                Flowsim.scheme;
+                seed = config.seed + preset.Isp.seed;
+              }
+            in
+            let ctx = Flowsim.context topo damage ?mrc fcfg in
+            let stats = congestion_eval ~jobs:config.jobs ctx flows in
+            log
+              (Printf.sprintf "%s/%s: %d flows, delivered %.3f, max load %d"
+                 preset.Isp.as_name (Flowsim.scheme_name scheme)
+                 stats.Flowsim.flows stats.Flowsim.delivered_frac
+                 stats.Flowsim.rec_max_load);
+            (scheme, stats))
+          schemes
+      in
+      (preset, per_scheme))
+    config.presets
+
+let congestion_table data =
+  let row (preset : Isp.preset) (scheme, (s : Flowsim.stats)) =
+    let loadx =
+      if s.Flowsim.base_max_load = 0 then 0.0
+      else
+        float_of_int s.Flowsim.rec_max_load
+        /. float_of_int s.Flowsim.base_max_load
+    in
+    [
+      preset.Isp.as_name;
+      Flowsim.scheme_name scheme;
+      pct s.Flowsim.delivered_frac;
+      (if s.Flowsim.broken = 0 then "-"
+       else pct (Stats.ratio s.Flowsim.recovered s.Flowsim.broken));
+      Printf.sprintf "%.2f" s.Flowsim.stretch_agg;
+      Printf.sprintf "%.2f" s.Flowsim.stretch_max;
+      Printf.sprintf "%.2f" loadx;
+      string_of_int s.Flowsim.overloaded_links;
+    ]
+  in
+  {
+    id = "congestion";
+    title =
+      "Congestion under convergence (not in the paper): flow-level delivery, \
+       stretch and recovery-window link load per scheme";
+    header =
+      [
+        "Topology";
+        "Scheme";
+        "Del%";
+        "Rec%";
+        "Stretch";
+        "StrMax";
+        "Loadx";
+        "Ovl";
+      ];
+    rows =
+      List.concat_map
+        (fun (preset, per_scheme) -> List.map (row preset) per_scheme)
+        data;
+  }
+
+let congestion_figure data =
+  let series =
+    match data with
+    | [] -> []
+    | (_, per_scheme) :: _ ->
+        List.filter_map
+          (fun (scheme, (s : Flowsim.stats)) ->
+            if scheme = Flowsim.No_recovery then None
+            else
+              let cdf =
+                Cdf.of_ints (Array.to_list s.Flowsim.rec_link_loads)
+              in
+              Some { label = Flowsim.scheme_name scheme; points = Cdf.steps cdf })
+          per_scheme
+  in
+  {
+    id = "load_cdf";
+    title =
+      "CDF of recovery-window link load (first topology), per recovery scheme";
+    x_label = "link load [pps]";
+    y_label = "fraction of links";
+    series;
+  }

@@ -163,3 +163,37 @@ val ablation_constraints : ?cases:int -> config -> table
     recovery rate, collected failed links, and walk length.  This is
     the design choice the paper motivates with Figs. 4/5; the ablation
     quantifies it.  [cases] per topology, default 500. *)
+
+(** {1 Flow-level congestion (not in the paper)} *)
+
+val congestion_schemes : Rtr_des.Flowsim.scheme list
+(** All five schemes, [No_recovery] first. *)
+
+val congestion_data :
+  ?log:(string -> unit) ->
+  ?flows_per_topo:int ->
+  ?schemes:Rtr_des.Flowsim.scheme list ->
+  config ->
+  (Rtr_topo.Isp.preset * (Rtr_des.Flowsim.scheme * Rtr_des.Flowsim.stats) list)
+  list
+(** The flow-level sweep: per topology, one seeded large-scale disc
+    failure, one demand matrix ([flows_per_topo] flows, default from
+    [REPRO_FLOWS] falling back to 125,000), every scheme evaluated on
+    the identical flows.  Evaluation shards over a fixed chunk grid
+    with [config.jobs] workers and merges integer accumulators —
+    results are byte-identical for every jobs value. *)
+
+val congestion_table :
+  (Rtr_topo.Isp.preset * (Rtr_des.Flowsim.scheme * Rtr_des.Flowsim.stats) list)
+  list ->
+  table
+(** One row per (topology, scheme): delivered fraction, recovery rate
+    of broken flow-eras, aggregate and max stretch, recovery-window
+    peak load relative to the pre-failure peak, overloaded links. *)
+
+val congestion_figure :
+  (Rtr_topo.Isp.preset * (Rtr_des.Flowsim.scheme * Rtr_des.Flowsim.stats) list)
+  list ->
+  figure
+(** CDF of per-link recovery-window load on the first topology, one
+    series per scheme (sans [No_recovery]). *)

@@ -2,25 +2,29 @@ let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
+(* Totality convention shared with [Cdf]: the empty sample set answers
+   0.  The flow engine's load summaries hit these paths for real
+   (e.g. no overloaded links, no recovered flows), so raising here
+   would put a crash one degenerate scenario away. *)
 let maximum = function
-  | [] -> invalid_arg "Stats.maximum: empty"
+  | [] -> 0.0
   | x :: xs -> List.fold_left Float.max x xs
 
 let minimum = function
-  | [] -> invalid_arg "Stats.minimum: empty"
+  | [] -> 0.0
   | x :: xs -> List.fold_left Float.min x xs
 
 (* One nearest-rank implementation for the whole harness: [Cdf] owns
    it, this is just the list-flavoured entry point (keeping its own
-   error messages). *)
+   range error message). *)
 let percentile xs p =
-  if xs = [] then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
   Cdf.quantile (Cdf.of_values xs) p
 
 let mean_int xs = mean (List.map float_of_int xs)
+
 let max_int_list = function
-  | [] -> invalid_arg "Stats.max_int_list: empty"
+  | [] -> 0
   | x :: xs -> List.fold_left max x xs
 
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den

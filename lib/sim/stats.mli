@@ -1,19 +1,27 @@
-(** Small descriptive-statistics helpers for the experiment harness. *)
+(** Small descriptive-statistics helpers for the experiment harness.
+
+    All entry points are total on the empty list and answer [0] (or
+    [0.0]) there — same convention as {!Cdf}, documented per
+    function. *)
 
 val mean : float list -> float
 (** 0. on the empty list. *)
 
 val maximum : float list -> float
-(** Raises [Invalid_argument] on the empty list. *)
+(** 0. on the empty list. *)
 
 val minimum : float list -> float
+(** 0. on the empty list. *)
 
 val percentile : float list -> float -> float
-(** [percentile xs p] with [p] in [0, 1]: nearest-rank percentile.
-    Raises [Invalid_argument] on the empty list or out-of-range [p]. *)
+(** [percentile xs p] with [p] in [0, 1]: nearest-rank percentile via
+    {!Cdf.quantile}.  0. on the empty list; raises [Invalid_argument]
+    only on out-of-range [p]. *)
 
 val mean_int : int list -> float
+
 val max_int_list : int list -> int
+(** 0 on the empty list. *)
 
 val ratio : int -> int -> float
 (** [ratio num den] as a float; 0. when [den = 0]. *)

@@ -252,10 +252,99 @@ let test_cascade_cuts_delivery () =
   in
   Alcotest.(check bool) "deterministic" true (cascaded = again)
 
+(* Audit of simultaneous-event ordering (satellite of the flow-engine
+   PR): the heap's comparison is [time, then insertion seq] — a total
+   strict order — so extraction must be a stable sort by time for ANY
+   add/pop interleaving, including across internal array resizes.  The
+   property below compares a drain against [List.stable_sort] on time
+   alone; ties force the FIFO obligation. *)
+let event_queue_fifo =
+  QCheck.Test.make ~name:"event queue is a stable sort by time" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_bound 9))
+    (fun raw ->
+      let q = Event_queue.create () in
+      let events = List.mapi (fun i t -> (float_of_int t /. 10.0, i)) raw in
+      List.iter (fun (time, payload) -> Event_queue.add q ~time payload) events;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, x) -> drain ((t, x) :: acc)
+      in
+      drain []
+      = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events)
+
+(* Interleaved adds and pops at one timestamp, sized to cross the
+   heap's growth threshold: earlier-inserted events must keep draining
+   first even after later batches and resizes. *)
+let test_event_queue_fifo_across_interleaving () =
+  let q = Event_queue.create () in
+  for i = 0 to 39 do
+    Event_queue.add q ~time:1.0 i
+  done;
+  for i = 0 to 19 do
+    match Event_queue.pop q with
+    | Some (_, x) -> Alcotest.(check int) "first batch in order" i x
+    | None -> Alcotest.fail "queue ran dry"
+  done;
+  for i = 40 to 99 do
+    Event_queue.add q ~time:1.0 i
+  done;
+  let rec drain acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, x) -> drain (x :: acc)
+  in
+  Alcotest.(check (list int))
+    "remaining first batch, then second, in insertion order"
+    (List.init 20 (fun i -> 20 + i) @ List.init 60 (fun i -> 40 + i))
+    (drain [])
+
+(* Satellite regression: a link that fails, is restored, and fails
+   again mid-run must restart its detection hold-down from the second
+   failure — the restore wiped the outage, so the re-failure is a NEW
+   outage.  Observable: with classic IGP timing nothing converges
+   within this window, so blackholed packets measure hold-down length
+   exactly.  The restore-then-refail run pays one truncated hold-down
+   (0.5 s) plus one full fresh one (1.0 s); a buggy carryover of the
+   original outage start would make the second hold-down end at 1.5 s
+   and blackhole LESS than the plain single-failure run. *)
+let test_refail_restarts_hold_down () =
+  let topo = paper_topo () in
+  let g = Rtr_topo.Topology.graph topo in
+  let damage = paper_damage g in
+  let flows = [ { Netsim.src = v 7; dst = v 17; rate_pps = 100.0 } ] in
+  let blackholes (s : Netsim.stats) =
+    Option.value ~default:0
+      (List.assoc_opt Netsim.Blackhole s.Netsim.drops_by_reason)
+  in
+  let base = quick_config ~rtr:true ~flows () in
+  let plain = Netsim.run topo damage base in
+  let refail =
+    Netsim.run topo damage
+      {
+        base with
+        Netsim.episodes = [ (1.0, Damage.none g); (1.2, damage) ];
+      }
+  in
+  (* plain: hold-down [0.5, 1.5) at 100 pps *)
+  Alcotest.(check bool) "plain pays one full hold-down" true
+    (blackholes plain >= 80 && blackholes plain <= 120);
+  (* refail: [0.5, 1.0) truncated plus a fresh [1.2, 2.2) *)
+  Alcotest.(check bool) "refail pays the truncated plus a fresh hold-down"
+    true
+    (blackholes refail >= 120 && blackholes refail <= 180);
+  Alcotest.(check bool) "re-failure restarts detection from scratch" true
+    (blackholes refail > blackholes plain)
+
 let suite =
   [
     Alcotest.test_case "event queue order" `Quick test_event_queue_order;
     Alcotest.test_case "event queue validation" `Quick test_event_queue_validation;
+    QCheck_alcotest.to_alcotest event_queue_fifo;
+    Alcotest.test_case "event queue fifo across interleaving" `Quick
+      test_event_queue_fifo_across_interleaving;
+    Alcotest.test_case "re-failure restarts hold-down" `Quick
+      test_refail_restarts_hold_down;
     Alcotest.test_case "no failure, all delivered" `Quick
       test_no_failure_all_delivered;
     Alcotest.test_case "rtr recovers during window" `Quick

@@ -18,8 +18,45 @@ let test_percentile () =
   Alcotest.check feq "median" 5.0 (Stats.percentile xs 0.5);
   Alcotest.check feq "p90" 9.0 (Stats.percentile xs 0.9);
   Alcotest.check feq "p100" 10.0 (Stats.percentile xs 1.0);
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
-    (fun () -> ignore (Stats.percentile [] 0.5))
+  Alcotest.check feq "empty is 0" 0.0 (Stats.percentile [] 0.5)
+
+(* The totality convention (satellite of the flow-engine PR): every
+   summary accessor is defined on n = 0 and n = 1, at both quantile
+   extremes, instead of raising or indexing out of bounds — the load
+   CDFs hit these paths on degenerate scenarios. *)
+let test_empty_and_singleton_totality () =
+  (* n = 0 through Stats *)
+  Alcotest.check feq "maximum []" 0.0 (Stats.maximum []);
+  Alcotest.check feq "minimum []" 0.0 (Stats.minimum []);
+  Alcotest.check feq "percentile [] 0.0" 0.0 (Stats.percentile [] 0.0);
+  Alcotest.check feq "percentile [] 1.0" 0.0 (Stats.percentile [] 1.0);
+  Alcotest.(check int) "max_int_list []" 0 (Stats.max_int_list []);
+  (* n = 0 through Cdf *)
+  let e = Cdf.of_values [] in
+  Alcotest.(check int) "empty size" 0 (Cdf.size e);
+  Alcotest.(check int) "Cdf.empty agrees" 0 (Cdf.size Cdf.empty);
+  Alcotest.check feq "empty quantile 0.0" 0.0 (Cdf.quantile e 0.0);
+  Alcotest.check feq "empty quantile 1.0" 0.0 (Cdf.quantile e 1.0);
+  Alcotest.check feq "empty minimum" 0.0 (Cdf.minimum e);
+  Alcotest.check feq "empty maximum" 0.0 (Cdf.maximum e);
+  Alcotest.check feq "empty mean" 0.0 (Cdf.mean e);
+  Alcotest.check feq "empty eval" 0.0 (Cdf.eval e 42.0);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "empty steps" [] (Cdf.steps e);
+  (* out-of-range q still rejected, empty or not *)
+  Alcotest.check_raises "q out of range on empty"
+    (Invalid_argument "Cdf.quantile: out of range") (fun () ->
+      ignore (Cdf.quantile e 1.5));
+  (* n = 1 at both extremes *)
+  let s = Cdf.of_ints [ 7 ] in
+  Alcotest.check feq "singleton quantile 0.0" 7.0 (Cdf.quantile s 0.0);
+  Alcotest.check feq "singleton quantile 1.0" 7.0 (Cdf.quantile s 1.0);
+  Alcotest.check feq "singleton min" 7.0 (Cdf.minimum s);
+  Alcotest.check feq "singleton max" 7.0 (Cdf.maximum s);
+  Alcotest.check feq "singleton percentile 0.0" 7.0
+    (Stats.percentile [ 7.0 ] 0.0);
+  Alcotest.check feq "singleton percentile 1.0" 7.0
+    (Stats.percentile [ 7.0 ] 1.0)
 
 (* Nearest-rank boundaries through both entry points: [Stats.percentile]
    delegates to [Cdf.quantile], so the two must agree exactly, and the
@@ -117,6 +154,8 @@ let suite =
   [
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "empty and singleton totality" `Quick
+      test_empty_and_singleton_totality;
     Alcotest.test_case "quantile boundaries" `Quick test_quantile_boundaries;
     Alcotest.test_case "cdf eval" `Quick test_cdf_eval;
     Alcotest.test_case "cdf quantile" `Quick test_cdf_quantile;
